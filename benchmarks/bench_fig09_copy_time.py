@@ -1,0 +1,50 @@
+"""Figure 9: measured times for copy of various data types on the iPSC.
+
+The paper plots local copy time against the number of items for byte,
+integer and floating-point data; all curves are linear with slope set by
+the item width.  We reproduce the series from the calibrated cost model
+(t_copy per 4-byte element, scaled by item width) — the constant that
+drives every buffered-versus-unbuffered decision downstream.
+"""
+
+import pytest
+
+from benchmarks.reporting import emit_table, ms
+from repro.machine.presets import ELEMENT_BYTES, intel_ipsc
+
+SIZES = [2**k for k in range(4, 15)]
+DTYPES = {"byte": 1, "int16": 2, "float32": 4, "float64": 8}
+
+
+def copy_series():
+    params = intel_ipsc(5)
+    per_byte = params.t_copy / ELEMENT_BYTES
+    rows = []
+    for count in SIZES:
+        row = [count]
+        for width in DTYPES.values():
+            row.append(ms(count * width * per_byte))
+        rows.append(row)
+    return rows
+
+
+def test_fig09_copy_time(benchmark):
+    rows = benchmark(copy_series)
+    emit_table(
+        "fig09_copy_time",
+        "Figure 9: iPSC local copy time (ms) vs item count",
+        ["items", *DTYPES],
+        rows,
+        notes="Paper: ~37 ms to copy 1024 single-precision floats; here "
+        f"{rows[SIZES.index(1024)][3]:.1f} ms (calibrated to that very "
+        "measurement; the two-sided buffering break-even lands at ~64).",
+    )
+    # Linearity: doubling the count doubles the time.
+    for i in range(len(rows) - 1):
+        assert rows[i + 1][3] == pytest.approx(2 * rows[i][3])
+    # Wider items cost proportionally more.
+    for row in rows:
+        assert row[1] < row[2] < row[3] < row[4]
+    # The calibration target: copying 1024 floats costs ~37 ms.
+    t1024 = rows[SIZES.index(1024)][3]
+    assert t1024 == pytest.approx(37.0)

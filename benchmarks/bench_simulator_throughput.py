@@ -1,0 +1,46 @@
+"""Wall-clock throughput of the simulator itself (not a paper figure).
+
+Tracks the engineering health of the engine: phases per second on a
+message-heavy schedule and modelled-elements per second on a
+payload-heavy transpose.  pytest-benchmark's history makes regressions
+visible when the engine changes.
+"""
+
+import numpy as np
+
+from repro.comm.all_to_all import all_to_all_personalized_data, all_to_all_sbnt
+from repro.layout import DistributedMatrix
+from repro.layout import partition as pt
+from repro.machine import CubeNetwork, custom_machine
+from repro.machine.params import PortModel
+from repro.transpose.one_dim import one_dim_transpose_exchange
+
+
+def message_heavy():
+    """4096 block deliveries over a 6-cube (SBnT all-to-all)."""
+    net = CubeNetwork(custom_machine(6, port_model=PortModel.N_PORT))
+    all_to_all_personalized_data(net, 1)
+    all_to_all_sbnt(net)
+    return net.stats.messages
+
+
+def payload_heavy():
+    """A 2^20-element transpose over 16 nodes (exchange algorithm)."""
+    layout = pt.row_consecutive(10, 10, 4)
+    dm = DistributedMatrix(
+        layout, np.zeros((16, 1 << 16))
+    )
+    net = CubeNetwork(custom_machine(4))
+    one_dim_transpose_exchange(net, dm, layout)
+    return net.stats.element_hops
+
+
+def test_throughput_message_heavy(benchmark):
+    messages = benchmark(message_heavy)
+    # 4032 block deliveries, grouped into per-(node, port) messages.
+    assert messages > 1500
+
+
+def test_throughput_payload_heavy(benchmark):
+    hops = benchmark.pedantic(payload_heavy, rounds=2, iterations=1)
+    assert hops == 4 * (1 << 20) // 2  # n * M / 2

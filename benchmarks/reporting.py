@@ -1,0 +1,69 @@
+"""Shared reporting for the figure-reproduction benchmarks.
+
+Each bench regenerates one of the paper's tables/figures: it sweeps the
+same parameters, collects the *modelled* times from the simulator, prints
+the series in a fixed-width table, appends it to
+``benchmarks/results/<name>.txt``, and asserts the figure's qualitative
+shape (who wins, growth direction, crossover neighbourhood).  The
+pytest-benchmark fixture wraps the simulation so wall-clock regressions
+are tracked too; the modelled numbers ride along in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = ["emit_table", "ms"]
+
+
+def ms(seconds: float) -> float:
+    """Seconds to milliseconds (the paper's figures are in ms)."""
+    return seconds * 1e3
+
+
+def emit_table(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    notes: str = "",
+) -> str:
+    """Format, print and persist one figure's data series."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(_fmt(v).rjust(w) for v, w in zip(r, widths)))
+    if notes:
+        lines.append(notes)
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    # Machine-readable companion for plotting.
+    with open(os.path.join(RESULTS_DIR, f"{name}.csv"), "w") as fh:
+        fh.write(",".join(str(h) for h in headers) + "\n")
+        for r in rows:
+            fh.write(",".join(_fmt(v) for v in r) + "\n")
+    return text
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4f}"
+    return str(v)

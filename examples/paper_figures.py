@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Print the paper's illustrative figures from the implementation itself.
+
+* Figures 1-2: cyclic vs consecutive assignment pictures, straight from
+  ``Layout.render_assignment`` (the implementation's owner map, not a
+  drawing);
+* Figures 6-7: the movement pattern of the combined transpose /
+  Gray-code-conversion algorithm (§6.3), one grid per routing step —
+  the clockwise/counterclockwise rotations of Figure 7 appear as the
+  direction each processor forwards its block.
+
+Run:  python examples/paper_figures.py
+"""
+
+import numpy as np
+
+from repro.layout import partition as pt
+from repro.transpose.two_dim import pairwise_maps
+
+
+def figures_1_and_2() -> None:
+    print("Figure 1 — one-dimensional partitioning (16 x 8, 4 processors)")
+    print("\ncyclic rows:")
+    print(pt.row_cyclic(4, 3, 2).render_assignment(max_rows=8))
+    print("\nconsecutive rows:")
+    print(pt.row_consecutive(4, 3, 2).render_assignment(max_rows=8))
+
+    print("\nFigure 2 — two-dimensional partitioning (8 x 8, 2 x 2 processors)")
+    print("\ncyclic:")
+    print(pt.two_dim_cyclic(3, 3, 1, 1).render_assignment(max_rows=8))
+    print("\nconsecutive:")
+    print(pt.two_dim_consecutive(3, 3, 1, 1).render_assignment(max_rows=8))
+
+
+def figures_6_and_7(n: int = 8) -> None:
+    """Movement grids of the §6.3 combined algorithm on an n-cube."""
+    half = n // 2
+    p = half  # one block per processor suffices for the pattern
+    before = pt.two_dim_mixed(
+        p, p, half, half, rows="cyclic", cols="cyclic", col_gray=True
+    )
+    after = pt.two_dim_mixed(
+        p, p, half, half, rows="cyclic", cols="cyclic", col_gray=True
+    )
+    partner, _ = pairwise_maps(before, after)
+
+    side = 1 << half
+    cur = np.arange(1 << n, dtype=np.int64)
+    print(f"\nFigures 6-7 — combined transpose + code conversion on an "
+          f"{n}-cube ({side} x {side} processors); per step, the direction "
+          f"each processor's block moves ('.' = holds position):")
+    for j in range(half - 1, -1, -1):
+        for dim, label in ((j + half, "row step"), (j, "column step")):
+            grid = [["." for _ in range(side)] for _ in range(side)]
+            for x in range(1 << n):
+                here = int(cur[x])
+                target_bit = (int(partner[x]) >> dim) & 1
+                r, c = here >> half, here & (side - 1)
+                if ((here >> dim) & 1) != target_bit:
+                    if dim >= half:  # vertical (row-field) movement
+                        grid[r][c] = "v" if target_bit else "^"
+                    else:  # horizontal (column-field) movement
+                        grid[r][c] = ">" if target_bit else "<"
+                    cur[x] = here ^ (1 << dim)
+            print(f"\n  iteration j={j}, {label} (dimension {dim}):")
+            for row in grid:
+                print("    " + " ".join(row))
+    moved = sum(int(cur[x]) != x for x in range(1 << n))
+    ok = all(int(cur[x]) == int(partner[x]) for x in range(1 << n))
+    print(f"\n  all {moved} moving blocks reached (G^-1(col) || G(row)): {ok}")
+    assert ok
+
+
+def main() -> None:
+    figures_1_and_2()
+    figures_6_and_7()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Storage-form conversions for a banded-solver workflow (§2, Corollary 6).
+
+The paper motivates *combined* assignments with banded linear system
+solvers: the same matrix wants cyclic storage in one phase (load balance
+during elimination) and consecutive storage in another (locality during
+substitution).  Corollary 6: any conversion among the six one-dimensional
+storage forms is all-to-all personalized communication, so every pairing
+costs roughly the same.
+
+This example converts a matrix through all storage forms, checks data
+integrity after each hop, and tabulates the modelled iPSC time — which
+is flat across pairings, as the corollary predicts.
+
+Run:  python examples/storage_conversion.py
+"""
+
+import numpy as np
+
+from repro import (
+    BufferPolicy,
+    CubeNetwork,
+    DistributedMatrix,
+    classify_transpose,
+    column_consecutive,
+    column_cyclic,
+    combined_contiguous,
+    intel_ipsc,
+    row_consecutive,
+    row_cyclic,
+)
+from repro.transpose import exchange_transpose
+
+P = Q = 6  # 64 x 64
+N_CUBE = 3
+
+FORMS = {
+    "consecutive-row": lambda: row_consecutive(P, Q, N_CUBE),
+    "cyclic-row": lambda: row_cyclic(P, Q, N_CUBE),
+    "consecutive-col": lambda: column_consecutive(P, Q, N_CUBE),
+    "cyclic-col": lambda: column_cyclic(P, Q, N_CUBE),
+    "combined-row": lambda: combined_contiguous(P, Q, N_CUBE, offset=1, axis="row"),
+    "combined-col": lambda: combined_contiguous(P, Q, N_CUBE, offset=2, axis="column"),
+}
+
+
+def logical_fanout(before, after) -> int:
+    """Distinct destinations each source communicates with (minimum over
+    sources) — Corollary 6 says 2^|R_a| - 1 when I is empty."""
+    p, q = before.p, before.q
+    w = np.arange(1 << (p + q), dtype=np.int64)
+    src = before.owner_array(w)
+    u, v = w >> q, w & ((1 << q) - 1)
+    dst = after.owner_array((v << p) | u)
+    pairs = set(zip(src.tolist(), dst.tolist()))
+    fanout = {}
+    for s, d in pairs:
+        if d != s:
+            fanout[s] = fanout.get(s, 0) + 1
+    return min(fanout.values(), default=0)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    A = rng.standard_normal((1 << P, 1 << Q))
+    policy = BufferPolicy(mode="threshold")
+    N = 1 << N_CUBE
+
+    names = list(FORMS)
+    header = f"{'conversion':34s} {'class':12s} {'fanout':>6s} {'time (ms)':>10s} {'startups':>9s}"
+    print(header)
+    a2a_times = []
+    for i, src in enumerate(names):
+        dst = names[(i + 1) % len(names)]
+        before = FORMS[src]()
+        after = FORMS[dst]()  # applied to the transposed matrix
+        info = classify_transpose(before, after)
+        dm = DistributedMatrix.from_global(A, before)
+        net = CubeNetwork(intel_ipsc(N_CUBE))
+        out = exchange_transpose(net, dm, after, policy=policy)
+        assert np.array_equal(out.to_global(), A.T), (src, dst)
+        fan = logical_fanout(before, after)
+        print(
+            f"{src + ' -> ' + dst:34s} {info.comm_class.value:12s} "
+            f"{fan:6d} {net.time * 1e3:10.1f} {net.stats.startups:9d}"
+        )
+        if not info.intersection:
+            # Corollary 6: with I empty, everyone talks to everyone.
+            assert fan == N - 1, (src, dst, fan)
+            # Compare on communication time: the corollary is about the
+            # global communication; local buffering copies vary by form.
+            a2a_times.append(net.stats.comm_time)
+        else:
+            # Overlapping processor fields reduce the communication —
+            # the I != 0 cases the companion report [4] studies.
+            assert fan <= N - 1
+
+    spread = max(a2a_times) / min(a2a_times)
+    print(
+        f"\nCorollary 6: every I = {{}} conversion is all-to-all "
+        f"(fanout {N - 1}); their communication times agree within "
+        f"{spread:.2f}x (start-up packaging sets the residual spread)."
+    )
+    assert spread < 2.5
+
+
+if __name__ == "__main__":
+    main()

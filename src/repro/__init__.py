@@ -1,0 +1,75 @@
+"""repro — matrix transposition on Boolean n-cube ensemble architectures.
+
+A from-scratch reproduction of S. Lennart Johnsson & Ching-Tien Ho,
+*Algorithms for Matrix Transposition on Boolean n-cube Configured
+Ensemble Architectures* (ICPP 1987 / YALEU/DCS/TR-572), built on a
+deterministic link-level cube simulator.
+
+Quick start::
+
+    import numpy as np
+    from repro import (
+        CubeNetwork, DistributedMatrix, intel_ipsc, transpose,
+        two_dim_cyclic,
+    )
+
+    layout = two_dim_cyclic(p=5, q=5, n_r=2, n_c=2)
+    A = np.random.default_rng(0).standard_normal((32, 32))
+    dm = DistributedMatrix.from_global(A, layout)
+    net = CubeNetwork(intel_ipsc(layout.n))
+    result = transpose(net, dm)
+    assert result.verify_against(A)
+    print(result.algorithm, result.stats.summary())
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.layout.classify import CommClass, classify_transpose
+from repro.layout.fields import Layout, ProcField
+from repro.layout.matrix import DistributedMatrix
+from repro.layout.partition import (
+    column_consecutive,
+    column_cyclic,
+    combined_contiguous,
+    row_consecutive,
+    row_cyclic,
+    two_dim_consecutive,
+    two_dim_cyclic,
+    two_dim_mixed,
+)
+from repro.machine.engine import CubeNetwork
+from repro.machine.params import MachineParams, PortModel
+from repro.machine.presets import connection_machine, custom_machine, intel_ipsc
+from repro.transpose.exchange import BufferPolicy, convert_layout
+from repro.transpose.planner import TransposeResult, default_after_layout, transpose
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferPolicy",
+    "CommClass",
+    "CubeNetwork",
+    "DistributedMatrix",
+    "Layout",
+    "MachineParams",
+    "PortModel",
+    "ProcField",
+    "TransposeResult",
+    "classify_transpose",
+    "column_consecutive",
+    "column_cyclic",
+    "combined_contiguous",
+    "connection_machine",
+    "convert_layout",
+    "custom_machine",
+    "default_after_layout",
+    "intel_ipsc",
+    "row_consecutive",
+    "row_cyclic",
+    "transpose",
+    "two_dim_consecutive",
+    "two_dim_cyclic",
+    "two_dim_mixed",
+    "__version__",
+]

@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``advise``    rank the paper's algorithms for a machine/problem size
+              (the §9 decision procedure);
+``run``       execute one simulated transpose and print the cost report;
+``machines``  show the calibrated machine presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _machine(args):
+    from repro.machine.presets import connection_machine, custom_machine, intel_ipsc
+
+    if args.machine == "ipsc":
+        return intel_ipsc(args.n)
+    if args.machine == "cm":
+        return connection_machine(args.n)
+    from repro.machine.params import PortModel
+
+    return custom_machine(
+        args.n,
+        tau=args.tau,
+        t_c=args.t_c,
+        port_model=PortModel.N_PORT if args.n_port else PortModel.ONE_PORT,
+    )
+
+
+def cmd_advise(args) -> int:
+    from repro.analysis.report import format_report
+
+    print(format_report(_machine(args), args.elements))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro import CubeNetwork, DistributedMatrix, transpose
+    from repro.layout import partition as pt
+
+    bits = args.elements.bit_length() - 1
+    if 1 << bits != args.elements:
+        print("element count must be a power of two", file=sys.stderr)
+        return 2
+    p = bits // 2
+    q = bits - p
+    n = args.n
+    if args.layout == "2d":
+        if n % 2:
+            print("2d layout needs an even cube dimension", file=sys.stderr)
+            return 2
+        layout = pt.two_dim_cyclic(p, q, n // 2, n // 2)
+    elif args.layout == "1d-rows":
+        layout = pt.row_consecutive(p, q, n)
+    else:
+        layout = pt.column_cyclic(p, q, n)
+
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((1 << p, 1 << q))
+    net = CubeNetwork(_machine(args))
+    result = transpose(
+        net,
+        DistributedMatrix.from_global(A, layout),
+        pt.two_dim_cyclic(q, p, n // 2, n // 2)
+        if args.layout == "2d" and p != q
+        else None
+        if p == q
+        else _mirror(layout),
+    )
+    ok = result.verify_against(A)
+    print(f"matrix:     {1 << p} x {1 << q} ({args.elements} elements)")
+    print(f"layout:     {layout.describe()}")
+    print(f"machine:    {net.params.name} ({net.params.port_model.value})")
+    print(f"algorithm:  {result.algorithm} ({result.comm_class.value})")
+    print(f"verified:   {ok}")
+    print(f"model time: {result.stats.summary()}")
+    return 0 if ok else 1
+
+
+def _mirror(layout):
+    """Same-family layout for the transposed (rectangular) matrix."""
+    from repro.layout import partition as pt
+
+    name = layout.name
+    p, q, n = layout.q, layout.p, layout.n
+    if name.startswith("row-consecutive"):
+        return pt.row_consecutive(p, q, n)
+    if name.startswith("col-cyclic"):
+        return pt.column_cyclic(p, q, n)
+    raise ValueError(f"no mirror for layout {name}")
+
+
+def cmd_machines(args) -> int:
+    from repro.machine.presets import connection_machine, intel_ipsc
+
+    for m in (intel_ipsc(args.n), connection_machine(args.n)):
+        print(
+            f"{m.name}: tau={m.tau * 1e6:.0f} us, t_c={m.t_c * 1e6:.2f} us/el, "
+            f"B_m={m.packet_capacity} el, t_copy={m.t_copy * 1e6:.1f} us/el, "
+            f"{m.port_model.value}, pipelined={m.pipelined}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Matrix transposition on simulated Boolean n-cubes "
+        "(Johnsson & Ho 1987 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--machine", choices=["ipsc", "cm", "custom"], default="ipsc")
+        p.add_argument("-n", type=int, default=6, help="cube dimension")
+        p.add_argument("--tau", type=float, default=1.0, help="custom start-up")
+        p.add_argument("--t-c", dest="t_c", type=float, default=1.0)
+        p.add_argument("--n-port", action="store_true")
+        p.add_argument(
+            "--elements", type=int, default=1 << 16, help="matrix elements (power of 2)"
+        )
+
+    pa = sub.add_parser("advise", help="rank algorithms analytically (§9)")
+    common(pa)
+    pa.set_defaults(fn=cmd_advise)
+
+    pr = sub.add_parser("run", help="run one simulated transpose")
+    common(pr)
+    pr.add_argument("--layout", choices=["2d", "1d-rows", "1d-cols"], default="2d")
+    pr.set_defaults(fn=cmd_run)
+
+    pm = sub.add_parser("machines", help="show machine presets")
+    pm.add_argument("-n", type=int, default=6)
+    pm.set_defaults(fn=cmd_machines)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

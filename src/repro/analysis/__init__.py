@@ -1,0 +1,75 @@
+"""Closed-form performance models from the paper.
+
+Every timing formula the paper states — §3's personalized-communication
+complexities, §6.1's SPT/DPT/MPT times (Theorem 2), §8's iPSC estimates
+and Theorem 3's lower bound — implemented over a
+:class:`~repro.machine.params.MachineParams`, so that benches can
+compare the simulator's measured times against the paper's analysis and
+reproduce the §9 one- versus two-dimensional comparison.
+"""
+
+from repro.analysis.models import (
+    all_to_all_exchange_time,
+    all_to_all_min_time,
+    all_to_all_nport_min_time,
+    dpt_min_time,
+    dpt_time,
+    ipsc_one_dim_buffered_time,
+    ipsc_one_dim_unbuffered_time,
+    ipsc_two_dim_time,
+    mpt_min_time,
+    mpt_optimal_packet,
+    mpt_time,
+    one_to_all_sbt_min_time,
+    one_to_all_sbt_time,
+    one_to_all_nport_min_time,
+    some_to_all_time,
+    spt_min_time,
+    spt_optimal_packet,
+    spt_time,
+)
+from repro.analysis.bounds import (
+    all_to_all_lower_bound,
+    one_to_all_lower_bound,
+    transpose_lower_bound,
+)
+from repro.analysis.crossover import (
+    break_even_processors,
+    compare_one_vs_two_dim,
+    one_dim_nport_min_time,
+)
+from repro.analysis.report import (
+    AlgorithmEstimate,
+    estimate_transpose_options,
+    format_report,
+)
+
+__all__ = [
+    "AlgorithmEstimate",
+    "all_to_all_exchange_time",
+    "all_to_all_lower_bound",
+    "all_to_all_min_time",
+    "all_to_all_nport_min_time",
+    "break_even_processors",
+    "compare_one_vs_two_dim",
+    "dpt_min_time",
+    "estimate_transpose_options",
+    "format_report",
+    "dpt_time",
+    "ipsc_one_dim_buffered_time",
+    "ipsc_one_dim_unbuffered_time",
+    "ipsc_two_dim_time",
+    "mpt_min_time",
+    "mpt_optimal_packet",
+    "mpt_time",
+    "one_dim_nport_min_time",
+    "one_to_all_lower_bound",
+    "one_to_all_nport_min_time",
+    "one_to_all_sbt_min_time",
+    "one_to_all_sbt_time",
+    "some_to_all_time",
+    "spt_min_time",
+    "spt_optimal_packet",
+    "spt_time",
+    "transpose_lower_bound",
+]

@@ -1,0 +1,45 @@
+"""Lower bounds (§3 and Theorem 3)."""
+
+from __future__ import annotations
+
+from repro.machine.params import MachineParams
+
+__all__ = [
+    "one_to_all_lower_bound",
+    "all_to_all_lower_bound",
+    "transpose_lower_bound",
+]
+
+
+def one_to_all_lower_bound(
+    params: MachineParams, M: int, *, n_port: bool = False
+) -> float:
+    """§3.1: ``max((1 - 1/N) M t_c, n tau)`` (transfer divided by n for
+    n-port)."""
+    N = params.num_procs
+    transfer = (1 - 1 / N) * M * params.t_c
+    if n_port and params.n:
+        transfer /= params.n
+    return max(transfer, params.n * params.tau)
+
+
+def all_to_all_lower_bound(params: MachineParams, M: int) -> float:
+    """§3.2: ``max(M/(2N) t_c, n tau)``.
+
+    The transfer bound follows from bisection: half the data must cross
+    the ``N/2`` links of any dimension cut.
+    """
+    N = params.num_procs
+    return max(M / (2 * N) * params.t_c, params.n * params.tau)
+
+
+def transpose_lower_bound(params: MachineParams, M: int) -> float:
+    """Theorem 3: the two-dimensional transpose needs at least
+    ``max(n tau, M/(2N) t_c)``.
+
+    Start-ups: anti-diagonal nodes are at distance ``n``.  Transfer: the
+    upper-right quarter's ``N/4`` nodes must export ``M/N`` elements each
+    over their ``2 N/4`` outgoing links.
+    """
+    N = params.num_procs
+    return max(params.n * params.tau, M / (2 * N) * params.t_c)

@@ -1,0 +1,75 @@
+"""One- versus two-dimensional partitioning (§9).
+
+With n-port communication the paper compares
+
+* ``T_1d = M/(2N) t_c + n tau``  (SBnT all-to-all), and
+* ``T_2d = mpt_min_time``        (Theorem 2's piecewise form),
+
+concluding: the one-dimensional partitioning wins for
+``n >= sqrt(M t_c / (N tau))`` (by about one start-up) and for
+``n <= sqrt(M t_c / (2 N tau))``; in the band between, the break-even
+falls at ``N ~ c r / log^2 r`` with ``r = M t_c / tau`` and
+``1/2 < c < 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.models import mpt_min_time
+from repro.machine.params import MachineParams
+
+__all__ = [
+    "one_dim_nport_min_time",
+    "compare_one_vs_two_dim",
+    "break_even_processors",
+    "Comparison",
+]
+
+
+def one_dim_nport_min_time(params: MachineParams, M: int) -> float:
+    """``T_1d = M/(2N) t_c + n tau`` (§9)."""
+    N = params.num_procs
+    return M / (2 * N) * params.t_c + params.n * params.tau
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Analytic §9 comparison at one (machine, matrix) point."""
+
+    n: int
+    M: int
+    t_one_dim: float
+    t_two_dim: float
+
+    @property
+    def winner(self) -> str:
+        if math.isclose(self.t_one_dim, self.t_two_dim, rel_tol=1e-12):
+            return "tie"
+        return "1d" if self.t_one_dim < self.t_two_dim else "2d"
+
+
+def compare_one_vs_two_dim(params: MachineParams, M: int) -> Comparison:
+    """Evaluate both §9 n-port formulas at this point."""
+    return Comparison(
+        n=params.n,
+        M=M,
+        t_one_dim=one_dim_nport_min_time(params, M),
+        t_two_dim=mpt_min_time(params, M),
+    )
+
+
+def break_even_processors(M: int, t_c: float, tau: float, c: float = 0.75) -> float:
+    """§9's intermediate-band break-even estimate ``N ~ c r / log^2 r``.
+
+    ``r = M t_c / tau``; the paper brackets ``1/2 < c < 1``.
+    """
+    if not 0 < c:
+        raise ValueError("c must be positive")
+    if tau <= 0 or t_c <= 0 or M <= 0:
+        raise ValueError("M, t_c and tau must be positive")
+    r = M * t_c / tau
+    if r <= 2:
+        return 1.0
+    return c * r / math.log2(r) ** 2

@@ -1,0 +1,329 @@
+"""The paper's timing formulas, verbatim.
+
+All take the total matrix size ``M = P * Q`` in elements and a
+:class:`~repro.machine.params.MachineParams` carrying ``n``, ``tau``,
+``t_c``, ``B_m`` and ``t_copy``.  Functions are named after the section
+they come from; docstrings quote the formula.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.params import MachineParams
+
+__all__ = [
+    "one_to_all_sbt_time",
+    "one_to_all_sbt_min_time",
+    "one_to_all_nport_min_time",
+    "one_to_all_sbnt_time",
+    "one_to_all_sbnt_min_packet",
+    "all_to_all_exchange_time",
+    "all_to_all_min_time",
+    "all_to_all_nport_min_time",
+    "some_to_all_time",
+    "spt_time",
+    "spt_optimal_packet",
+    "spt_min_time",
+    "dpt_time",
+    "dpt_min_time",
+    "mpt_time",
+    "mpt_min_time",
+    "mpt_optimal_packet",
+    "ipsc_one_dim_unbuffered_time",
+    "ipsc_one_dim_buffered_time",
+    "ipsc_two_dim_time",
+]
+
+
+def _ceil(a: float, b: float) -> int:
+    return int(math.ceil(a / b))
+
+
+# -- §3.1 one-to-all -----------------------------------------------------------
+
+
+def one_to_all_sbt_time(params: MachineParams, M: int) -> float:
+    """One-port SBT scatter: ``(1 - 1/N) M t_c + sum_i ceil(M / (2^i B_m)) tau``."""
+    N = params.num_procs
+    startups = sum(
+        _ceil(M, (1 << i) * params.packet_capacity) for i in range(1, params.n + 1)
+    )
+    return (1 - 1 / N) * M * params.t_c + startups * params.tau
+
+
+def one_to_all_sbt_min_time(params: MachineParams, M: int) -> float:
+    """Minimum over packet size: ``(1 - 1/N) M t_c + n tau``."""
+    N = params.num_procs
+    return (1 - 1 / N) * M * params.t_c + params.n * params.tau
+
+
+def one_to_all_nport_min_time(params: MachineParams, M: int) -> float:
+    """n-port SBnT / rotated-SBT scatter: ``(1/n)(1 - 1/N) M t_c + n tau``."""
+    N = params.num_procs
+    n = max(params.n, 1)
+    return (1 / n) * (1 - 1 / N) * M * params.t_c + params.n * params.tau
+
+
+def one_to_all_sbnt_time(params: MachineParams, M: int) -> float:
+    """n-port SBnT scatter with finite packets (§3.1):
+
+    ``T = (1/n)(1 - 1/N) M t_c + sum_i ceil( C(n, i) M / (n B_m N) ) tau``
+
+    — the level-``i`` tier of each subtree holds ``~C(n, i)/n`` of the
+    nodes, and its data crosses the root port as ``ceil(.)`` packets.
+    The minimum over ``B_m`` is :func:`one_to_all_nport_min_time`,
+    attained once ``B_m >= max_i C(n, i) M / (n N) ~ sqrt(2/pi) M / n^{3/2}``.
+    """
+    N = params.num_procs
+    n = max(params.n, 1)
+    startups = sum(
+        _ceil(math.comb(params.n, i) * M, n * params.packet_capacity * N)
+        for i in range(1, params.n + 1)
+    )
+    return (1 / n) * (1 - 1 / N) * M * params.t_c + startups * params.tau
+
+
+def one_to_all_sbnt_min_packet(params: MachineParams, M: int) -> float:
+    """The §3.1 packet size achieving the SBnT minimum:
+    ``max_i C(n,i) M / (n N) ~ sqrt(2/pi) M / n^{3/2}``."""
+    n = max(params.n, 1)
+    N = params.num_procs
+    return max(
+        math.comb(params.n, i) * M / (n * N) for i in range(1, params.n + 1)
+    )
+
+
+# -- §3.2 all-to-all -----------------------------------------------------------
+
+
+def all_to_all_exchange_time(params: MachineParams, M: int) -> float:
+    """One-port exchange: ``n M/(2N) t_c + n ceil(M / (2 N B_m)) tau``."""
+    N = params.num_procs
+    n = params.n
+    per_step = M / (2 * N)
+    return n * per_step * params.t_c + n * _ceil(M, 2 * N * params.packet_capacity) * params.tau
+
+
+def all_to_all_min_time(params: MachineParams, M: int) -> float:
+    """Minimum for ``B_m >= M/(2N)``: ``n (M/(2N) t_c + tau)``."""
+    N = params.num_procs
+    return params.n * (M / (2 * N) * params.t_c + params.tau)
+
+
+def all_to_all_nport_min_time(params: MachineParams, M: int) -> float:
+    """n-port SBnT routing: ``M/(2N) t_c + n tau``."""
+    N = params.num_procs
+    return M / (2 * N) * params.t_c + params.n * params.tau
+
+
+# -- §3.3 some-to-all (Table 3) --------------------------------------------------
+
+
+def some_to_all_time(
+    params: MachineParams, M: int, k: int, l: int, *, n_port: bool = False
+) -> float:
+    """Table 3: ``k`` splitting steps + ``l`` all-to-all steps.
+
+    One-port:
+    ``T = (l M/2^{k+l+1} + sum_i M/2^{k+l-i}) t_c
+        + (l ceil(M/(B_m 2^{k+l+1})) + sum_i ceil(M/(B_m 2^{k+l-i}))) tau``
+    with ``i = 0 .. k-1``.  n-port divides the splitting transfer by ``k``
+    and the packet counts by the port multiplicity.
+    """
+    if k < 0 or l < 0 or k + l > params.n:
+        raise ValueError(f"need k, l >= 0 and k + l <= n; got k={k}, l={l}")
+    B = params.packet_capacity
+    tau, t_c = params.tau, params.t_c
+    a2a_volume = M / (1 << (k + l + 1))
+    split_volumes = [M / (1 << (k + l - i)) for i in range(k)]
+    if not n_port:
+        transfer = (l * a2a_volume + sum(split_volumes)) * t_c
+        startups = (
+            l * _ceil(M, B << (k + l + 1))
+            + sum(_ceil(M, B << (k + l - i)) for i in range(k))
+        ) * tau
+        return transfer + startups
+    k_eff = max(k, 1)
+    l_eff = max(l, 1)
+    transfer = (a2a_volume + sum(split_volumes) / k_eff) * t_c
+    startups = (
+        l * _ceil(M, l_eff * B << (k + l + 1))
+        + sum(_ceil(M, k_eff * B << (k + l - i)) for i in range(k))
+    ) * tau
+    return transfer + startups
+
+
+# -- §6.1.1 SPT ------------------------------------------------------------------
+
+
+def spt_time(params: MachineParams, M: int, B: int) -> float:
+    """Pipelined SPT: ``(ceil(M/(B N)) + n - 1)(B t_c + tau)``."""
+    if B < 1:
+        raise ValueError("packet size must be at least 1")
+    N = params.num_procs
+    return (_ceil(M, B * N) + params.n - 1) * (B * params.t_c + params.tau)
+
+
+def spt_optimal_packet(params: MachineParams, M: int) -> float:
+    """``B_opt = sqrt(M tau / (N (n-1) t_c))``."""
+    N = params.num_procs
+    if params.n <= 1 or params.t_c == 0:
+        return float(M) / N
+    return math.sqrt(M * params.tau / (N * (params.n - 1) * params.t_c))
+
+
+def spt_min_time(params: MachineParams, M: int) -> float:
+    """``T_min = (sqrt(M/N t_c) + sqrt((n-1) tau))^2``."""
+    N = params.num_procs
+    return (
+        math.sqrt(M / N * params.t_c) + math.sqrt((params.n - 1) * params.tau)
+    ) ** 2
+
+
+# -- §6.1.2 DPT ------------------------------------------------------------------
+
+
+def dpt_time(params: MachineParams, M: int, B: int) -> float:
+    """``(ceil(M/(2 B N)) + n - 1)(B t_c + tau)``."""
+    if B < 1:
+        raise ValueError("packet size must be at least 1")
+    N = params.num_procs
+    return (_ceil(M, 2 * B * N) + params.n - 1) * (B * params.t_c + params.tau)
+
+
+def dpt_min_time(params: MachineParams, M: int) -> float:
+    """``T_min = (sqrt(M/(2N) t_c) + sqrt((n-1) tau))^2``."""
+    N = params.num_procs
+    return (
+        math.sqrt(M / (2 * N) * params.t_c)
+        + math.sqrt((params.n - 1) * params.tau)
+    ) ** 2
+
+
+# -- §6.1.3 MPT (Theorem 2) --------------------------------------------------------
+
+
+def mpt_time(params: MachineParams, M: int, k: int, H: int | None = None) -> float:
+    """``T = (2kH + 1)(tau + M t_c / (4 k H N))`` for the H-class.
+
+    Defaults to the anti-diagonal class ``H = n/2`` that bounds the
+    completion time.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    H = params.n // 2 if H is None else H
+    if H < 1:
+        raise ValueError("H must be at least 1")
+    N = params.num_procs
+    return (2 * k * H + 1) * (params.tau + M * params.t_c / (4 * k * H * N))
+
+
+def mpt_min_time(params: MachineParams, M: int) -> float:
+    """Theorem 2's piecewise ``T_min`` (n even).
+
+    * start-up bound (``n >= sqrt(M t_c / (N tau))``):
+      ``(n+1) tau + (n+1)/(2n) * M/N * t_c``;
+    * intermediate band: ``(n/2 + 3) tau + (n+6)/(2n+8) M/N t_c`` for
+      ``n/2`` even, ``(n/2 + 2) tau + (n+4)/(2n+4) M/N t_c`` for odd;
+    * transfer bound (``n <= sqrt(M t_c / (2 N tau))``):
+      ``(sqrt(tau) + sqrt(M t_c / (2N)))^2``.
+    """
+    n = params.n
+    if n % 2 or n == 0:
+        raise ValueError("MPT assumes an even, non-zero cube dimension")
+    N = params.num_procs
+    tau, t_c = params.tau, params.t_c
+    L = M / N
+    if tau == 0:
+        hi = lo = float("inf")
+    else:
+        hi = math.sqrt(M * t_c / (N * tau))
+        lo = math.sqrt(M * t_c / (2 * N * tau))
+    if n >= hi:
+        return (n + 1) * tau + (n + 1) / (2 * n) * L * t_c
+    if n > lo:
+        if (n // 2) % 2 == 0:
+            return (n / 2 + 3) * tau + (n + 6) / (2 * n + 8) * L * t_c
+        return (n / 2 + 2) * tau + (n + 4) / (2 * n + 4) * L * t_c
+    return (math.sqrt(tau) + math.sqrt(L * t_c / 2)) ** 2
+
+
+def mpt_optimal_packet(params: MachineParams, M: int) -> float:
+    """Theorem 2's ``B_opt`` (n even)."""
+    n = params.n
+    if n % 2 or n == 0:
+        raise ValueError("MPT assumes an even, non-zero cube dimension")
+    N = params.num_procs
+    tau, t_c = params.tau, params.t_c
+    L = M / N
+    threshold = math.sqrt(M * t_c / (2 * N * tau)) if tau else float("inf")
+    if n > threshold:
+        if (n // 2) % 2 == 0:
+            return math.ceil(L / (n + 4))
+        return math.ceil(L / (n + 2))
+    if t_c == 0:
+        return L / 2
+    return math.sqrt(M * tau / (2 * N * t_c))
+
+
+# -- §8.1 / §8.2 iPSC estimates ------------------------------------------------------
+
+
+def ipsc_one_dim_unbuffered_time(params: MachineParams, M: int) -> float:
+    """§8.1 unbuffered: grows linearly in N through the start-up count.
+
+    ``T = n M/(2N) t_c
+        + (N + ceil(M/(2 B_m N)) min(n, log2 ceil(M/(B_m N))) - M/(B_m N)) tau``
+    """
+    N = params.num_procs
+    n = params.n
+    B = params.packet_capacity
+    blocks = _ceil(M, B * N)
+    log_term = math.log2(blocks) if blocks > 1 else 0.0
+    startups = N + _ceil(M, 2 * B * N) * min(n, log_term) - M / (B * N)
+    return n * M / (2 * N) * params.t_c + max(startups, 0.0) * params.tau
+
+
+def ipsc_one_dim_buffered_time(
+    params: MachineParams, M: int, *, B_copy: int | None = None
+) -> float:
+    """§8.1 optimum buffering: start-ups grow with n, plus copy cost.
+
+    ``T = n M/(2N) t_c + M/N max(0, n - log ceil(M/(B_copy N))) t_copy
+        + (min(N, M/(B_copy N)) - min(N, M/(B_m N))
+           + ceil(M/(2 B_m N)) (min(n, log ceil(M/(B_m N)))
+              + max(0, n - log ceil(M/(B_copy N))))) tau``
+    """
+    N = params.num_procs
+    n = params.n
+    B_m = params.packet_capacity
+    if B_copy is None:
+        # Buffering copies each element twice (gather + scatter), so the
+        # break-even run length is tau / (2 t_copy).
+        B_copy = (
+            max(1, round(params.tau / (2 * params.t_copy)))
+            if params.t_copy
+            else B_m
+        )
+    blocks_m = _ceil(M, B_m * N)
+    blocks_c = _ceil(M, B_copy * N)
+    log_m = math.log2(blocks_m) if blocks_m > 1 else 0.0
+    log_c = math.log2(blocks_c) if blocks_c > 1 else 0.0
+    buffered_steps = max(0.0, n - log_c)
+    transfer = n * M / (2 * N) * params.t_c
+    copy = M / N * buffered_steps * params.t_copy
+    startups = (
+        min(N, M / (B_copy * N))
+        - min(N, M / (B_m * N))
+        + _ceil(M, 2 * B_m * N) * (min(n, log_m) + buffered_steps)
+    )
+    return transfer + copy + max(startups, 0.0) * params.tau
+
+
+def ipsc_two_dim_time(params: MachineParams, M: int) -> float:
+    """§8.2 step-by-step SPT on the iPSC:
+    ``T = (M/N t_c + ceil(M/(B_m N)) tau) n + 2 M/N t_copy``."""
+    N = params.num_procs
+    per_hop = M / N * params.t_c + _ceil(M, params.packet_capacity * N) * params.tau
+    return per_hop * params.n + 2 * M / N * params.t_copy

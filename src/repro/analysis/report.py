@@ -1,0 +1,132 @@
+"""Algorithm advisor: the paper's §9 decision procedure, as a report.
+
+Given a machine and a problem size, evaluate every applicable closed-form
+model and rank the algorithms — the practical output of the paper's
+analysis ("which partitioning and which algorithm should I use on my
+cube?").  Used by ``examples/algorithm_advisor.py`` and handy in tests
+for checking regime boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import models as md
+from repro.analysis.bounds import transpose_lower_bound
+from repro.machine.params import MachineParams, PortModel
+
+__all__ = ["AlgorithmEstimate", "estimate_transpose_options", "format_report"]
+
+
+@dataclass(frozen=True)
+class AlgorithmEstimate:
+    """One algorithm's analytic prediction for a problem instance."""
+
+    name: str
+    partitioning: str
+    time: float
+    note: str = ""
+
+
+def estimate_transpose_options(
+    params: MachineParams, M: int
+) -> list[AlgorithmEstimate]:
+    """Every applicable closed form for transposing ``M`` elements,
+    sorted fastest first."""
+    n = params.n
+    out: list[AlgorithmEstimate] = []
+    n_port = params.port_model is PortModel.N_PORT
+
+    if n_port:
+        out.append(
+            AlgorithmEstimate(
+                "all-to-all (SBnT)",
+                "1D",
+                md.all_to_all_nport_min_time(params, M),
+                "M/(2N) t_c + n tau (§3.2)",
+            )
+        )
+        if n and n % 2 == 0:
+            out.append(
+                AlgorithmEstimate(
+                    "MPT",
+                    "2D",
+                    md.mpt_min_time(params, M),
+                    "Theorem 2 piecewise minimum",
+                )
+            )
+            out.append(
+                AlgorithmEstimate(
+                    "DPT",
+                    "2D",
+                    md.dpt_min_time(params, M),
+                    "two paths, optimal packets (§6.1.2)",
+                )
+            )
+            out.append(
+                AlgorithmEstimate(
+                    "SPT (pipelined)",
+                    "2D",
+                    md.spt_min_time(params, M),
+                    "one path, optimal packets (§6.1.1)",
+                )
+            )
+    else:
+        out.append(
+            AlgorithmEstimate(
+                "exchange (buffered)",
+                "1D",
+                md.ipsc_one_dim_buffered_time(params, M),
+                "optimum buffering (§8.1)",
+            )
+        )
+        out.append(
+            AlgorithmEstimate(
+                "exchange (unbuffered)",
+                "1D",
+                md.ipsc_one_dim_unbuffered_time(params, M),
+                "start-ups ~ N (§8.1)",
+            )
+        )
+        if n and n % 2 == 0:
+            out.append(
+                AlgorithmEstimate(
+                    "SPT (step-by-step)",
+                    "2D",
+                    md.ipsc_two_dim_time(params, M),
+                    "whole-block hops + 2L t_copy (§8.2)",
+                )
+            )
+    out.sort(key=lambda e: e.time)
+    return out
+
+
+def format_report(params: MachineParams, M: int) -> str:
+    """Human-readable ranking plus the lower bound and §9 regime note."""
+    options = estimate_transpose_options(params, M)
+    bound = transpose_lower_bound(params, M)
+    lines = [
+        f"Transpose of {M} elements on {params.name} "
+        f"({params.num_procs} nodes, {params.port_model.value})",
+        f"Theorem 3 lower bound: {bound * 1e3:.3f} ms",
+        "",
+        f"{'rank':>4}  {'algorithm':24}  {'part.':>5}  {'time (ms)':>12}  note",
+    ]
+    for rank, est in enumerate(options, 1):
+        lines.append(
+            f"{rank:>4}  {est.name:24}  {est.partitioning:>5}  "
+            f"{est.time * 1e3:12.3f}  {est.note}"
+        )
+    if params.tau > 0:
+        import math
+
+        hi = math.sqrt(M * params.t_c / (params.num_procs * params.tau))
+        lines.append("")
+        if params.n >= hi:
+            regime = "start-up bound: 1D wins by about one start-up (§9)"
+        elif params.n <= hi / math.sqrt(2):
+            regime = "transfer bound: 1D wins (§9)"
+        else:
+            regime = "intermediate band: near the §9 break-even"
+        lines.append(f"regime: n = {params.n}, sqrt(M t_c/(N tau)) = {hi:.2f} -> {regime}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Bit-level coding substrate for Boolean-cube address manipulation.
+
+This subpackage implements the address arithmetic that Johnsson & Ho (1987)
+build every algorithm on: Hamming distance (Definition 4), cyclic shifts of
+bit fields (the shuffle operator :math:`sh^k` of Definition 3), bit
+reversal, and the binary-reflected Gray code :math:`G` with its inverse.
+
+All functions operate on plain Python integers interpreted as ``width``-bit
+strings, and most have vectorized NumPy counterparts (suffix ``_array``)
+used by the layout and simulation layers.
+"""
+
+from repro.codes.bits import (
+    bit,
+    bit_count,
+    bit_reverse,
+    bit_reverse_array,
+    complement_bit,
+    extract_field,
+    hamming,
+    hamming_array,
+    insert_field,
+    parity,
+    parity_array,
+    rotate_left,
+    rotate_right,
+    set_bit,
+    swap_bits,
+    to_bits,
+    from_bits,
+)
+from repro.codes.gray import (
+    gray_decode,
+    gray_decode_array,
+    gray_encode,
+    gray_encode_array,
+    gray_neighbors_differ_by_one_bit,
+    gray_to_binary_path,
+)
+from repro.codes.shuffle import (
+    max_shuffle_hamming,
+    shuffle_permutation,
+    shuffle_address,
+    unshuffle_address,
+)
+
+__all__ = [
+    "bit",
+    "bit_count",
+    "bit_reverse",
+    "bit_reverse_array",
+    "complement_bit",
+    "extract_field",
+    "from_bits",
+    "gray_decode",
+    "gray_decode_array",
+    "gray_encode",
+    "gray_encode_array",
+    "gray_neighbors_differ_by_one_bit",
+    "gray_to_binary_path",
+    "hamming",
+    "hamming_array",
+    "insert_field",
+    "max_shuffle_hamming",
+    "parity",
+    "parity_array",
+    "rotate_left",
+    "rotate_right",
+    "set_bit",
+    "shuffle_address",
+    "shuffle_permutation",
+    "swap_bits",
+    "to_bits",
+    "unshuffle_address",
+]

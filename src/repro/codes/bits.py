@@ -1,0 +1,235 @@
+"""Fixed-width bit manipulation on integer addresses.
+
+The paper encodes a matrix element ``(u, v)`` as the concatenated address
+``w = (u || v)`` of ``m = p + q`` bits, and a processor as an ``n``-bit
+address in the Boolean n-cube.  Every routing decision is a statement about
+bits of these addresses, so this module is the foundation of the rest of
+the library.
+
+Conventions
+-----------
+* Bit ``0`` is the least-significant bit, matching the paper's
+  ``(w_{m-1} w_{m-2} ... w_0)`` notation where ``w_0`` is written last.
+* All functions take an explicit ``width`` where the result depends on it
+  (rotations, reversals, complements); pure bit queries do not.
+* ``*_array`` variants operate elementwise on NumPy integer arrays and are
+  used on whole address spaces at once (vectorized per the HPC guide:
+  masks and shifts instead of Python loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bit",
+    "bit_count",
+    "bit_reverse",
+    "bit_reverse_array",
+    "complement_bit",
+    "extract_field",
+    "from_bits",
+    "hamming",
+    "hamming_array",
+    "insert_field",
+    "parity",
+    "parity_array",
+    "rotate_left",
+    "rotate_right",
+    "set_bit",
+    "swap_bits",
+    "to_bits",
+]
+
+
+def _check_width(width: int) -> None:
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+
+
+def _check_value(value: int, width: int) -> None:
+    if value < 0:
+        raise ValueError(f"address must be non-negative, got {value}")
+    if width >= 0 and value >> width:
+        raise ValueError(f"address {value:#x} does not fit in {width} bits")
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 or 1)."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def set_bit(value: int, index: int, bit_value: int) -> int:
+    """Return ``value`` with bit ``index`` forced to ``bit_value``."""
+    if bit_value not in (0, 1):
+        raise ValueError(f"bit_value must be 0 or 1, got {bit_value}")
+    mask = 1 << index
+    return (value | mask) if bit_value else (value & ~mask)
+
+
+def complement_bit(value: int, index: int) -> int:
+    """Return ``value`` with bit ``index`` complemented.
+
+    Complementing one address bit moves across one cube dimension
+    (Definition 5): node ``x`` is adjacent to ``complement_bit(x, i)`` for
+    every dimension ``i``.
+    """
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return value ^ (1 << index)
+
+
+def swap_bits(value: int, i: int, j: int) -> int:
+    """Return ``value`` with bits ``i`` and ``j`` exchanged.
+
+    This is the per-address effect of one step of the paper's exchange
+    algorithms when the element stays on the same processor.
+    """
+    bi = bit(value, i)
+    bj = bit(value, j)
+    if bi == bj:
+        return value
+    return value ^ ((1 << i) | (1 << j))
+
+
+def bit_count(value: int) -> int:
+    """Population count of a non-negative integer."""
+    if value < 0:
+        raise ValueError("bit_count requires a non-negative integer")
+    return int(value).bit_count()
+
+
+def hamming(a: int, b: int) -> int:
+    """Hamming distance between two addresses (Definition 4).
+
+    ``Hamming(w, z) = popcount(w XOR z)``; this equals the length of the
+    shortest path between nodes ``w`` and ``z`` in the Boolean cube.
+    """
+    return bit_count(a ^ b)
+
+
+def hamming_array(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+    """Elementwise Hamming distance of integer arrays (vectorized)."""
+    x = np.bitwise_xor(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
+    return _popcount_array(x)
+
+
+def _popcount_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized population count for int64 arrays via SWAR reduction."""
+    x = x.astype(np.uint64, copy=True)
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    x = x - ((x >> np.uint64(1)) & m1)
+    x = (x & m2) + ((x >> np.uint64(2)) & m2)
+    x = (x + (x >> np.uint64(4))) & m4
+    return ((x * h01) >> np.uint64(56)).astype(np.int64)
+
+
+def parity(value: int) -> int:
+    """Parity (popcount mod 2) of an address.
+
+    Used by the combined transpose/code-conversion algorithm of §6.3, where
+    column blocks with odd-parity indices undergo an extra vertical
+    exchange.
+    """
+    return bit_count(value) & 1
+
+
+def parity_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized parity of an integer array."""
+    return _popcount_array(np.asarray(values, dtype=np.int64)) & 1
+
+
+def rotate_left(value: int, k: int, width: int) -> int:
+    """Left cyclic shift of a ``width``-bit address by ``k`` positions.
+
+    This is the shuffle operator ``sh^k`` of Definition 3 applied to a
+    single address:  ``loc(w_{m-1} ... w_0) <- loc(w_{m-2} ... w_0 w_{m-1})``
+    means the *address* of the element moves by a left rotation.
+    """
+    _check_width(width)
+    _check_value(value, width)
+    if width == 0:
+        return 0
+    k %= width
+    if k == 0:
+        return value
+    mask = (1 << width) - 1
+    return ((value << k) | (value >> (width - k))) & mask
+
+
+def rotate_right(value: int, k: int, width: int) -> int:
+    """Right cyclic shift of a ``width``-bit address (``sh^{-k}``)."""
+    _check_width(width)
+    if width == 0:
+        return 0
+    return rotate_left(value, width - (k % width), width)
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the ``width``-bit representation of ``value``.
+
+    Implements the bit-reversal permutation of §7:
+    ``(x_{n-1} x_{n-2} ... x_0) <- (x_0 x_1 ... x_{n-1})``.
+    """
+    _check_width(width)
+    _check_value(value, width)
+    result = 0
+    for i in range(width):
+        result = (result << 1) | ((value >> i) & 1)
+    return result
+
+
+def bit_reverse_array(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized bit reversal of a ``width``-bit integer array."""
+    _check_width(width)
+    v = np.asarray(values, dtype=np.int64)
+    out = np.zeros_like(v)
+    for i in range(width):
+        out = (out << 1) | ((v >> i) & 1)
+    return out
+
+
+def extract_field(value: int, low: int, size: int) -> int:
+    """Extract ``size`` bits of ``value`` starting at bit ``low``.
+
+    Address-field slicing: the paper repeatedly partitions an ``m``-bit
+    element address into real-processor (``rp``) and virtual-processor
+    (``vp``) subfields; this is the primitive those partitions use.
+    """
+    if low < 0 or size < 0:
+        raise ValueError("field bounds must be non-negative")
+    return (value >> low) & ((1 << size) - 1)
+
+
+def insert_field(value: int, low: int, size: int, field: int) -> int:
+    """Return ``value`` with bits ``[low, low+size)`` replaced by ``field``."""
+    if low < 0 or size < 0:
+        raise ValueError("field bounds must be non-negative")
+    _check_value(field, size)
+    mask = ((1 << size) - 1) << low
+    return (value & ~mask) | (field << low)
+
+
+def to_bits(value: int, width: int) -> tuple[int, ...]:
+    """Return the bits of ``value`` as a tuple, most-significant first.
+
+    Matches the paper's written order ``(w_{m-1} w_{m-2} ... w_0)``.
+    """
+    _check_width(width)
+    _check_value(value, width)
+    return tuple((value >> i) & 1 for i in range(width - 1, -1, -1))
+
+
+def from_bits(bits: tuple[int, ...] | list[int]) -> int:
+    """Inverse of :func:`to_bits`: assemble an integer from MSB-first bits."""
+    value = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {b}")
+        value = (value << 1) | b
+    return value

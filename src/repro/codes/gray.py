@@ -1,0 +1,110 @@
+"""Binary-reflected Gray code.
+
+The paper (following Reingold, Nievergelt & Deo [16]) embeds matrix rows
+and columns in the cube either by the identity ("binary") encoding or by
+the binary-reflected Gray code ``G``, which maps consecutive integers to
+addresses at Hamming distance one and therefore preserves proximity of
+adjacent rows/columns in the cube.
+
+``G(w) = w XOR (w >> 1)`` and the inverse ``G^{-1}`` is a prefix-XOR scan.
+Conversion between the two encodings on a cube takes ``n - 1`` routing
+steps (§2); :func:`gray_to_binary_path` produces the per-step dimension
+schedule used by the conversion and by the combined algorithm of §6.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gray_encode",
+    "gray_decode",
+    "gray_encode_array",
+    "gray_decode_array",
+    "gray_neighbors_differ_by_one_bit",
+    "gray_to_binary_path",
+]
+
+
+def gray_encode(value: int) -> int:
+    """Binary-reflected Gray code ``G(value)``."""
+    if value < 0:
+        raise ValueError("Gray code is defined for non-negative integers")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse Gray code ``G^{-1}(code)`` via prefix XOR."""
+    if code < 0:
+        raise ValueError("Gray code is defined for non-negative integers")
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+def gray_encode_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``G`` over an integer array."""
+    v = np.asarray(values, dtype=np.int64)
+    return v ^ (v >> 1)
+
+
+def gray_decode_array(codes: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized ``G^{-1}`` for ``width``-bit codes.
+
+    Uses the logarithmic prefix-XOR trick: ``x ^= x >> 1; x ^= x >> 2; ...``
+    doubling the shift until it covers ``width`` bits.
+    """
+    x = np.asarray(codes, dtype=np.int64).copy()
+    shift = 1
+    while shift < max(width, 1):
+        x ^= x >> shift
+        shift <<= 1
+    return x
+
+
+def gray_neighbors_differ_by_one_bit(width: int) -> bool:
+    """Check the defining adjacency property of ``G`` on ``width`` bits.
+
+    Returns True iff ``Hamming(G(i), G(i+1)) == 1`` for all consecutive
+    ``i`` in ``[0, 2^width - 1)``.  Exposed primarily for tests and for
+    documentation of the embedding property the paper relies on.
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if width == 0:
+        return True
+    idx = np.arange((1 << width) - 1, dtype=np.int64)
+    g = gray_encode_array(idx)
+    g_next = gray_encode_array(idx + 1)
+    diff = g ^ g_next
+    # A power of two has a single set bit: diff & (diff - 1) == 0, diff != 0.
+    return bool(np.all((diff != 0) & ((diff & (diff - 1)) == 0)))
+
+
+def gray_to_binary_path(code: int, width: int) -> list[int]:
+    """Addresses visited converting Gray-coded ``code`` to binary, MSB-down.
+
+    The paper's §6.3 observes that the binary-to-Gray (and inverse)
+    conversion can proceed from the most significant bit to the least:
+    after step ``j`` the top ``width - j`` bits agree with the target
+    encoding.  The returned list starts at ``code`` and ends at
+    ``gray_decode(code)``; consecutive entries differ in exactly one bit,
+    so the list is a cube path of length at most ``width - 1``.
+    """
+    if code < 0:
+        raise ValueError("code must be non-negative")
+    if code >> width:
+        raise ValueError(f"code {code:#x} does not fit in {width} bits")
+    path = [code]
+    current = code
+    target = gray_decode(code)
+    # Fix bits from the second-most-significant downward; bit width-1 of
+    # G(w) already equals bit width-1 of w.
+    for j in range(width - 2, -1, -1):
+        desired = (target >> j) & 1
+        if ((current >> j) & 1) != desired:
+            current ^= 1 << j
+            path.append(current)
+    return path

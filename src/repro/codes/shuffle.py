@@ -1,0 +1,84 @@
+"""Shuffle operators on whole address spaces (Definition 3, Lemmas 1-3).
+
+A shuffle ``sh^1`` is a one-step left cyclic shift of the ``m``-bit address
+of every element: ``loc(w_{m-1} ... w_0) <- loc(w_{m-2} ... w_0 w_{m-1})``.
+Lemma 1 states that a ``2^p x 2^q`` matrix satisfies ``A^T = sh^p A``
+(equivalently ``sh^{-q} A``); the exchange algorithms in the paper are
+communication-efficient realizations of such shuffles on a cube.
+
+Lemma 2/3 bound the Hamming distance an address can move under ``sh^k``:
+
+    max_w Hamming(w, sh^k w) = m            if m / gcd(m, k) is even,
+                               m - gcd(m,k) if m / gcd(m, k) is odd.
+
+:func:`max_shuffle_hamming` implements the closed form; the tests verify it
+against exhaustive search.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.codes.bits import rotate_left, rotate_right
+
+__all__ = [
+    "shuffle_address",
+    "unshuffle_address",
+    "shuffle_permutation",
+    "max_shuffle_hamming",
+]
+
+
+def shuffle_address(value: int, width: int, k: int = 1) -> int:
+    """Address reached by element ``value`` after ``k`` shuffles ``sh^k``.
+
+    Under the paper's convention the element at location ``w`` moves to the
+    location whose address is the left rotation of ``w``; i.e. the *new*
+    address of datum originally at ``w`` is ``rotate_left(w, k, width)``.
+    """
+    return rotate_left(value, k, width)
+
+
+def unshuffle_address(value: int, width: int, k: int = 1) -> int:
+    """Address reached after ``k`` unshuffles ``sh^{-k}`` (right rotation)."""
+    return rotate_right(value, k, width)
+
+
+def shuffle_permutation(width: int, k: int = 1) -> np.ndarray:
+    """Permutation array ``perm`` with ``perm[w] = sh^k(w)`` for all ``w``.
+
+    The returned array has length ``2^width``; applying it to a flat data
+    vector ``data[perm] = data`` realizes the shuffle on the full address
+    space.  Vectorized: a rotation is two shifts and a mask.
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    size = 1 << width
+    w = np.arange(size, dtype=np.int64)
+    if width == 0:
+        return w
+    kk = k % width
+    if kk == 0:
+        return w
+    mask = size - 1
+    return ((w << kk) | (w >> (width - kk))) & mask
+
+
+def max_shuffle_hamming(width: int, k: int) -> int:
+    """Closed form of Lemma 2: ``max_w Hamming(w, sh^k w)``.
+
+    The bits split into ``gcd(m, k)`` independent cycles of length
+    ``m / gcd(m, k)``; on an even cycle an alternating pattern flips every
+    bit, on an odd cycle one bit per cycle must survive.
+    """
+    if width <= 0:
+        return 0
+    k %= width
+    if k == 0:
+        return 0
+    g = math.gcd(width, k)
+    if (width // g) % 2 == 0:
+        return width
+    return width - g

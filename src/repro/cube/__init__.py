@@ -1,0 +1,58 @@
+"""Boolean n-cube topology substrate.
+
+Implements Definition 5 of the paper (node adjacency), the Saad-Schultz
+disjoint-path property used by the multi-path transpose algorithms, the
+spanning-tree families used by the personalized-communication algorithms
+(spanning binomial trees — plain, rotated, reflected, translated — and
+spanning balanced n-trees), and the SPT/DPT/MPT path families of §6.1.
+"""
+
+from repro.cube.topology import (
+    dimension_of_edge,
+    disjoint_paths,
+    ecube_route,
+    is_edge,
+    neighbors,
+    num_nodes,
+    path_dims_to_nodes,
+    subcube_nodes,
+)
+from repro.cube.trees import (
+    SpanningTree,
+    rotation_base,
+    sbnt_route_dims,
+    spanning_balanced_tree,
+    spanning_binomial_tree,
+)
+from repro.cube.paths import (
+    anti_diagonal_class,
+    dpt_paths,
+    mpt_paths,
+    same_set_relation,
+    spt_path,
+    transpose_partner,
+    transpose_routing_dims,
+)
+
+__all__ = [
+    "SpanningTree",
+    "anti_diagonal_class",
+    "dimension_of_edge",
+    "disjoint_paths",
+    "dpt_paths",
+    "ecube_route",
+    "is_edge",
+    "mpt_paths",
+    "neighbors",
+    "num_nodes",
+    "path_dims_to_nodes",
+    "rotation_base",
+    "same_set_relation",
+    "sbnt_route_dims",
+    "spanning_balanced_tree",
+    "spanning_binomial_tree",
+    "spt_path",
+    "subcube_nodes",
+    "transpose_partner",
+    "transpose_routing_dims",
+]

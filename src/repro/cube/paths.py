@@ -1,0 +1,189 @@
+"""SPT / DPT / MPT path families for the two-dimensional transpose (§6.1).
+
+For an even-dimensional cube (``n = 2 n_c``) with node ``x = (x_r || x_c)``
+the transpose partner is ``tr(x) = (x_c || x_r)``, at distance
+``2 H(x)`` where ``H(x) = Hamming(x_r, x_c)``.  The three algorithms use
+1, 2 and ``2 H(x)`` directed edge-disjoint paths between each pair:
+
+* **SPT** routes dimensions in descending pair order
+  ``alpha_{H-1}, beta_{H-1}, ..., alpha_0, beta_0`` where ``alpha_i`` are
+  the differing row-field dimensions (descending) and ``beta_i`` the
+  matching column-field dimensions.
+* **DPT** adds the pairwise-permuted order (``beta`` before ``alpha``).
+* **MPT** uses all ``2 H(x)`` rotations of these two orders; the paper
+  proves the resulting path set is (2, 2H(x))-disjoint across each
+  equivalence class of the relation ``~_s`` (same anti-diagonal and same
+  ``x XOR tr(x)``), and fully edge-disjoint across classes.
+"""
+
+from __future__ import annotations
+
+from repro.codes.bits import bit
+
+__all__ = [
+    "transpose_partner",
+    "transpose_hamming",
+    "transpose_routing_dims",
+    "spt_path",
+    "dpt_paths",
+    "mpt_paths",
+    "mpt_path_dims",
+    "anti_diagonal_class",
+    "same_set_relation",
+]
+
+
+def _check_even(n: int) -> int:
+    if n < 0 or n % 2:
+        raise ValueError(f"two-dimensional transpose needs an even cube, got n={n}")
+    return n // 2
+
+
+def transpose_partner(x: int, n: int) -> int:
+    """``tr(x) = (x_c || x_r)``: exchange the two halves of the address."""
+    half = _check_even(n)
+    mask = (1 << half) - 1
+    return ((x & mask) << half) | (x >> half)
+
+
+def transpose_hamming(x: int, n: int) -> int:
+    """``H(x) = Hamming(x_r, x_c)``; the cube distance to ``tr(x)`` is 2H."""
+    half = _check_even(n)
+    mask = (1 << half) - 1
+    return int(((x >> half) ^ (x & mask)).bit_count())
+
+
+def transpose_routing_dims(x: int, n: int) -> tuple[list[int], list[int]]:
+    """The dimension pairs that must be routed, descending.
+
+    Returns ``(alphas, betas)`` with ``alphas[i]`` in the row field
+    (``>= n/2``) and ``betas[i]`` the matching column-field dimension;
+    index ``H-1`` (first entry) is the highest-order differing pair, so
+    ``alphas == [alpha_{H-1}, ..., alpha_0]`` in the paper's notation.
+    """
+    half = _check_even(n)
+    alphas: list[int] = []
+    betas: list[int] = []
+    for k in range(half - 1, -1, -1):
+        if bit(x, k + half) != bit(x, k):
+            alphas.append(k + half)
+            betas.append(k)
+    return alphas, betas
+
+
+def spt_path(x: int, n: int) -> list[int]:
+    """SPT dimension order: ``alpha_{H-1}, beta_{H-1}, ..., alpha_0, beta_0``."""
+    alphas, betas = transpose_routing_dims(x, n)
+    dims: list[int] = []
+    for a, b in zip(alphas, betas):
+        dims.append(a)
+        dims.append(b)
+    return dims
+
+
+def spt_itinerary(x: int, n: int) -> list[int | None]:
+    """SPT dimension schedule padded to the global synchronized order.
+
+    The routing order is the same for all nodes —
+    ``g(n/2-1), f(n/2-1), ..., g(0), f(0)`` — and a node idles in the
+    slots whose dimension it does not need ("the packet with the same
+    ordinal number of all the nodes uses the same dimension (or idles)
+    during the same step", §6.1.1).  Entry ``s`` is the cube dimension to
+    cross at relative cycle ``s`` or ``None`` to hold position.
+    """
+    half = _check_even(n)
+    slots: list[int | None] = []
+    for k in range(half - 1, -1, -1):
+        differs = bit(x, k + half) != bit(x, k)
+        slots.append(k + half if differs else None)
+        slots.append(k if differs else None)
+    return slots
+
+
+def dpt_itineraries(x: int, n: int) -> list[list[int | None]]:
+    """The two DPT schedules in the global synchronized order.
+
+    The second path permutes each (row, column) dimension pair, giving
+    the order ``f(n/2-1), g(n/2-1), ..., f(0), g(0)``.
+    """
+    half = _check_even(n)
+    first = spt_itinerary(x, n)
+    second: list[int | None] = []
+    for k in range(half - 1, -1, -1):
+        differs = bit(x, k + half) != bit(x, k)
+        second.append(k if differs else None)
+        second.append(k + half if differs else None)
+    if all(s is None for s in first):
+        return []
+    return [first, second]
+
+
+def mpt_path_dims(x: int, n: int, p: int) -> list[int]:
+    """Dimension order of MPT path ``p`` of node ``x``.
+
+    For ``0 <= p < H`` the order is
+    ``alpha_{(p+H-1) mod H}, beta_{(p+H-1) mod H}, ..., alpha_p, beta_p``
+    (indices in the paper's *ascending-subscript* convention, i.e. our
+    ``alphas[H-1-i]``); for ``H <= p < 2H`` the roles of alpha and beta
+    are swapped with ``j = p - H``.
+    """
+    alphas, betas = transpose_routing_dims(x, n)
+    h = len(alphas)
+    if h == 0:
+        if p == 0:
+            return []
+        raise ValueError(f"node {x:#x} is its own transpose partner")
+    if not 0 <= p < 2 * h:
+        raise ValueError(f"path index {p} outside [0, {2 * h})")
+    # alphas[i] holds subscript H-1-i; subscript s maps to list index H-1-s.
+    def a(s: int) -> int:
+        return alphas[h - 1 - s]
+
+    def b(s: int) -> int:
+        return betas[h - 1 - s]
+
+    dims: list[int] = []
+    if p < h:
+        for step in range(h):
+            s = (p + h - 1 - step) % h
+            dims.append(a(s))
+            dims.append(b(s))
+    else:
+        j = p - h
+        for step in range(h):
+            s = (j + h - 1 - step) % h
+            dims.append(b(s))
+            dims.append(a(s))
+    return dims
+
+
+def mpt_paths(x: int, n: int) -> list[list[int]]:
+    """All ``2 H(x)`` MPT dimension orders for node ``x``."""
+    h = transpose_hamming(x, n)
+    return [mpt_path_dims(x, n, p) for p in range(2 * h)]
+
+
+def dpt_paths(x: int, n: int) -> list[list[int]]:
+    """The two DPT dimension orders (MPT paths 0 and H)."""
+    h = transpose_hamming(x, n)
+    if h == 0:
+        return []
+    return [mpt_path_dims(x, n, 0), mpt_path_dims(x, n, h)]
+
+
+def anti_diagonal_class(x: int, n: int) -> int:
+    """Invariant of the relation ``~_ad``: ``x_r + x_c`` (Definition 12)."""
+    half = _check_even(n)
+    mask = (1 << half) - 1
+    return (x >> half) + (x & mask)
+
+
+def same_set_relation(x: int, n: int) -> tuple[int, int]:
+    """Invariant of the relation ``~_s`` (Definition 15).
+
+    ``x' ~_s x''`` iff they lie on the same anti-diagonal *and*
+    ``x' XOR tr(x') == x'' XOR tr(x'')``; nodes in the same class share
+    their MPT edge set in a (2, 2H)-disjoint schedule, while classes are
+    mutually edge-disjoint (Lemma 13).
+    """
+    return anti_diagonal_class(x, n), x ^ transpose_partner(x, n)

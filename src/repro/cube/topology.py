@@ -1,0 +1,148 @@
+"""Boolean n-cube adjacency, routes and subcubes (Definition 5).
+
+A Boolean n-cube has ``N = 2^n`` nodes; node ``x`` is adjacent to the
+``n`` nodes obtained by complementing one address bit.  Between any pair
+``(x, y)`` there are ``n`` parallel paths: ``Hamming(x, y)`` of length
+``Hamming(x, y)`` and ``n - Hamming(x, y)`` of length
+``Hamming(x, y) + 2`` (Saad & Schultz [18]); the transpose algorithms
+exploit these for bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.codes.bits import bit, hamming
+
+__all__ = [
+    "num_nodes",
+    "neighbors",
+    "is_edge",
+    "dimension_of_edge",
+    "ecube_route",
+    "path_dims_to_nodes",
+    "disjoint_paths",
+    "subcube_nodes",
+]
+
+
+def num_nodes(n: int) -> int:
+    """Number of nodes ``N = 2^n`` of an n-cube."""
+    if n < 0:
+        raise ValueError(f"cube dimension must be non-negative, got {n}")
+    return 1 << n
+
+
+def neighbors(x: int, n: int) -> list[int]:
+    """All cube neighbours of node ``x``, lowest dimension first."""
+    _check_node(x, n)
+    return [x ^ (1 << d) for d in range(n)]
+
+
+def is_edge(a: int, b: int, n: int | None = None) -> bool:
+    """True iff ``a`` and ``b`` are adjacent in the cube."""
+    if n is not None:
+        _check_node(a, n)
+        _check_node(b, n)
+    diff = a ^ b
+    return diff != 0 and (diff & (diff - 1)) == 0
+
+
+def dimension_of_edge(a: int, b: int) -> int:
+    """Cube dimension crossed by the edge ``(a, b)``."""
+    diff = a ^ b
+    if diff == 0 or diff & (diff - 1):
+        raise ValueError(f"nodes {a:#x} and {b:#x} are not cube neighbours")
+    return diff.bit_length() - 1
+
+
+def ecube_route(src: int, dst: int, n: int, *, ascending: bool = True) -> list[int]:
+    """Dimension-ordered ("e-cube") route from ``src`` to ``dst``.
+
+    Returns the list of nodes visited, starting at ``src`` and ending at
+    ``dst``.  Dimensions are corrected in ascending (default) or
+    descending order; this is the oblivious routing used by the iPSC and
+    Connection Machine routing logic the paper benchmarks against.
+    """
+    _check_node(src, n)
+    _check_node(dst, n)
+    dims = [d for d in range(n) if bit(src, d) != bit(dst, d)]
+    if not ascending:
+        dims.reverse()
+    return path_dims_to_nodes(src, dims)
+
+
+def path_dims_to_nodes(src: int, dims: list[int]) -> list[int]:
+    """Expand a dimension sequence into the node sequence it visits."""
+    nodes = [src]
+    current = src
+    for d in dims:
+        current ^= 1 << d
+        nodes.append(current)
+    return nodes
+
+
+def disjoint_paths(src: int, dst: int, n: int) -> list[list[int]]:
+    """The ``n`` pairwise node-disjoint paths between ``src`` and ``dst``.
+
+    Construction (standard): let ``D`` be the set of differing dimensions,
+    ``H = |D|``.  For the i-th differing dimension ``d`` the path crosses
+    the dimensions of ``D`` in cyclic order starting at ``d`` (length
+    ``H``).  For a non-differing dimension ``d`` the path first crosses
+    ``d``, then all of ``D`` in ascending order, then ``d`` again (length
+    ``H + 2``).  Interior nodes of distinct paths are distinct.
+    """
+    _check_node(src, n)
+    _check_node(dst, n)
+    if src == dst:
+        raise ValueError("disjoint paths require distinct endpoints")
+    diff_dims = [d for d in range(n) if bit(src, d) != bit(dst, d)]
+    h = len(diff_dims)
+    paths: list[list[int]] = []
+    for i in range(h):
+        dims = diff_dims[i:] + diff_dims[:i]
+        paths.append(path_dims_to_nodes(src, dims))
+    for d in range(n):
+        if bit(src, d) == bit(dst, d):
+            dims = [d, *diff_dims, d]
+            paths.append(path_dims_to_nodes(src, dims))
+    return paths
+
+
+def subcube_nodes(n: int, fixed: dict[int, int]) -> list[int]:
+    """Nodes of the subcube where dimension ``d`` is pinned to ``fixed[d]``.
+
+    The remaining ``n - len(fixed)`` dimensions range freely; nodes are
+    returned in increasing address order.  Used by the all-to-some
+    algorithms, which operate concurrently within ``2^k`` subcubes.
+    """
+    for d, v in fixed.items():
+        if not 0 <= d < n:
+            raise ValueError(f"dimension {d} outside cube of dimension {n}")
+        if v not in (0, 1):
+            raise ValueError(f"pinned value must be 0 or 1, got {v}")
+    free = [d for d in range(n) if d not in fixed]
+    base = 0
+    for d, v in fixed.items():
+        base |= v << d
+    nodes = []
+    for combo in range(1 << len(free)):
+        x = base
+        for j, d in enumerate(free):
+            x |= ((combo >> j) & 1) << d
+        nodes.append(x)
+    return sorted(nodes)
+
+
+def _check_node(x: int, n: int) -> None:
+    if x < 0 or x >> n:
+        raise ValueError(f"node {x:#x} outside {n}-cube")
+
+
+def diameter_pairs(n: int) -> list[tuple[int, int]]:
+    """All ordered antipodal pairs ``(x, x XOR (N-1))`` of the n-cube."""
+    mask = (1 << n) - 1
+    return [(x, x ^ mask) for x in range(1 << n)]
+
+
+def distance(a: int, b: int) -> int:
+    """Shortest-path distance in the cube (= Hamming distance)."""
+    return hamming(a, b)

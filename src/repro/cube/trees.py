@@ -1,0 +1,263 @@
+"""Spanning trees of the Boolean cube (§3 of the paper).
+
+Two families matter for personalized communication:
+
+* the **spanning binomial tree** (SBT): children of a node are obtained by
+  complementing *leading* zeroes of its relative address (the *reflected*
+  SBT complements trailing zeroes).  One-port one-to-all personalized
+  communication routed by an SBT is within a factor of two of the lower
+  bound; ``n`` *rotated* SBTs achieve the n-port lower bound order.
+* the **spanning balanced n-tree** (SBnT, Ho & Johnsson [5,6,7]): the
+  ``N - 1`` non-root nodes are divided among the ``n`` ports nearly
+  evenly, keyed by the *base* of the relative address (the rotation count
+  that minimizes its value).  SBnT routing gives n-port one-to-all and
+  all-to-all personalized communication within a small constant of the
+  lower bound.
+
+Trees are value objects: ``parent[x]`` / ``children[x]`` maps over node
+addresses, plus derived queries (depth, subtree sizes, root-to-node path).
+Rotation (Definition 8), reflection (Definition 9) and translation (§3.2)
+are provided as constructors/transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codes.bits import bit_count, rotate_left, rotate_right
+from repro.cube.topology import dimension_of_edge, num_nodes
+
+__all__ = [
+    "SpanningTree",
+    "spanning_binomial_tree",
+    "spanning_balanced_tree",
+    "rotation_base",
+    "sbnt_route_dims",
+]
+
+
+@dataclass(frozen=True)
+class SpanningTree:
+    """A rooted spanning tree of the n-cube, stored as a parent map.
+
+    ``parent[x]`` is the parent address of node ``x`` (and
+    ``parent[root] == root``).  Every tree edge must be a cube edge; the
+    constructor verifies this, so an ill-formed routing construction fails
+    fast rather than producing unroutable schedules.
+    """
+
+    n: int
+    root: int
+    parent: tuple[int, ...]
+    _children: dict[int, list[int]] = field(
+        default=None, compare=False, repr=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        size = num_nodes(self.n)
+        if len(self.parent) != size:
+            raise ValueError(
+                f"parent map has {len(self.parent)} entries, expected {size}"
+            )
+        if self.parent[self.root] != self.root:
+            raise ValueError("root must be its own parent")
+        children: dict[int, list[int]] = {x: [] for x in range(size)}
+        for x in range(size):
+            if x == self.root:
+                continue
+            p = self.parent[x]
+            dimension_of_edge(x, p)  # raises if not a cube edge
+            children[p].append(x)
+        # Reachability check: walking parents from any node must hit root.
+        for x in range(size):
+            seen = 0
+            y = x
+            while y != self.root:
+                y = self.parent[y]
+                seen += 1
+                if seen > size:
+                    raise ValueError(f"cycle detected walking parents from {x}")
+        object.__setattr__(self, "_children", children)
+
+    # -- queries ---------------------------------------------------------
+
+    def children(self, x: int) -> list[int]:
+        """Children of ``x``, in insertion (address) order."""
+        return list(self._children[x])
+
+    def depth(self, x: int) -> int:
+        """Number of edges from the root to ``x``."""
+        d = 0
+        while x != self.root:
+            x = self.parent[x]
+            d += 1
+        return d
+
+    def height(self) -> int:
+        """Maximum depth over all nodes."""
+        return max(self.depth(x) for x in range(num_nodes(self.n)))
+
+    def path_from_root(self, x: int) -> list[int]:
+        """Node sequence from the root down to ``x`` (inclusive)."""
+        rev = [x]
+        while x != self.root:
+            x = self.parent[x]
+            rev.append(x)
+        return rev[::-1]
+
+    def subtree_nodes(self, x: int) -> list[int]:
+        """All nodes in the subtree rooted at ``x`` (including ``x``)."""
+        out = []
+        stack = [x]
+        while stack:
+            y = stack.pop()
+            out.append(y)
+            stack.extend(self._children[y])
+        return out
+
+    def subtree_size(self, x: int) -> int:
+        return len(self.subtree_nodes(x))
+
+    def port_of_root_child(self, child: int) -> int:
+        """Cube dimension connecting the root to one of its children."""
+        return dimension_of_edge(self.root, child)
+
+    def root_subtree_sizes(self) -> dict[int, int]:
+        """Map from root port (dimension) to size of the subtree behind it.
+
+        For the SBT the subtree behind dimension ``d`` contains half,
+        quarter, ... of the nodes; for the SBnT all entries are within a
+        small additive term of ``(N - 1) / n``.
+        """
+        return {
+            self.port_of_root_child(c): self.subtree_size(c)
+            for c in self._children[self.root]
+        }
+
+    # -- transformations --------------------------------------------------
+
+    def translate(self, s: int) -> "SpanningTree":
+        """Tree with every address XOR-ed by ``s`` (§3.2 *translation*).
+
+        The exchange all-to-all algorithm routes from every node along the
+        translation of the tree rooted at node 0.
+        """
+        size = num_nodes(self.n)
+        parent = [0] * size
+        for x in range(size):
+            parent[x ^ s] = self.parent[x] ^ s
+        return SpanningTree(self.n, self.root ^ s, tuple(parent))
+
+    def rotate(self, k: int) -> "SpanningTree":
+        """Tree with every address left-rotated by ``k`` (Definition 8)."""
+        size = num_nodes(self.n)
+        parent = [0] * size
+        for x in range(size):
+            parent[rotate_left(x, k, self.n)] = rotate_left(
+                self.parent[x], k, self.n
+            )
+        return SpanningTree(
+            self.n, rotate_left(self.root, k, self.n), tuple(parent)
+        )
+
+
+def spanning_binomial_tree(
+    n: int, root: int = 0, *, reflected: bool = False, rotation: int = 0
+) -> SpanningTree:
+    """Spanning binomial tree rooted at ``root``.
+
+    In relative coordinates (``d = x XOR root``) the parent of ``d != 0``
+    clears its highest set bit; the *reflected* variant clears the lowest
+    set bit (Definition 9's bit-reversal of the plain tree).  ``rotation``
+    applies ``sh^rotation`` to all relative addresses (Definition 8),
+    yielding the rotated SBTs used for n-port one-to-all personalized
+    communication.
+    """
+    size = num_nodes(n)
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside {n}-cube")
+    parent = [0] * size
+    for x in range(size):
+        d = rotate_right(x ^ root, rotation, n) if rotation else (x ^ root)
+        if d == 0:
+            parent[x] = x
+            continue
+        if reflected:
+            pd = d & (d - 1)  # clear lowest set bit
+        else:
+            pd = d ^ (1 << (d.bit_length() - 1))  # clear highest set bit
+        pd = rotate_left(pd, rotation, n) if rotation else pd
+        parent[x] = pd ^ root
+    return SpanningTree(n, root, tuple(parent))
+
+
+def rotation_base(value: int, n: int) -> int:
+    """The *base* of a non-zero relative address (SBnT port selector).
+
+    Defined in the paper's SBnT pseudocode as "the minimum number of right
+    rotations of ``value`` which yields the minimum value among all
+    rotations".  Bit ``base(value)`` of ``value`` is always 1 (the minimal
+    rotation representative of a non-zero word is odd), so the base is a
+    usable first routing dimension.
+    """
+    if value <= 0:
+        raise ValueError("base is defined for positive relative addresses")
+    if value >> n:
+        raise ValueError(f"address {value:#x} outside {n}-cube")
+    best_k = 0
+    best_v = value
+    for k in range(1, n):
+        v = rotate_right(value, k, n)
+        if v < best_v:
+            best_v = v
+            best_k = k
+    return best_k
+
+
+def sbnt_route_dims(rel: int, n: int) -> list[int]:
+    """Dimension order of the SBnT route for relative address ``rel``.
+
+    The route crosses the set bits of ``rel`` in *ascending cyclic* order
+    starting from ``base(rel)``: the paper's router complements, at each
+    hop arriving over dimension ``j``, the nearest 1-bit of the remaining
+    relative address to the left of ``j`` (cyclically).
+    """
+    if rel == 0:
+        return []
+    b = rotation_base(rel, n)
+    dims = [b]
+    remaining = rel ^ (1 << b)
+    j = b
+    while remaining:
+        p = None
+        for step in range(1, n + 1):
+            cand = (j + step) % n
+            if (remaining >> cand) & 1:
+                p = cand
+                break
+        assert p is not None
+        dims.append(p)
+        remaining ^= 1 << p
+        j = p
+    return dims
+
+
+def spanning_balanced_tree(n: int, root: int = 0) -> SpanningTree:
+    """Spanning balanced n-tree (SBnT) rooted at ``root``.
+
+    The tree is the union of the SBnT routes from the root to every node;
+    node ``x``'s parent is the penultimate node of its route.  The root's
+    n subtrees have nearly equal size, which is what buys the factor-n
+    transfer-time speedup for n-port communication.
+    """
+    size = num_nodes(n)
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside {n}-cube")
+    parent = [0] * size
+    parent[root] = root
+    for x in range(size):
+        if x == root:
+            continue
+        dims = sbnt_route_dims(x ^ root, n)
+        parent[x] = x ^ (1 << dims[-1])
+    return SpanningTree(n, root, tuple(parent))

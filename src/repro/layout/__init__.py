@@ -1,0 +1,44 @@
+"""Data layouts: how a ``2^p x 2^q`` matrix is spread over the cube.
+
+Implements §2 of the paper: one- and two-dimensional partitionings, with
+*cyclic*, *consecutive* or *combined* assignment, processor address fields
+encoded in *binary* or *binary-reflected Gray code* (Tables 1 and 2), and
+the real-processor / virtual-processor address-field algebra (the sets
+``R_b``, ``R_a`` and ``I`` that classify the communication a transpose
+requires).
+"""
+
+from repro.layout.fields import Layout, ProcField
+from repro.layout.partition import (
+    column_cyclic,
+    column_consecutive,
+    combined_contiguous,
+    row_cyclic,
+    row_consecutive,
+    two_dim_cyclic,
+    two_dim_consecutive,
+    two_dim_mixed,
+)
+from repro.layout.matrix import DistributedMatrix
+from repro.layout.classify import (
+    CommClass,
+    classify_transpose,
+    dims_after_transpose,
+)
+
+__all__ = [
+    "CommClass",
+    "DistributedMatrix",
+    "Layout",
+    "ProcField",
+    "classify_transpose",
+    "column_consecutive",
+    "column_cyclic",
+    "combined_contiguous",
+    "dims_after_transpose",
+    "row_consecutive",
+    "row_cyclic",
+    "two_dim_consecutive",
+    "two_dim_cyclic",
+    "two_dim_mixed",
+]

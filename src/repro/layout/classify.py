@@ -1,0 +1,115 @@
+"""Communication classification of a transpose (§2 and §3 of the paper).
+
+The transpose of a matrix laid out by ``before`` into a matrix laid out by
+``after`` moves element ``w = (u || v)`` to the owner that ``after``
+assigns to the transposed address ``w' = (v || u)``.  Which *kind* of
+personalized communication this requires depends only on the relation
+between the element-address dimension sets
+
+* ``R_b``  — dimensions that select the owner before, and
+* ``R_a``  — dimensions (expressed in the *original* address space) that
+  select the owner after,
+
+and their intersection ``I = R_b ∩ R_a``:
+
+* ``R_a == R_b``                         → pairwise (distinct source/
+  destination pairs; the basic two-dimensional transpose, §6.1);
+* ``I = ∅`` and ``|R_a| == |R_b|``       → all-to-all personalized
+  communication (every one-dimensional transpose, §5);
+* ``I = ∅`` and ``|R_a| > |R_b|``        → some-to-all (data splitting);
+* ``I = ∅`` and ``|R_a| < |R_b|``        → all-to-some (data accumulation);
+* otherwise (``I`` a proper subset)      → mixed (treated in [4], the
+  companion "Dimension Permutation" report).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.layout.fields import Layout
+
+__all__ = ["CommClass", "TransposePlanInfo", "classify_transpose", "dims_after_transpose"]
+
+
+class CommClass(enum.Enum):
+    LOCAL = "local"
+    PAIRWISE = "pairwise"
+    ALL_TO_ALL = "all-to-all"
+    SOME_TO_ALL = "some-to-all"
+    ALL_TO_SOME = "all-to-some"
+    MIXED = "mixed"
+
+
+def dims_after_transpose(after: Layout) -> tuple[int, ...]:
+    """The after-layout's processor dimensions in the original address frame.
+
+    ``after`` is a layout of the transposed (``2^q x 2^p``) matrix, whose
+    address space is ``w' = (v || u)``: position ``j < p`` of ``w'`` holds
+    ``u_j`` (original position ``q + j``) and position ``j >= p`` holds
+    ``v_{j - p}`` (original position ``j - p``).
+    """
+    p = after.q  # after.q is the original p
+    mapped = []
+    for j in after.proc_dims:
+        mapped.append(q_plus(j, p, after))
+    return tuple(mapped)
+
+
+def q_plus(j: int, p: int, after: Layout) -> int:
+    """Map one after-frame dimension to the original frame."""
+    q = after.p  # after.p is the original q
+    if j < p:
+        return q + j
+    return j - p
+
+
+@dataclass(frozen=True)
+class TransposePlanInfo:
+    """Result of classifying a (before, after) transpose pair."""
+
+    comm_class: CommClass
+    r_before: frozenset[int]
+    r_after: frozenset[int]
+    intersection: frozenset[int]
+
+    @property
+    def k(self) -> int:
+        """Splitting/accumulation steps ``| |R_b| - |R_a| |`` (§3.3)."""
+        return abs(len(self.r_before) - len(self.r_after))
+
+    @property
+    def l(self) -> int:
+        """All-to-all steps ``min(|R_b|, |R_a|)`` (§3.3)."""
+        return min(len(self.r_before), len(self.r_after))
+
+
+def classify_transpose(before: Layout, after: Layout) -> TransposePlanInfo:
+    """Classify the communication required to transpose ``before → after``.
+
+    ``before`` lays out the ``2^p x 2^q`` matrix; ``after`` must lay out
+    the transposed ``2^q x 2^p`` matrix.
+    """
+    if (after.p, after.q) != (before.q, before.p):
+        raise ValueError(
+            f"after-layout is {2**after.p}x{2**after.q}, expected the "
+            f"transposed shape {2**before.q}x{2**before.p}"
+        )
+    r_b = before.proc_dim_set
+    r_a = frozenset(dims_after_transpose(after))
+    inter = r_b & r_a
+
+    if not r_b and not r_a:
+        cls = CommClass.LOCAL
+    elif r_a == r_b:
+        cls = CommClass.PAIRWISE
+    elif not inter:
+        if len(r_a) == len(r_b):
+            cls = CommClass.ALL_TO_ALL
+        elif len(r_a) > len(r_b):
+            cls = CommClass.SOME_TO_ALL
+        else:
+            cls = CommClass.ALL_TO_SOME
+    else:
+        cls = CommClass.MIXED
+    return TransposePlanInfo(cls, r_b, r_a, frozenset(inter))

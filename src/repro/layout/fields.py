@@ -1,0 +1,308 @@
+"""Address-field descriptions of matrix layouts.
+
+A matrix element ``a(u, v)`` of a ``2^p x 2^q`` matrix has the ``m = p+q``
+bit address ``w = (u || v)``.  A layout selects ``n`` of the ``m`` address
+dimensions as the *real processor* (``rp``) field and leaves the rest as
+*virtual processor* (``vp``) dimensions that index local storage
+(Definition 7).  The ``rp`` field may be split into sub-fields, each
+independently encoded in binary or binary-reflected Gray code — this is
+exactly the generality of the paper's Tables 1 and 2 (consecutive, cyclic
+and combined assignments, contiguous or split fields).
+
+:class:`Layout` is the value object; it converts between element
+addresses and (processor, local offset) pairs, scalar or vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codes.gray import gray_decode, gray_encode, gray_encode_array
+
+__all__ = ["ProcField", "Layout"]
+
+
+@dataclass(frozen=True)
+class ProcField:
+    """One sub-field of the real-processor address.
+
+    ``dims`` lists element-address bit positions, most significant first
+    (matching the paper's left-to-right notation).  If ``gray`` is set the
+    field value is passed through ``G`` before being used as processor
+    address bits.
+    """
+
+    dims: tuple[int, ...]
+    gray: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dims, tuple):
+            object.__setattr__(self, "dims", tuple(self.dims))
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError(f"field dims contain duplicates: {self.dims}")
+        for d in self.dims:
+            if d < 0:
+                raise ValueError(f"negative address dimension {d}")
+
+    @property
+    def width(self) -> int:
+        return len(self.dims)
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A mapping of matrix elements to (processor, local offset).
+
+    Parameters
+    ----------
+    p, q:
+        Row/column address widths: the matrix is ``2^p x 2^q``.
+    fields:
+        Real-processor sub-fields, most significant first; their widths
+        sum to the cube dimension ``n``.
+    name:
+        Label for reports ("row-cyclic", "2d-consecutive", ...).
+
+    Local offsets order the virtual-processor dimensions from most to
+    least significant element-address position, in binary ("elements
+    within the stripes/blocks are ordered in the binary order", §2).
+    """
+
+    p: int
+    q: int
+    fields: tuple[ProcField, ...]
+    name: str = "layout"
+
+    def __post_init__(self) -> None:
+        if self.p < 0 or self.q < 0:
+            raise ValueError("p and q must be non-negative")
+        if not isinstance(self.fields, tuple):
+            object.__setattr__(self, "fields", tuple(self.fields))
+        m = self.m
+        seen: set[int] = set()
+        for f in self.fields:
+            for d in f.dims:
+                if d >= m:
+                    raise ValueError(
+                        f"field dimension {d} outside address space of {m} bits"
+                    )
+                if d in seen:
+                    raise ValueError(f"dimension {d} used by two fields")
+                seen.add(d)
+
+    # -- basic shape --------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Total address bits ``p + q``."""
+        return self.p + self.q
+
+    @property
+    def n(self) -> int:
+        """Cube dimension = total width of the real-processor field."""
+        return sum(f.width for f in self.fields)
+
+    @property
+    def num_procs(self) -> int:
+        return 1 << self.n
+
+    @property
+    def local_size(self) -> int:
+        """Elements per processor ``2^(m - n)``."""
+        return 1 << (self.m - self.n)
+
+    @property
+    def proc_dims(self) -> tuple[int, ...]:
+        """All rp element-address dimensions, most significant first.
+
+        Position ``i`` in this tuple contributes processor-address (cube)
+        dimension ``n - 1 - i``.
+        """
+        return tuple(d for f in self.fields for d in f.dims)
+
+    @property
+    def proc_dim_set(self) -> frozenset[int]:
+        """The set ``R`` of element dimensions used for real processors."""
+        return frozenset(self.proc_dims)
+
+    @property
+    def vp_dims(self) -> tuple[int, ...]:
+        """Virtual-processor dimensions, most significant first."""
+        rp = self.proc_dim_set
+        return tuple(d for d in range(self.m - 1, -1, -1) if d not in rp)
+
+    def cube_dim_of(self, element_dim: int) -> int:
+        """Cube dimension carrying element-address dimension ``element_dim``."""
+        dims = self.proc_dims
+        try:
+            i = dims.index(element_dim)
+        except ValueError:
+            raise ValueError(
+                f"element dimension {element_dim} is not a processor dimension"
+            ) from None
+        return self.n - 1 - i
+
+    def offset_bit_of(self, element_dim: int) -> int:
+        """Local-offset bit carrying element-address dimension ``element_dim``."""
+        dims = self.vp_dims
+        try:
+            i = dims.index(element_dim)
+        except ValueError:
+            raise ValueError(
+                f"element dimension {element_dim} is not a virtual dimension"
+            ) from None
+        return (self.m - self.n) - 1 - i
+
+    @property
+    def is_gray(self) -> bool:
+        return any(f.gray for f in self.fields)
+
+    # -- scalar conversions --------------------------------------------------
+
+    def owner(self, w: int) -> int:
+        """Processor holding element address ``w``."""
+        proc = 0
+        for f in self.fields:
+            raw = 0
+            for d in f.dims:
+                raw = (raw << 1) | ((w >> d) & 1)
+            code = gray_encode(raw) if f.gray else raw
+            proc = (proc << f.width) | code
+        return proc
+
+    def offset(self, w: int) -> int:
+        """Local storage offset of element address ``w``."""
+        off = 0
+        for d in self.vp_dims:
+            off = (off << 1) | ((w >> d) & 1)
+        return off
+
+    def address_of(self, proc: int, offset: int) -> int:
+        """Element address stored at ``(proc, offset)`` — inverse mapping."""
+        if proc < 0 or proc >> self.n:
+            raise ValueError(f"processor {proc} outside {self.n}-cube")
+        if offset < 0 or offset >> (self.m - self.n):
+            raise ValueError(f"offset {offset} outside local store")
+        w = 0
+        # Decode processor fields, most significant first.
+        shift = self.n
+        for f in self.fields:
+            shift -= f.width
+            code = (proc >> shift) & ((1 << f.width) - 1)
+            raw = gray_decode(code) if f.gray else code
+            for i, d in enumerate(f.dims):
+                w |= ((raw >> (f.width - 1 - i)) & 1) << d
+        vp = self.vp_dims
+        for i, d in enumerate(vp):
+            w |= ((offset >> (len(vp) - 1 - i)) & 1) << d
+        return w
+
+    # -- vectorized conversions -----------------------------------------------
+
+    def owner_array(self, w: np.ndarray) -> np.ndarray:
+        w = np.asarray(w, dtype=np.int64)
+        proc = np.zeros_like(w)
+        for f in self.fields:
+            raw = np.zeros_like(w)
+            for d in f.dims:
+                raw = (raw << 1) | ((w >> d) & 1)
+            code = gray_encode_array(raw) if f.gray else raw
+            proc = (proc << f.width) | code
+        return proc
+
+    def offset_array(self, w: np.ndarray) -> np.ndarray:
+        w = np.asarray(w, dtype=np.int64)
+        off = np.zeros_like(w)
+        for d in self.vp_dims:
+            off = (off << 1) | ((w >> d) & 1)
+        return off
+
+    def local_block_shape(self) -> tuple[int, int] | None:
+        """Shape of a node's data viewed as a contiguous sub-matrix.
+
+        For layouts whose virtual dimensions are exactly "the trailing
+        row bits followed by the trailing column bits" — consecutive row,
+        column or two-dimensional block layouts — each node's local array
+        reshapes to ``(local_rows, local_cols)`` with grid rows in order
+        and each local row a contiguous slice of a grid row.  Returns
+        ``None`` when the local data is not such a block (cyclic or
+        combined layouts interleave it).
+        """
+        vp = self.vp_dims
+        row_vp = [d for d in vp if d >= self.q]
+        col_vp = [d for d in vp if d < self.q]
+        # Row vp dims must be the low row bits, descending; likewise cols.
+        if row_vp != [self.q + j for j in range(len(row_vp) - 1, -1, -1)]:
+            return None
+        if col_vp != list(range(len(col_vp) - 1, -1, -1)):
+            return None
+        # And the layout must store rows above columns (our convention
+        # sorts vp descending, so this always holds when both match).
+        return (1 << len(row_vp), 1 << len(col_vp))
+
+    def address_of_array(
+        self, procs: np.ndarray | int, offsets: np.ndarray | int
+    ) -> np.ndarray:
+        """Vectorized inverse mapping: element addresses at (proc, offset).
+
+        ``procs`` and ``offsets`` broadcast against each other.
+        """
+        from repro.codes.gray import gray_decode_array
+
+        procs = np.asarray(procs, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if np.any(procs < 0) or np.any(procs >> self.n):
+            raise ValueError("processor outside the cube")
+        vp_width = self.m - self.n
+        if np.any(offsets < 0) or np.any(offsets >> vp_width):
+            raise ValueError("offset outside the local store")
+        w = np.zeros(np.broadcast(procs, offsets).shape, dtype=np.int64)
+        shift = self.n
+        for f in self.fields:
+            shift -= f.width
+            code = (procs >> shift) & ((1 << f.width) - 1)
+            raw = gray_decode_array(code, f.width) if f.gray else code
+            for i, d in enumerate(f.dims):
+                w |= ((raw >> (f.width - 1 - i)) & 1) << d
+        vp = self.vp_dims
+        for i, d in enumerate(vp):
+            w |= ((offsets >> (len(vp) - 1 - i)) & 1) << d
+        return w
+
+    # -- conveniences ----------------------------------------------------------
+
+    def render_assignment(self, *, max_rows: int = 16, max_cols: int = 16) -> str:
+        """ASCII picture of the element-to-processor assignment.
+
+        Reproduces the style of the paper's Figures 1 and 2: one cell per
+        matrix element (``P0``, ``P1``, ...), truncated for large
+        matrices.
+        """
+        P, Q = 1 << self.p, 1 << self.q
+        rows = min(P, max_rows)
+        cols = min(Q, max_cols)
+        width = len(f"P{self.num_procs - 1}")
+        lines = []
+        for u in range(rows):
+            cells = [
+                f"P{self.owner((u << self.q) | v)}".rjust(width)
+                for v in range(cols)
+            ]
+            suffix = " ..." if cols < Q else ""
+            lines.append(" ".join(cells) + suffix)
+        if rows < P:
+            lines.append("...")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One-line human-readable field map, in the paper's style."""
+        parts = []
+        for f in self.fields:
+            dims = ",".join(str(d) for d in f.dims)
+            parts.append(f"{'G(' if f.gray else '('}{dims})")
+        return f"{self.name}: p={self.p} q={self.q} rp=[{' '.join(parts)}]"
+
+    def with_name(self, name: str) -> "Layout":
+        return Layout(self.p, self.q, self.fields, name)

@@ -1,0 +1,228 @@
+"""Constructors for the paper's standard layouts (§2, Tables 1-2).
+
+Element-address convention: ``w = (u || v)``, so row-index bit ``u_j``
+is element-address dimension ``q + j`` and column-index bit ``v_j`` is
+dimension ``j``.
+
+* one-dimensional **cyclic** by rows: processors keyed by the *lowest*
+  ``n`` row bits (row ``u`` on processor ``u mod N``);
+* one-dimensional **consecutive** by rows: the *highest* ``n`` row bits
+  (row ``u`` on processor ``floor(u / (P/N))``);
+* analogous by columns;
+* two-dimensional cyclic/consecutive with ``n_r`` row partitions and
+  ``n_c`` column partitions, yielding a ``(row-field || column-field)``
+  processor address;
+* **combined** assignments with an arbitrary contiguous field offset.
+
+Each constructor takes ``gray=True`` to encode the processor field(s) in
+binary-reflected Gray code (Table 1's bottom rows).
+"""
+
+from __future__ import annotations
+
+from repro.layout.fields import Layout, ProcField
+
+__all__ = [
+    "column_consecutive",
+    "column_cyclic",
+    "combined_contiguous",
+    "combined_split",
+    "one_dim_embeddings",
+    "row_consecutive",
+    "row_cyclic",
+    "two_dim_consecutive",
+    "two_dim_cyclic",
+    "two_dim_mixed",
+]
+
+
+def _check(p: int, q: int, n: int, limit: int, kind: str) -> None:
+    if n < 0:
+        raise ValueError(f"number of partition bits must be non-negative, got {n}")
+    if n > limit:
+        raise ValueError(
+            f"{kind} partitioning needs at most {limit} processor bits, got {n}"
+        )
+
+
+def row_cyclic(p: int, q: int, n: int, *, gray: bool = False) -> Layout:
+    """Row ``u`` on processor ``u mod 2^n``: rp = ``(u_{n-1} ... u_0)``."""
+    _check(p, q, n, p, "row")
+    dims = tuple(q + j for j in range(n - 1, -1, -1))
+    return Layout(p, q, (ProcField(dims, gray),), name=_name("row-cyclic", gray))
+
+
+def row_consecutive(p: int, q: int, n: int, *, gray: bool = False) -> Layout:
+    """Block rows: rp = ``(u_{p-1} ... u_{p-n})``."""
+    _check(p, q, n, p, "row")
+    dims = tuple(q + j for j in range(p - 1, p - n - 1, -1))
+    return Layout(p, q, (ProcField(dims, gray),), name=_name("row-consecutive", gray))
+
+
+def column_cyclic(p: int, q: int, n: int, *, gray: bool = False) -> Layout:
+    """Column ``v`` on processor ``v mod 2^n``: rp = ``(v_{n-1} ... v_0)``."""
+    _check(p, q, n, q, "column")
+    dims = tuple(range(n - 1, -1, -1))
+    return Layout(p, q, (ProcField(dims, gray),), name=_name("col-cyclic", gray))
+
+
+def column_consecutive(p: int, q: int, n: int, *, gray: bool = False) -> Layout:
+    """Block columns: rp = ``(v_{q-1} ... v_{q-n})``."""
+    _check(p, q, n, q, "column")
+    dims = tuple(range(q - 1, q - n - 1, -1))
+    return Layout(p, q, (ProcField(dims, gray),), name=_name("col-consecutive", gray))
+
+
+def two_dim_cyclic(
+    p: int, q: int, n_r: int, n_c: int, *, gray: bool = False
+) -> Layout:
+    """Element ``(u, v)`` in partition ``(u mod N_r, v mod N_c)``."""
+    _check(p, q, n_r, p, "row")
+    _check(p, q, n_c, q, "column")
+    row = ProcField(tuple(q + j for j in range(n_r - 1, -1, -1)), gray)
+    col = ProcField(tuple(range(n_c - 1, -1, -1)), gray)
+    return Layout(p, q, (row, col), name=_name("2d-cyclic", gray))
+
+
+def two_dim_consecutive(
+    p: int, q: int, n_r: int, n_c: int, *, gray: bool = False
+) -> Layout:
+    """Element ``(u, v)`` in block ``(floor(u/(P/N_r)), floor(v/(Q/N_c)))``."""
+    _check(p, q, n_r, p, "row")
+    _check(p, q, n_c, q, "column")
+    row = ProcField(tuple(q + j for j in range(p - 1, p - n_r - 1, -1)), gray)
+    col = ProcField(tuple(range(q - 1, q - n_c - 1, -1)), gray)
+    return Layout(p, q, (row, col), name=_name("2d-consecutive", gray))
+
+
+def two_dim_mixed(
+    p: int,
+    q: int,
+    n_r: int,
+    n_c: int,
+    *,
+    rows: str = "consecutive",
+    cols: str = "cyclic",
+    row_gray: bool = False,
+    col_gray: bool = False,
+) -> Layout:
+    """Different assignment (or encoding) per axis, e.g. §6's
+    consecutive-rows / cyclic-columns example and §6.3's binary-rows /
+    Gray-columns encoding."""
+    _check(p, q, n_r, p, "row")
+    _check(p, q, n_c, q, "column")
+    if rows == "consecutive":
+        rdims = tuple(q + j for j in range(p - 1, p - n_r - 1, -1))
+    elif rows == "cyclic":
+        rdims = tuple(q + j for j in range(n_r - 1, -1, -1))
+    else:
+        raise ValueError(f"unknown row assignment {rows!r}")
+    if cols == "consecutive":
+        cdims = tuple(range(q - 1, q - n_c - 1, -1))
+    elif cols == "cyclic":
+        cdims = tuple(range(n_c - 1, -1, -1))
+    else:
+        raise ValueError(f"unknown column assignment {cols!r}")
+    name = f"2d-{rows[:4]}{'G' if row_gray else ''}-{cols[:4]}{'G' if col_gray else ''}"
+    return Layout(
+        p,
+        q,
+        (ProcField(rdims, row_gray), ProcField(cdims, col_gray)),
+        name=name,
+    )
+
+
+def combined_contiguous(
+    p: int, q: int, n: int, *, offset: int, axis: str = "row", gray: bool = False
+) -> Layout:
+    """Combined assignment with a contiguous field at a given offset.
+
+    Table 2's contiguous example: the processor field is
+    ``(u_{p-i} ... u_{p-i-n+1})`` — ``offset = i`` bits below the top of
+    the row (or column) index.  ``offset = 0`` degenerates to consecutive;
+    ``offset = p - n`` (or ``q - n``) to cyclic.  Bits above the field are
+    assigned cyclically, bits below consecutively.
+    """
+    if axis == "row":
+        _check(p, q, n, p, "row")
+        if offset < 0 or offset + n > p:
+            raise ValueError(f"field [{offset}, {offset + n}) outside row index")
+        top = p - 1 - offset
+        dims = tuple(q + j for j in range(top, top - n, -1))
+    elif axis == "column":
+        _check(p, q, n, q, "column")
+        if offset < 0 or offset + n > q:
+            raise ValueError(f"field [{offset}, {offset + n}) outside column index")
+        top = q - 1 - offset
+        dims = tuple(range(top, top - n, -1))
+    else:
+        raise ValueError(f"unknown axis {axis!r}")
+    return Layout(
+        p,
+        q,
+        (ProcField(dims, gray),),
+        name=_name(f"combined-{axis}@{offset}", gray),
+    )
+
+
+def combined_split(
+    p: int, q: int, n: int, *, s: int, axis: str = "row", gray: bool = False
+) -> Layout:
+    """Combined assignment with a *split* processor field (Table 2).
+
+    ``s`` high-order index bits plus ``n - s`` low-order bits select the
+    processor: ``(u_{p-1} .. u_{p-s}, u_{n-s-1} .. u_0)`` for rows.  With
+    ``gray=True`` each sub-field is Gray-encoded separately —
+    ``(G(u_{p-1}..u_{p-s}) G(u_{n-s-1}..u_0))``, Table 2's non-contiguous
+    column.  The middle bits are consecutive-assigned, the extremes
+    cyclic — the §2 banded-matrix pattern.
+    """
+    if not 0 <= s <= n:
+        raise ValueError(f"split point s must be in [0, {n}], got {s}")
+    if axis == "row":
+        _check(p, q, n, p, "row")
+        high = tuple(q + j for j in range(p - 1, p - s - 1, -1))
+        low = tuple(q + j for j in range(n - s - 1, -1, -1))
+    elif axis == "column":
+        _check(p, q, n, q, "column")
+        high = tuple(range(q - 1, q - s - 1, -1))
+        low = tuple(range(n - s - 1, -1, -1))
+    else:
+        raise ValueError(f"unknown axis {axis!r}")
+    fields = tuple(
+        ProcField(dims, gray) for dims in (high, low) if dims
+    )
+    return Layout(p, q, fields, name=_name(f"split-{axis}@{s}", gray))
+
+
+def one_dim_embeddings(p: int, q: int, n: int) -> dict[str, Layout]:
+    """The §2 catalogue: "a total of 16 matrix embeddings result for a
+    one-dimensional partitioning" — {binary, Gray} x {consecutive,
+    cyclic, combined contiguous, combined split} x {row, column},
+    collapsed here to the 16 per-axis-scheme/encoding combinations
+    (8 row forms + 8 column forms).
+    """
+    out: dict[str, Layout] = {}
+    for gray in (False, True):
+        enc = "gray" if gray else "binary"
+        out[f"row-consecutive-{enc}"] = row_consecutive(p, q, n, gray=gray)
+        out[f"row-cyclic-{enc}"] = row_cyclic(p, q, n, gray=gray)
+        out[f"row-combined-{enc}"] = combined_contiguous(
+            p, q, n, offset=max(0, (p - n) // 2), axis="row", gray=gray
+        )
+        out[f"row-split-{enc}"] = combined_split(
+            p, q, n, s=max(1, n // 2), axis="row", gray=gray
+        )
+        out[f"col-consecutive-{enc}"] = column_consecutive(p, q, n, gray=gray)
+        out[f"col-cyclic-{enc}"] = column_cyclic(p, q, n, gray=gray)
+        out[f"col-combined-{enc}"] = combined_contiguous(
+            p, q, n, offset=max(0, (q - n) // 2), axis="column", gray=gray
+        )
+        out[f"col-split-{enc}"] = combined_split(
+            p, q, n, s=max(1, n // 2), axis="column", gray=gray
+        )
+    return out
+
+
+def _name(base: str, gray: bool) -> str:
+    return f"{base}-gray" if gray else base

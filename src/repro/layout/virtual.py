@@ -1,0 +1,136 @@
+"""Virtual elements: squaring up non-square matrices (Definition 2).
+
+A ``P x Q`` matrix with ``P > Q`` is extended with ``P - Q`` columns of
+*virtual elements* so that the square-matrix machinery (the pairwise
+SPT/DPT/MPT algorithms, the §6.2 remaps, the planner's default target)
+applies; after the transpose the virtual rows are stripped again.
+
+The paper adds virtual columns "corresponding to high or low order
+dimensions of the column address space"; we extend at the **high** order
+end, which keeps every existing element-address bit in place for the
+column index and simply shifts the row field up.  Virtual elements here
+are filled with a sentinel and *are* moved by the algorithms (a
+conservative timing over-estimate); the paper's remark that they "need
+not be communicated" bounds the achievable saving, which
+:func:`padding_overhead` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.fields import Layout, ProcField
+from repro.layout.matrix import DistributedMatrix
+
+__all__ = [
+    "extend_columns",
+    "extend_rows",
+    "square_up",
+    "restrict_to",
+    "padding_overhead",
+    "SquaredMatrix",
+]
+
+
+def extend_columns(layout: Layout, new_q: int) -> Layout:
+    """The same layout on a matrix widened to ``2^new_q`` columns.
+
+    New column-address bits appear at the high end of the column index;
+    every existing dimension (column bits unchanged, row bits shifted by
+    the widening) keeps its role, so real data keeps its owner.
+    """
+    if new_q < layout.q:
+        raise ValueError("extension cannot shrink the column index")
+    shift = new_q - layout.q
+    fields = tuple(
+        ProcField(
+            tuple(d + shift if d >= layout.q else d for d in f.dims), f.gray
+        )
+        for f in layout.fields
+    )
+    return Layout(layout.p, new_q, fields, f"{layout.name}-ext")
+
+
+def extend_rows(layout: Layout, new_p: int) -> Layout:
+    """The same layout on a matrix lengthened to ``2^new_p`` rows.
+
+    New row bits appear at the high end of the address space; no existing
+    dimension moves.
+    """
+    if new_p < layout.p:
+        raise ValueError("extension cannot shrink the row index")
+    return Layout(new_p, layout.q, layout.fields, f"{layout.name}-ext")
+
+
+@dataclass
+class SquaredMatrix:
+    """A squared-up distributed matrix plus the bookkeeping to undo it."""
+
+    matrix: DistributedMatrix
+    original_p: int
+    original_q: int
+
+    @property
+    def padded_axis(self) -> str:
+        lay = self.matrix.layout
+        if lay.q > self.original_q:
+            return "columns"
+        if lay.p > self.original_p:
+            return "rows"
+        return "none"
+
+
+def square_up(
+    dm: DistributedMatrix, *, fill: float = 0.0
+) -> SquaredMatrix:
+    """Extend a rectangular distributed matrix to square with virtuals.
+
+    The extension is performed by re-scattering the global matrix padded
+    with ``fill`` — a setup operation, not a modelled communication (the
+    virtual elements exist only in the model).
+    """
+    layout = dm.layout
+    p, q = layout.p, layout.q
+    if p == q:
+        return SquaredMatrix(dm, p, q)
+    side = max(p, q)
+    A = dm.to_global()
+    padded = np.full((1 << side, 1 << side), fill, dtype=A.dtype)
+    padded[: A.shape[0], : A.shape[1]] = A
+    if q < side:
+        new_layout = extend_columns(layout, side)
+    else:
+        new_layout = extend_rows(layout, side)
+    return SquaredMatrix(
+        DistributedMatrix.from_global(padded, new_layout), p, q
+    )
+
+
+def restrict_to(
+    dm: DistributedMatrix, target: Layout
+) -> DistributedMatrix:
+    """Strip virtual rows/columns: keep the leading ``2^p x 2^q`` block.
+
+    Like :func:`square_up`, a bookkeeping operation on the model's global
+    view.
+    """
+    big = dm.to_global()
+    P, Q = 1 << target.p, 1 << target.q
+    if big.shape[0] < P or big.shape[1] < Q:
+        raise ValueError("target is larger than the padded matrix")
+    return DistributedMatrix.from_global(big[:P, :Q], target)
+
+
+def padding_overhead(original_p: int, original_q: int) -> float:
+    """Fraction of moved elements that are virtual after squaring up.
+
+    The paper notes virtual elements need not be communicated; this is
+    the upper bound on the communication an implementation exploiting
+    that could save.
+    """
+    side = max(original_p, original_q)
+    total = 1 << (2 * side)
+    real = 1 << (original_p + original_q)
+    return 1.0 - real / total

@@ -1,0 +1,236 @@
+"""The phase-synchronous cube network simulator.
+
+Algorithms are sequences of *phases*.  In one phase every node may send
+messages to cube neighbours; the engine
+
+1. validates every message crosses a real cube edge,
+2. rejects (or, on request, serializes) directed-link conflicts,
+3. physically moves the named blocks between node memories,
+4. charges time under the machine's cost model:
+
+   * message cost = (packets * tau) + (elements * t_c), where packets is
+     ``ceil(elements / B_m)`` — or 1 on a pipelined (bit-serial) machine;
+   * **one-port**: a node's sends serialize, its receives serialize, and
+     (bidirectional links) sending overlaps receiving, so the node's
+     phase time is ``max(sum sends, sum receives)``;
+   * **n-port**: each directed link is an independent channel, so the
+     binding constraint is the per-link serialized load;
+   * phase time = maximum over these loads; total time accumulates.
+
+Local work (buffer copies, local transposes) is charged through
+:meth:`CubeNetwork.execute_local`, which takes per-node costs and adds the
+maximum (nodes work concurrently).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.cube.topology import dimension_of_edge
+from repro.machine.memory import NodeMemory
+from repro.machine.message import Block, Message
+from repro.machine.metrics import TransferStats
+from repro.machine.params import MachineParams, PortModel
+
+__all__ = ["CubeNetwork", "LinkConflictError"]
+
+
+class LinkConflictError(RuntimeError):
+    """Two messages of one phase contend for the same directed link."""
+
+
+class CubeNetwork:
+    """A simulated Boolean n-cube with per-node block memories.
+
+    Messages sharing a directed link within a phase serialize on it (each
+    keeps its own start-ups) — that is the §8.1 unbuffered send pattern.
+    Pipelined schedules that *guarantee* edge-disjointness (SPT/DPT/MPT
+    cycles) pass ``exclusive=True`` to :meth:`execute_phase`, turning any
+    link sharing into a :class:`LinkConflictError` — a free correctness
+    check of the paper's disjointness lemmas on every run.
+    """
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+        self.memories = [NodeMemory(x) for x in range(params.num_procs)]
+        self.stats = TransferStats()
+        #: Optional observer with ``on_phase(transfers, duration)`` and
+        #: ``on_local(elements, duration)`` hooks — see
+        #: :class:`repro.machine.trace.TraceRecorder`.
+        self.observer = None
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        """Modelled elapsed time in seconds."""
+        return self.stats.time
+
+    def memory(self, node: int) -> NodeMemory:
+        return self.memories[node]
+
+    def place(self, node: int, block: Block) -> None:
+        """Deposit a block into a node's memory (initial distribution)."""
+        self.memories[node].put(block)
+
+    def total_elements(self) -> int:
+        return sum(mem.total_elements() for mem in self.memories)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute_phase(
+        self, messages: Sequence[Message], *, exclusive: bool = False
+    ) -> float:
+        """Run one communication phase; returns its duration.
+
+        An empty phase is legal and free (algorithms may emit per-step
+        phases where some steps are entirely local).  With
+        ``exclusive=True`` any two messages sharing a directed link raise
+        :class:`LinkConflictError` instead of serializing.
+        """
+        if not messages:
+            return 0.0
+        params = self.params
+        n = params.n
+
+        # Validate edges and gather per-link loads.
+        link_cost: dict[tuple[int, int], float] = {}
+        link_msgs: dict[tuple[int, int], int] = {}
+        costed: list[tuple[Message, int, int, float]] = []
+        for msg in messages:
+            dimension_of_edge(msg.src, msg.dst)  # raises on non-edges
+            if msg.src >> n or msg.dst >> n:
+                raise ValueError(
+                    f"message {msg.src}->{msg.dst} outside {n}-cube"
+                )
+            elements = sum(
+                self.memories[msg.src].get(key).size for key in msg.keys
+            )
+            if elements <= 0:
+                raise ValueError(
+                    f"message {msg.src}->{msg.dst} carries zero elements"
+                )
+            packets = params.packets_for(elements)
+            cost = params.message_time(elements)
+            link = (msg.src, msg.dst)
+            if link in link_cost and exclusive:
+                raise LinkConflictError(
+                    f"two messages use directed link {msg.src}->{msg.dst} "
+                    "in the same phase"
+                )
+            link_cost[link] = link_cost.get(link, 0.0) + cost
+            link_msgs[link] = link_msgs.get(link, 0) + 1
+            costed.append((msg, elements, packets, cost))
+
+        # Per-node / per-port serialized loads.
+        send_load: dict[int, float] = {}
+        recv_load: dict[int, float] = {}
+        for (src, dst), cost in link_cost.items():
+            send_load[src] = send_load.get(src, 0.0) + cost
+            recv_load[dst] = recv_load.get(dst, 0.0) + cost
+
+        if params.port_model is PortModel.ONE_PORT:
+            duration = 0.0
+            for node in set(send_load) | set(recv_load):
+                duration = max(
+                    duration,
+                    send_load.get(node, 0.0),
+                    recv_load.get(node, 0.0),
+                )
+        else:  # N_PORT: per directed link
+            duration = max(link_cost.values())
+
+        # Move payloads.  Pop everything first so a symmetric exchange
+        # (x <-> y in the same phase) does not see the other side's
+        # freshly delivered blocks.
+        in_flight: list[tuple[int, Block]] = []
+        for msg, _, _, _ in costed:
+            for key in msg.keys:
+                in_flight.append((msg.dst, self.memories[msg.src].pop(key)))
+        for dst, block in in_flight:
+            self.memories[dst].put(block)
+
+        for msg, elements, packets, _ in costed:
+            self.stats.record_message(msg.src, msg.dst, elements, packets)
+        self.stats.record_phase(duration)
+        if self.observer is not None:
+            self.observer.on_phase(
+                [(msg.src, msg.dst, elements) for msg, elements, _, _ in costed],
+                duration,
+            )
+        return duration
+
+    def execute_local(self, costs: Mapping[int, float] | float) -> float:
+        """Charge concurrent local work; returns the charged duration.
+
+        ``costs`` is either a per-node mapping (time in seconds) or a
+        single float applied as the common cost.  Nodes work in parallel,
+        so the charge is the maximum.
+        """
+        if isinstance(costs, (int, float)):
+            duration = float(costs)
+            elements = 0
+        else:
+            duration = max(costs.values(), default=0.0)
+            elements = 0
+        if duration < 0:
+            raise ValueError("local work cannot take negative time")
+        self.stats.record_copy(elements, duration)
+        if self.observer is not None and duration:
+            self.observer.on_local(elements, duration)
+        return duration
+
+    def charge_copy(self, per_node_elements: Mapping[int, int]) -> float:
+        """Charge a concurrent buffer-copy of the given element counts."""
+        duration = 0.0
+        total = 0
+        for node, count in per_node_elements.items():
+            if count < 0:
+                raise ValueError("cannot copy a negative number of elements")
+            if node >> self.params.n:
+                raise ValueError(f"node {node} outside cube")
+            duration = max(duration, self.params.copy_time(count))
+            total += count
+        self.stats.record_copy(total, duration)
+        if self.observer is not None and duration:
+            self.observer.on_local(total, duration)
+        return duration
+
+    # -- verification helpers ----------------------------------------------
+
+    def holdings(self) -> dict[int, list[Hashable]]:
+        """Map node -> keys currently held (for assertions in tests)."""
+        return {x: mem.keys() for x, mem in enumerate(self.memories)}
+
+    def find_block(self, key: Hashable) -> int:
+        """Node currently holding ``key`` (KeyError if nowhere)."""
+        for x, mem in enumerate(self.memories):
+            if key in mem:
+                return x
+        raise KeyError(f"block {key!r} is not in any node memory")
+
+
+def exchange_messages(
+    pairs: Iterable[tuple[int, int]],
+    keys_low_to_high: Mapping[int, Sequence[Hashable]],
+    keys_high_to_low: Mapping[int, Sequence[Hashable]],
+) -> list[Message]:
+    """Build the symmetric message list for a set of exchange pairs.
+
+    For each pair ``(a, b)`` with ``a < b``: ``a`` sends
+    ``keys_low_to_high[a]`` to ``b`` and ``b`` sends
+    ``keys_high_to_low[b]`` to ``a``.  Pairs with an empty key list on one
+    side degenerate to a single send (virtual elements need not be
+    communicated, §5).
+    """
+    messages = []
+    for a, b in pairs:
+        if a > b:
+            a, b = b, a
+        up = tuple(keys_low_to_high.get(a, ()))
+        down = tuple(keys_high_to_low.get(b, ()))
+        if up:
+            messages.append(Message(a, b, up))
+        if down:
+            messages.append(Message(b, a, down))
+    return messages

@@ -1,0 +1,71 @@
+"""Per-node block storage."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.machine.message import Block
+
+__all__ = ["NodeMemory"]
+
+
+class NodeMemory:
+    """The local memory of one simulated node: a keyed block store.
+
+    Blocks are inserted exactly once (duplicate keys are an algorithm bug
+    and raise), popped when sent, and deposited on receipt.  The store
+    preserves insertion order, which algorithms may rely on for
+    deterministic schedules.
+    """
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._blocks: dict[Hashable, Block] = {}
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._blocks
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._blocks)
+
+    def keys(self) -> list[Hashable]:
+        return list(self._blocks)
+
+    def blocks(self) -> list[Block]:
+        return list(self._blocks.values())
+
+    def get(self, key: Hashable) -> Block:
+        try:
+            return self._blocks[key]
+        except KeyError:
+            raise KeyError(f"node {self.node} does not hold block {key!r}") from None
+
+    def put(self, block: Block) -> None:
+        if block.key in self._blocks:
+            raise ValueError(
+                f"node {self.node} already holds a block with key {block.key!r}"
+            )
+        self._blocks[block.key] = block
+
+    def pop(self, key: Hashable) -> Block:
+        try:
+            return self._blocks.pop(key)
+        except KeyError:
+            raise KeyError(
+                f"node {self.node} cannot send block {key!r} it does not hold"
+            ) from None
+
+    def replace(self, block: Block) -> None:
+        """Overwrite an existing block (local rearrangement)."""
+        if block.key not in self._blocks:
+            raise KeyError(f"node {self.node} does not hold block {block.key!r}")
+        self._blocks[block.key] = block
+
+    def total_elements(self) -> int:
+        return sum(b.size for b in self._blocks.values())
+
+    def clear(self) -> None:
+        self._blocks.clear()

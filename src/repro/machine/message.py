@@ -1,0 +1,115 @@
+"""Blocks and messages: the payload units of the simulator.
+
+A :class:`Block` is a keyed payload living in exactly one node's memory at
+a time.  Keys are arbitrary hashables chosen by the algorithms (typically
+a tuple naming the matrix sub-block).  A block can carry a real NumPy
+array — in which case transposes are verified end-to-end by gathering and
+comparing — or be *virtual* (size only), which the benchmark harness uses
+to price huge matrices without allocating them.
+
+A :class:`Message` names the blocks (by key) that move from ``src`` to
+``dst`` in one phase; the engine pops them from the source memory, so an
+algorithm that tries to send data it does not hold fails immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["Block", "Message"]
+
+
+@dataclass
+class Block:
+    """A keyed payload: real (NumPy data) or virtual (size only)."""
+
+    key: Hashable
+    data: np.ndarray | None = None
+    virtual_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.data is None and self.virtual_size is None:
+            raise ValueError("a block needs either data or a virtual size")
+        if self.data is not None and self.virtual_size is not None:
+            raise ValueError("a block cannot be both real and virtual")
+        if self.data is not None:
+            self.data = np.asarray(self.data)
+        if self.virtual_size is not None and self.virtual_size < 0:
+            raise ValueError("virtual size must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """Number of elements in the block."""
+        if self.data is not None:
+            return int(self.data.size)
+        return int(self.virtual_size)
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+    def split(self, parts: int) -> list["Block"]:
+        """Split into ``parts`` nearly equal sub-blocks, keys extended.
+
+        Sub-block ``i`` gets key ``(key, i)``.  Real blocks are split along
+        a flattened view; virtual blocks split their size.  Used by the
+        DPT/MPT algorithms, which divide a node's data over its paths.
+        """
+        if parts < 1:
+            raise ValueError("parts must be at least 1")
+        if self.is_virtual:
+            base, extra = divmod(self.size, parts)
+            return [
+                Block((self.key, i), virtual_size=base + (1 if i < extra else 0))
+                for i in range(parts)
+            ]
+        flat = np.asarray(self.data).reshape(-1)
+        pieces = np.array_split(flat, parts)
+        return [Block((self.key, i), data=piece) for i, piece in enumerate(pieces)]
+
+
+@dataclass
+class Message:
+    """One neighbour-to-neighbour transfer of a set of blocks.
+
+    The engine validates that ``src`` and ``dst`` are cube neighbours
+    (unless it is executing a multi-hop routed schedule, which expands to
+    single hops internally).
+    """
+
+    src: int
+    dst: int
+    keys: tuple[Hashable, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("node addresses must be non-negative")
+        if self.src == self.dst:
+            raise ValueError(f"message from node {self.src} to itself")
+        if not isinstance(self.keys, tuple):
+            self.keys = tuple(self.keys)
+        if not self.keys:
+            raise ValueError("a message must carry at least one block key")
+
+
+def merge_messages(messages: Sequence[Message]) -> list[Message]:
+    """Coalesce messages with the same (src, dst) into one.
+
+    Sending ``k`` blocks as one message charges start-ups for the combined
+    size (packets may span block boundaries after a buffer copy), whereas
+    separate messages charge at least one start-up each — exactly the
+    §8.1 buffered-versus-unbuffered distinction, so algorithms choose
+    explicitly which they mean.
+    """
+    combined: dict[tuple[int, int], list[Hashable]] = {}
+    order: list[tuple[int, int]] = []
+    for msg in messages:
+        pair = (msg.src, msg.dst)
+        if pair not in combined:
+            combined[pair] = []
+            order.append(pair)
+        combined[pair].extend(msg.keys)
+    return [Message(src, dst, tuple(combined[(src, dst)])) for src, dst in order]

@@ -1,0 +1,76 @@
+"""Execution statistics collected by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TransferStats"]
+
+
+@dataclass
+class TransferStats:
+    """Accumulated costs of a simulated run.
+
+    ``time`` is the modelled wall-clock time; the remaining counters
+    support the paper's style of analysis (number of start-ups, element
+    transfers, communication phases, link utilization).
+    """
+
+    time: float = 0.0
+    comm_time: float = 0.0
+    copy_time: float = 0.0
+    phases: int = 0
+    messages: int = 0
+    startups: int = 0
+    element_hops: int = 0
+    copied_elements: int = 0
+    max_link_elements: int = 0
+    link_elements: dict[tuple[int, int], int] = field(default_factory=dict)
+    phase_times: list[float] = field(default_factory=list)
+
+    def record_phase(self, duration: float) -> None:
+        self.phases += 1
+        self.phase_times.append(duration)
+        self.time += duration
+        self.comm_time += duration
+
+    def record_message(
+        self, src: int, dst: int, elements: int, packets: int
+    ) -> None:
+        self.messages += 1
+        self.startups += packets
+        self.element_hops += elements
+        load = self.link_elements.get((src, dst), 0) + elements
+        self.link_elements[(src, dst)] = load
+        if load > self.max_link_elements:
+            self.max_link_elements = load
+
+    def record_copy(self, elements: int, duration: float) -> None:
+        self.copied_elements += elements
+        self.copy_time += duration
+        self.time += duration
+
+    def merge(self, other: "TransferStats") -> None:
+        """Fold another stats object into this one (sequential composition)."""
+        self.time += other.time
+        self.comm_time += other.comm_time
+        self.copy_time += other.copy_time
+        self.phases += other.phases
+        self.messages += other.messages
+        self.startups += other.startups
+        self.element_hops += other.element_hops
+        self.copied_elements += other.copied_elements
+        for link, load in other.link_elements.items():
+            new = self.link_elements.get(link, 0) + load
+            self.link_elements[link] = new
+            if new > self.max_link_elements:
+                self.max_link_elements = new
+        self.phase_times.extend(other.phase_times)
+
+    def summary(self) -> str:
+        return (
+            f"time={self.time * 1e3:.3f} ms (comm {self.comm_time * 1e3:.3f}, "
+            f"copy {self.copy_time * 1e3:.3f}) phases={self.phases} "
+            f"messages={self.messages} startups={self.startups} "
+            f"element_hops={self.element_hops}"
+        )

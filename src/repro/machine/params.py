@@ -1,0 +1,112 @@
+"""Machine cost-model parameters.
+
+The paper's communication model (§2, "For the architecture we assume ..."):
+
+* communication is packet oriented with overhead ``tau`` per packet,
+* transmission time ``t_c`` per element,
+* maximum packet size ``B_m`` elements,
+* the overhead is incurred per link traversal, except on a bit-serial
+  pipelined architecture (Connection Machine) where it is incurred once,
+* communication is bidirectional: an exchange between neighbours costs
+  the same as a single send,
+* ports are either *one-port* (one send and one receive at a time,
+  concurrently — the iPSC) or *n-port* (all ``n`` links concurrently).
+
+Local data rearrangement costs ``t_copy`` per element; on the iPSC this
+is significant (copying 64 elements costs about one start-up) and drives
+the buffered/unbuffered trade-off of §8.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = ["PortModel", "MachineParams"]
+
+
+class PortModel(enum.Enum):
+    """How many links a node can drive concurrently."""
+
+    ONE_PORT = "one-port"
+    N_PORT = "n-port"
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Immutable description of a simulated Boolean-cube machine.
+
+    Parameters
+    ----------
+    n:
+        Cube dimension; the machine has ``N = 2**n`` nodes.
+    tau:
+        Communication start-up time per packet, in seconds.
+    t_c:
+        Transfer time per element per link, in seconds.
+    packet_capacity:
+        Maximum packet size ``B_m`` in elements.
+    t_copy:
+        Local copy time per element, in seconds (0 to ignore copy cost).
+    port_model:
+        ``ONE_PORT`` or ``N_PORT``.
+    pipelined:
+        If True, the start-up is charged once per message regardless of
+        how many ``B_m`` packets it spans (bit-serial pipelining, §2).
+    name:
+        Human-readable label for reports.
+    """
+
+    n: int
+    tau: float
+    t_c: float
+    packet_capacity: int
+    t_copy: float = 0.0
+    port_model: PortModel = PortModel.ONE_PORT
+    pipelined: bool = False
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError(f"cube dimension must be non-negative, got {self.n}")
+        if self.tau < 0 or self.t_c < 0 or self.t_copy < 0:
+            raise ValueError("times must be non-negative")
+        if self.packet_capacity < 1:
+            raise ValueError(
+                f"packet capacity must be at least 1 element, got {self.packet_capacity}"
+            )
+
+    @property
+    def num_procs(self) -> int:
+        """Number of processors ``N = 2**n``."""
+        return 1 << self.n
+
+    def packets_for(self, elements: int) -> int:
+        """Number of start-ups charged for a message of ``elements``.
+
+        A pipelined (bit-serial) machine charges one start-up per message;
+        otherwise one per ``B_m``-element packet.
+        """
+        if elements <= 0:
+            raise ValueError(f"message must carry at least 1 element, got {elements}")
+        if self.pipelined:
+            return 1
+        return -(-elements // self.packet_capacity)
+
+    def message_time(self, elements: int) -> float:
+        """Time for one message over one link: start-ups plus transfer."""
+        return self.packets_for(elements) * self.tau + elements * self.t_c
+
+    def copy_time(self, elements: int) -> float:
+        """Time to copy ``elements`` within a node's local memory."""
+        if elements < 0:
+            raise ValueError("cannot copy a negative number of elements")
+        return elements * self.t_copy
+
+    def with_dimension(self, n: int) -> "MachineParams":
+        """Same machine scaled to a different cube dimension."""
+        return replace(self, n=n)
+
+    def with_ports(self, port_model: PortModel) -> "MachineParams":
+        """Same machine with a different port model (for ablations)."""
+        return replace(self, port_model=port_model)

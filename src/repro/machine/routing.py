@@ -1,0 +1,109 @@
+"""Store-and-forward e-cube routing: the "routing logic" baseline.
+
+The paper compares its scheduled transpose algorithms against simply
+handing every (source, destination, data) triple to the machine's routing
+logic (Fig. 14b for the iPSC, Figs. 16-18 for the Connection Machine).
+The router corrects address bits in dimension order; packets that contend
+for a link queue behind each other.  This module simulates that: messages
+advance one hop per round when their next directed link (and, one-port,
+their endpoints) are free; the engine prices each round.
+
+The router has no global knowledge, so its schedules are generally *not*
+conflict-free — which is exactly why the scheduled algorithms win on
+large cubes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.cube.topology import ecube_route
+from repro.machine.engine import CubeNetwork
+from repro.machine.message import Message
+from repro.machine.params import PortModel
+
+__all__ = ["route_messages", "RoutedTransfer"]
+
+
+@dataclass
+class RoutedTransfer:
+    """A source-to-destination transfer handled by the routing logic."""
+
+    src: int
+    dst: int
+    keys: tuple[Hashable, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.keys, tuple):
+            self.keys = tuple(self.keys)
+        if not self.keys:
+            raise ValueError("a transfer must carry at least one block")
+
+
+def route_messages(
+    network: CubeNetwork,
+    transfers: Sequence[RoutedTransfer],
+    *,
+    ascending: bool = True,
+    half_duplex: bool = True,
+) -> int:
+    """Deliver all transfers via e-cube routing; returns the round count.
+
+    Per round, a directed link carries at most one message; under the
+    one-port model a node additionally sends at most one and receives at
+    most one message per round — and, with ``half_duplex`` (the default),
+    cannot do both: software store-and-forward routing on the iPSC fully
+    occupies a node per message hop, which is a large part of why the
+    scheduled algorithms beat the routing logic on big cubes (Fig. 14b).
+    Scheduled exchanges, by contrast, overlap send and receive
+    (bidirectional links, §2).  Hardware-pipelined routers (the
+    Connection Machine preset) use the n-port model, where this does not
+    apply.  Selection is FIFO over the remaining transfers, so the
+    simulation is deterministic.
+    """
+    n = network.params.n
+    one_port = network.params.port_model is PortModel.ONE_PORT
+
+    # (remaining route nodes, keys); route[0] is the current holder.
+    pending: list[tuple[list[int], tuple[Hashable, ...]]] = []
+    for t in transfers:
+        if t.src == t.dst:
+            raise ValueError(f"transfer {t.keys!r} has src == dst == {t.src}")
+        route = ecube_route(t.src, t.dst, n, ascending=ascending)
+        pending.append((route, t.keys))
+
+    rounds = 0
+    while pending:
+        used_links: set[tuple[int, int]] = set()
+        busy_send: set[int] = set()
+        busy_recv: set[int] = set()
+        phase: list[Message] = []
+        advancing: list[int] = []
+        for idx, (route, keys) in enumerate(pending):
+            cur, nxt = route[0], route[1]
+            if (cur, nxt) in used_links:
+                continue
+            if one_port:
+                if cur in busy_send or nxt in busy_recv:
+                    continue
+                if half_duplex and (cur in busy_recv or nxt in busy_send):
+                    continue
+            used_links.add((cur, nxt))
+            busy_send.add(cur)
+            busy_recv.add(nxt)
+            phase.append(Message(cur, nxt, keys))
+            advancing.append(idx)
+        if not advancing:  # cannot happen: first pending always advances
+            raise RuntimeError("router deadlock")
+        network.execute_phase(phase)
+        rounds += 1
+        still: list[tuple[list[int], tuple[Hashable, ...]]] = []
+        advanced = set(advancing)
+        for idx, (route, keys) in enumerate(pending):
+            if idx in advanced:
+                route = route[1:]
+            if len(route) > 1:
+                still.append((route, keys))
+        pending = still
+    return rounds

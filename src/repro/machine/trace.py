@@ -1,0 +1,95 @@
+"""Execution tracing: record what a schedule actually did, phase by phase.
+
+Attach a :class:`TraceRecorder` to a :class:`~repro.machine.engine.CubeNetwork`
+(``net.observer = TraceRecorder()``) and every communication phase and
+local charge is logged with its messages, sizes and duration.  The
+renderer prints a per-phase timeline — which dimension carried what,
+when — the view one needs when a schedule's cost surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cube.topology import dimension_of_edge
+
+__all__ = ["PhaseEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One recorded engine event."""
+
+    index: int
+    kind: str  # "comm" or "local"
+    duration: float
+    transfers: tuple[tuple[int, int, int], ...]  # (src, dst, elements)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(t[2] for t in self.transfers)
+
+    @property
+    def dimensions(self) -> tuple[int, ...]:
+        """Cube dimensions active in this phase, sorted."""
+        return tuple(
+            sorted({dimension_of_edge(s, d) for s, d, _ in self.transfers})
+        )
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`PhaseEvent`s; set as ``network.observer``."""
+
+    events: list[PhaseEvent] = field(default_factory=list)
+
+    # -- observer protocol (called by the engine) ---------------------------
+
+    def on_phase(
+        self, transfers: list[tuple[int, int, int]], duration: float
+    ) -> None:
+        self.events.append(
+            PhaseEvent(len(self.events), "comm", duration, tuple(transfers))
+        )
+
+    def on_local(self, elements: int, duration: float) -> None:
+        self.events.append(
+            PhaseEvent(len(self.events), "local", duration, ((0, 0, elements),))
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def comm_events(self) -> list[PhaseEvent]:
+        return [e for e in self.events if e.kind == "comm"]
+
+    def busiest_phase(self) -> PhaseEvent:
+        if not self.events:
+            raise ValueError("no events recorded")
+        return max(self.events, key=lambda e: e.duration)
+
+    def dimension_histogram(self) -> dict[int, int]:
+        """Element volume carried per cube dimension over the whole run."""
+        hist: dict[int, int] = {}
+        for e in self.comm_events:
+            for s, d, size in e.transfers:
+                dim = dimension_of_edge(s, d)
+                hist[dim] = hist.get(dim, 0) + size
+        return hist
+
+    def render(self, *, max_phases: int = 40) -> str:
+        """A fixed-width per-phase timeline."""
+        lines = [
+            f"{'phase':>5}  {'kind':5}  {'dims':>12}  {'msgs':>5}  "
+            f"{'elements':>9}  {'duration':>10}"
+        ]
+        for e in self.events[:max_phases]:
+            dims = ",".join(map(str, e.dimensions)) if e.kind == "comm" else "-"
+            lines.append(
+                f"{e.index:>5}  {e.kind:5}  {dims:>12}  "
+                f"{len(e.transfers):>5}  {e.total_elements:>9}  "
+                f"{e.duration:>10.4g}"
+            )
+        if len(self.events) > max_phases:
+            lines.append(f"... {len(self.events) - max_phases} more")
+        return "\n".join(lines)

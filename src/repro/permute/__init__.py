@@ -1,0 +1,23 @@
+"""Other permutations built from transposition machinery (§7).
+
+* bit-reversal via the general exchange algorithm (pairs ``(i, m-1-i)``);
+* *dimension permutations* (Definition 17) via at most ``ceil(log2 n)``
+  rounds of *parallel swapping* (Definition 18, Lemma 15);
+* arbitrary node permutations via two all-to-all personalized
+  communications (Stout & Wagar [20, 21]).
+"""
+
+from repro.permute.bit_reversal import bit_reversal_pairs, bit_reversal_permute
+from repro.permute.dimperm import (
+    apply_dimension_permutation,
+    decompose_parallel_swappings,
+)
+from repro.permute.general import arbitrary_node_permutation
+
+__all__ = [
+    "apply_dimension_permutation",
+    "arbitrary_node_permutation",
+    "bit_reversal_pairs",
+    "bit_reversal_permute",
+    "decompose_parallel_swappings",
+]

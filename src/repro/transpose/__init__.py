@@ -1,0 +1,76 @@
+"""Matrix transposition algorithms — the paper's core contribution.
+
+* :mod:`repro.transpose.exchange` — the *standard* and *general exchange
+  algorithms* (Definitions 10-11): sequences of address-dimension pair
+  exchanges executed on real distributed data, with the §8.1 buffered /
+  unbuffered / optimum-threshold send policies.
+* :mod:`repro.transpose.one_dim` — one-dimensional partitionings (§5):
+  all-to-all personalized communication by the exchange algorithm
+  (one-port) or the spanning-balanced-n-tree router (n-port).
+* :mod:`repro.transpose.two_dim` — two-dimensional partitionings (§6.1):
+  the Single, Dual and Multiple Paths Transpose algorithms (SPT/DPT/MPT)
+  with pipelined packet schedules, plus the routing-logic baseline.
+* :mod:`repro.transpose.remap` — transposition combined with a change of
+  assignment scheme (§6.2, Algorithms 1-3).
+* :mod:`repro.transpose.mixed` — transposition combined with Gray/binary
+  re-encoding (§6.3): the n-step combined algorithm and the (2n-2)-step
+  naive one.
+* :mod:`repro.transpose.planner` — the public entry point: classify the
+  layout pair, pick an algorithm, run it, report cost.
+"""
+
+from repro.transpose.exchange import (
+    BufferPolicy,
+    ExchangeExecutor,
+    conversion_bit_permutation,
+    convert_layout,
+    exchange_transpose,
+    general_exchange_pairs,
+    plan_exchange_sequence,
+    standard_exchange_pairs,
+    transpose_bit_permutation,
+)
+from repro.transpose.one_dim import (
+    block_convert,
+    block_transpose,
+    one_dim_transpose_exchange,
+    one_dim_transpose_sbnt,
+)
+from repro.transpose.two_dim import (
+    two_dim_transpose_dpt,
+    two_dim_transpose_mpt,
+    two_dim_transpose_router,
+    two_dim_transpose_spt,
+)
+from repro.transpose.remap import remap_transpose
+from repro.transpose.mixed import (
+    mixed_code_transpose_combined,
+    mixed_code_transpose_naive,
+)
+from repro.transpose.planner import TransposeResult, default_after_layout, transpose
+
+__all__ = [
+    "BufferPolicy",
+    "ExchangeExecutor",
+    "TransposeResult",
+    "block_convert",
+    "block_transpose",
+    "conversion_bit_permutation",
+    "convert_layout",
+    "default_after_layout",
+    "exchange_transpose",
+    "general_exchange_pairs",
+    "mixed_code_transpose_combined",
+    "mixed_code_transpose_naive",
+    "one_dim_transpose_exchange",
+    "one_dim_transpose_sbnt",
+    "plan_exchange_sequence",
+    "remap_transpose",
+    "standard_exchange_pairs",
+    "transpose",
+    "transpose_bit_permutation",
+    "two_dim_transpose_dpt",
+    "two_dim_transpose_mpt",
+    "two_dim_transpose_router",
+    "two_dim_transpose_spt",
+]

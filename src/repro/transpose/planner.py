@@ -1,0 +1,156 @@
+"""The public transpose entry point: classify, pick, run, report.
+
+:func:`transpose` is what a downstream user calls: given a distributed
+matrix, a target layout and a machine, it classifies the communication
+(§2), selects the algorithm the paper recommends for that class and port
+model, executes it on the simulated network, and returns the transposed
+matrix together with the cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.classify import CommClass, classify_transpose
+from repro.layout.fields import Layout
+from repro.layout.matrix import DistributedMatrix
+from repro.machine.engine import CubeNetwork
+from repro.machine.metrics import TransferStats
+from repro.machine.params import MachineParams, PortModel
+from repro.transpose.exchange import BufferPolicy, exchange_transpose
+from repro.transpose.mixed import mixed_code_transpose_combined
+from repro.transpose.one_dim import block_transpose
+from repro.transpose.two_dim import (
+    two_dim_transpose_mpt,
+    two_dim_transpose_router,
+    two_dim_transpose_spt,
+)
+
+__all__ = ["TransposeResult", "transpose", "default_after_layout"]
+
+
+@dataclass
+class TransposeResult:
+    """Outcome of a planned transpose."""
+
+    matrix: DistributedMatrix
+    stats: TransferStats
+    algorithm: str
+    comm_class: CommClass
+
+    def verify_against(self, original: np.ndarray) -> bool:
+        """Does the gathered result equal ``original.T``?"""
+        return bool(np.array_equal(self.matrix.to_global(), original.T))
+
+
+def default_after_layout(before: Layout) -> Layout:
+    """The canonical target: the same field structure on ``A^T``.
+
+    Defined for square matrices (``p == q``), where "the same scheme on
+    the transposed matrix" keeps every field's bit positions: the
+    dimensions that encoded row bits now encode the same-numbered column
+    bits.  Rectangular matrices need an explicit target layout (or
+    virtual-element squaring, Definition 2).
+    """
+    if before.p != before.q:
+        raise ValueError(
+            "a default target layout exists only for square matrices; "
+            "pass `after` explicitly (or square up with virtual elements)"
+        )
+    return Layout(before.p, before.q, before.fields, before.name)
+
+
+def transpose(
+    network: CubeNetwork,
+    dm: DistributedMatrix,
+    after: Layout | None = None,
+    *,
+    algorithm: str = "auto",
+    policy: BufferPolicy | None = None,
+    packet_size: int | None = None,
+) -> TransposeResult:
+    """Transpose ``dm`` into layout ``after`` on the given machine.
+
+    ``algorithm="auto"`` follows the paper's guidance:
+
+    * pairwise communication, one-port   → step-by-step SPT (§8.2);
+    * pairwise, n-port                   → MPT (Theorem 2);
+    * pairwise with Gray/binary mixes the bit machinery cannot commute →
+      the §6.3 combined algorithm;
+    * all-to-all or mixed overlap, one-port → the exchange algorithm
+      with the optimum-threshold buffering of §8.1;
+    * all-to-all or mixed, n-port        → block transpose over SBnT
+      routing (§5).
+
+    Explicit names: ``"spt"``, ``"dpt"``, ``"mpt"``, ``"router"``,
+    ``"exchange"``, ``"block-exchange"``, ``"block-sbnt"``,
+    ``"mixed-combined"``, ``"mixed-naive"``.
+    """
+    before = dm.layout
+    if after is None:
+        after = default_after_layout(before)
+    info = classify_transpose(before, after)
+    if before.n != after.n:
+        raise ValueError(
+            "the planner handles layouts using the full machine on both "
+            "sides (|R_b| == |R_a|); for some-to-all / all-to-some cases "
+            "use repro.comm.all_to_some directly with virtual elements"
+        )
+
+    n_port = network.params.port_model is PortModel.N_PORT
+    name = algorithm
+    if algorithm == "auto":
+        if info.comm_class in (CommClass.PAIRWISE, CommClass.LOCAL):
+            name = _pick_pairwise(before, after, n_port)
+        else:
+            name = "block-sbnt" if n_port else "exchange"
+
+    if name == "spt":
+        out = two_dim_transpose_spt(
+            network, dm, after, packet_size=packet_size, charge_copy=True
+        )
+    elif name == "dpt":
+        from repro.transpose.two_dim import two_dim_transpose_dpt
+
+        out = two_dim_transpose_dpt(network, dm, after, packet_size=packet_size)
+    elif name == "mpt":
+        out = two_dim_transpose_mpt(network, dm, after)
+    elif name == "router":
+        out = two_dim_transpose_router(network, dm, after)
+    elif name == "mixed-combined":
+        out = mixed_code_transpose_combined(network, dm, after)
+    elif name == "mixed-naive":
+        from repro.transpose.mixed import mixed_code_transpose_naive
+
+        out = mixed_code_transpose_naive(network, dm, after)
+    elif name == "exchange":
+        chosen = policy or BufferPolicy(mode="threshold")
+        out = exchange_transpose(network, dm, after, policy=chosen)
+    elif name == "block-exchange":
+        out = block_transpose(network, dm, after, router="exchange")
+    elif name == "block-sbnt":
+        out = block_transpose(network, dm, after, router="sbnt")
+    else:
+        raise ValueError(f"unknown algorithm {name!r}")
+    return TransposeResult(out, network.stats, name, info.comm_class)
+
+
+def _pick_pairwise(before: Layout, after: Layout, n_port: bool) -> str:
+    """Choose among the pairwise algorithms (§6.1 / §6.3)."""
+    from repro.cube.paths import transpose_partner
+    from repro.transpose.two_dim import pairwise_maps
+
+    if before.n == 0:
+        return "block-exchange"  # degenerates to a local rearrangement
+    partner, _ = pairwise_maps(before, after)
+    is_tr = before.n % 2 == 0 and all(
+        int(partner[x]) == transpose_partner(x, before.n)
+        for x in range(len(partner))
+    )
+    if is_tr:
+        return "mpt" if n_port else "spt"
+    # Pairwise but not tr(x): mixed Gray/binary encodings (§6.3) or a
+    # combined assignment; the greedy correction router handles both.
+    return "mixed-combined"

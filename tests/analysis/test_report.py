@@ -1,0 +1,73 @@
+"""Tests for the algorithm advisor (analysis.report)."""
+
+import pytest
+
+from repro.analysis.report import (
+    AlgorithmEstimate,
+    estimate_transpose_options,
+    format_report,
+)
+from repro.machine.presets import connection_machine, custom_machine, intel_ipsc
+from repro.machine.params import PortModel
+
+
+class TestEstimates:
+    def test_sorted_fastest_first(self):
+        options = estimate_transpose_options(intel_ipsc(6), 1 << 16)
+        times = [o.time for o in options]
+        assert times == sorted(times)
+
+    def test_one_port_offers_ipsc_algorithms(self):
+        names = {o.name for o in estimate_transpose_options(intel_ipsc(6), 1 << 14)}
+        assert "exchange (buffered)" in names
+        assert "SPT (step-by-step)" in names
+        assert "MPT" not in names  # MPT assumes n-port
+
+    def test_n_port_offers_mpt_family(self):
+        names = {
+            o.name
+            for o in estimate_transpose_options(connection_machine(6), 1 << 14)
+        }
+        assert {"MPT", "DPT", "SPT (pipelined)", "all-to-all (SBnT)"} <= names
+
+    def test_odd_cube_skips_two_dim(self):
+        names = {
+            o.name
+            for o in estimate_transpose_options(
+                custom_machine(5, port_model=PortModel.N_PORT), 1 << 12
+            )
+        }
+        assert names == {"all-to-all (SBnT)"}
+
+    def test_buffered_beats_unbuffered_on_big_cube(self):
+        options = {
+            o.name: o.time
+            for o in estimate_transpose_options(intel_ipsc(8), 1 << 16)
+        }
+        assert options["exchange (buffered)"] < options["exchange (unbuffered)"]
+
+    def test_estimate_is_frozen_dataclass(self):
+        est = AlgorithmEstimate("x", "1D", 1.0)
+        with pytest.raises(AttributeError):
+            est.time = 2.0
+
+
+class TestReport:
+    def test_contains_ranking_and_regime(self):
+        text = format_report(intel_ipsc(6), 1 << 16)
+        assert "Theorem 3 lower bound" in text
+        assert "rank" in text
+        assert "regime" in text
+
+    def test_transfer_bound_regime_detected(self):
+        text = format_report(connection_machine(4), 1 << 20)
+        assert "transfer bound" in text
+
+    def test_startup_bound_regime_detected(self):
+        text = format_report(intel_ipsc(8), 1 << 10)
+        assert "start-up bound" in text
+
+    def test_zero_tau_report_omits_regime(self):
+        params = custom_machine(4, tau=0.0, t_c=1.0)
+        text = format_report(params, 1 << 10)
+        assert "regime" not in text

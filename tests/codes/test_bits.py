@@ -1,0 +1,187 @@
+"""Unit tests for repro.codes.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes import bits
+
+
+class TestBitQueries:
+    def test_bit_extracts_each_position(self):
+        value = 0b1011001
+        expected = [1, 0, 0, 1, 1, 0, 1]  # bits 0..6
+        for i, e in enumerate(expected):
+            assert bits.bit(value, i) == e
+
+    def test_bit_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            bits.bit(5, -1)
+
+    def test_set_bit_on_and_off(self):
+        assert bits.set_bit(0b1000, 1, 1) == 0b1010
+        assert bits.set_bit(0b1010, 1, 0) == 0b1000
+        assert bits.set_bit(0b1010, 1, 1) == 0b1010
+
+    def test_set_bit_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            bits.set_bit(0, 0, 2)
+
+    def test_complement_bit_is_involution(self):
+        for v in range(32):
+            for i in range(5):
+                assert bits.complement_bit(bits.complement_bit(v, i), i) == v
+
+    def test_complement_bit_moves_one_cube_dimension(self):
+        assert bits.hamming(13, bits.complement_bit(13, 3)) == 1
+
+
+class TestSwapBits:
+    def test_swap_distinct_bits(self):
+        assert bits.swap_bits(0b10, 0, 1) == 0b01
+
+    def test_swap_equal_bits_is_identity(self):
+        assert bits.swap_bits(0b11, 0, 1) == 0b11
+        assert bits.swap_bits(0b00, 0, 1) == 0b00
+
+    def test_swap_same_index_is_identity(self):
+        assert bits.swap_bits(0b101, 2, 2) == 0b101
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 15), st.integers(0, 15))
+    def test_swap_is_involution(self, v, i, j):
+        assert bits.swap_bits(bits.swap_bits(v, i, j), i, j) == v
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 15), st.integers(0, 15))
+    def test_swap_preserves_popcount(self, v, i, j):
+        assert bits.bit_count(bits.swap_bits(v, i, j)) == bits.bit_count(v)
+
+
+class TestHamming:
+    def test_identical_addresses(self):
+        assert bits.hamming(42, 42) == 0
+
+    def test_known_distance(self):
+        assert bits.hamming(0b1010, 0b0101) == 4
+        assert bits.hamming(0, 0b111) == 3
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**30))
+    def test_symmetry(self, a, b):
+        assert bits.hamming(a, b) == bits.hamming(b, a)
+
+    @given(st.integers(0, 2**20), st.integers(0, 2**20), st.integers(0, 2**20))
+    def test_triangle_inequality(self, a, b, c):
+        assert bits.hamming(a, c) <= bits.hamming(a, b) + bits.hamming(b, c)
+
+    def test_array_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2**40, size=200)
+        b = rng.integers(0, 2**40, size=200)
+        got = bits.hamming_array(a, b)
+        expected = [bits.hamming(int(x), int(y)) for x, y in zip(a, b)]
+        assert got.tolist() == expected
+
+    def test_array_broadcasts_scalar(self):
+        a = np.arange(16)
+        got = bits.hamming_array(a, 0)
+        assert got.tolist() == [bits.bit_count(i) for i in range(16)]
+
+
+class TestParity:
+    def test_scalar_values(self):
+        assert bits.parity(0) == 0
+        assert bits.parity(0b1011) == 1
+        assert bits.parity(0b11) == 0
+
+    def test_array_matches_scalar(self):
+        v = np.arange(256)
+        assert bits.parity_array(v).tolist() == [bits.parity(i) for i in range(256)]
+
+
+class TestRotations:
+    def test_rotate_left_basic(self):
+        assert bits.rotate_left(0b1000, 1, 4) == 0b0001
+        assert bits.rotate_left(0b0011, 2, 4) == 0b1100
+
+    def test_rotate_right_basic(self):
+        assert bits.rotate_right(0b0001, 1, 4) == 0b1000
+
+    def test_rotate_full_width_is_identity(self):
+        for v in range(16):
+            assert bits.rotate_left(v, 4, 4) == v
+
+    def test_zero_width(self):
+        assert bits.rotate_left(0, 3, 0) == 0
+        assert bits.rotate_right(0, 3, 0) == 0
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            bits.rotate_left(16, 1, 4)
+
+    @given(st.integers(0, 2**10 - 1), st.integers(0, 30))
+    def test_left_then_right_identity(self, v, k):
+        assert bits.rotate_right(bits.rotate_left(v, k, 10), k, 10) == v
+
+    @given(st.integers(0, 2**10 - 1), st.integers(0, 9), st.integers(0, 9))
+    def test_rotation_composition(self, v, j, k):
+        via_two = bits.rotate_left(bits.rotate_left(v, j, 10), k, 10)
+        assert via_two == bits.rotate_left(v, j + k, 10)
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        assert bits.bit_reverse(0b100, 3) == 0b001
+        assert bits.bit_reverse(0b110, 3) == 0b011
+        assert bits.bit_reverse(0b1011, 4) == 0b1101
+
+    @given(st.integers(0, 2**12 - 1))
+    def test_involution(self, v):
+        assert bits.bit_reverse(bits.bit_reverse(v, 12), 12) == v
+
+    def test_array_matches_scalar(self):
+        v = np.arange(64)
+        got = bits.bit_reverse_array(v, 6)
+        assert got.tolist() == [bits.bit_reverse(i, 6) for i in range(64)]
+
+    def test_palindrome_fixed_points(self):
+        assert bits.bit_reverse(0b101, 3) == 0b101
+        assert bits.bit_reverse(0b0110, 4) == 0b0110
+
+
+class TestFields:
+    def test_extract_field(self):
+        # w = (u || v) with p = q = 3, u = 0b101, v = 0b011.
+        w = (0b101 << 3) | 0b011
+        assert bits.extract_field(w, 3, 3) == 0b101
+        assert bits.extract_field(w, 0, 3) == 0b011
+
+    def test_insert_field_roundtrip(self):
+        w = 0b110010
+        f = bits.extract_field(w, 2, 3)
+        assert bits.insert_field(w, 2, 3, f) == w
+
+    def test_insert_field_replaces(self):
+        assert bits.insert_field(0b111111, 1, 3, 0b000) == 0b110001
+
+    def test_insert_field_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            bits.insert_field(0, 0, 2, 0b100)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 12), st.integers(0, 4))
+    def test_extract_insert_roundtrip(self, w, low, size):
+        f = bits.extract_field(w, low, size)
+        assert bits.insert_field(w, low, size, f) == w
+
+
+class TestBitsTupleConversion:
+    def test_to_bits_msb_first(self):
+        assert bits.to_bits(0b101, 3) == (1, 0, 1)
+        assert bits.to_bits(0b001, 4) == (0, 0, 0, 1)
+
+    def test_from_bits_inverse(self):
+        for v in range(64):
+            assert bits.from_bits(bits.to_bits(v, 6)) == v
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits.from_bits((0, 2, 1))

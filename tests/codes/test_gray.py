@@ -1,0 +1,67 @@
+"""Unit tests for the binary-reflected Gray code."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes import bits, gray
+
+
+class TestGrayEncodeDecode:
+    def test_first_eight_codes(self):
+        expected = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+        assert [gray.gray_encode(i) for i in range(8)] == expected
+
+    @given(st.integers(0, 2**30))
+    def test_decode_inverts_encode(self, v):
+        assert gray.gray_decode(gray.gray_encode(v)) == v
+
+    @given(st.integers(0, 2**30))
+    def test_encode_inverts_decode(self, v):
+        assert gray.gray_encode(gray.gray_decode(v)) == v
+
+    @given(st.integers(0, 2**20 - 1))
+    def test_consecutive_codes_adjacent(self, v):
+        assert bits.hamming(gray.gray_encode(v), gray.gray_encode(v + 1)) == 1
+
+    def test_encode_is_bijection_on_width(self):
+        codes = {gray.gray_encode(i) for i in range(256)}
+        assert codes == set(range(256))
+
+    def test_array_versions_match_scalar(self):
+        v = np.arange(1024)
+        enc = gray.gray_encode_array(v)
+        assert enc.tolist() == [gray.gray_encode(i) for i in range(1024)]
+        dec = gray.gray_decode_array(enc, 10)
+        assert dec.tolist() == list(range(1024))
+
+    def test_adjacency_checker(self):
+        for width in range(7):
+            assert gray.gray_neighbors_differ_by_one_bit(width)
+
+
+class TestGrayToBinaryPath:
+    @given(st.integers(1, 10), st.data())
+    def test_path_endpoints(self, width, data):
+        code = data.draw(st.integers(0, 2**width - 1))
+        path = gray.gray_to_binary_path(code, width)
+        assert path[0] == code
+        assert path[-1] == gray.gray_decode(code)
+
+    @given(st.integers(1, 10), st.data())
+    def test_path_steps_are_cube_edges(self, width, data):
+        code = data.draw(st.integers(0, 2**width - 1))
+        path = gray.gray_to_binary_path(code, width)
+        for a, b in zip(path, path[1:]):
+            assert bits.hamming(a, b) == 1
+
+    @given(st.integers(1, 10), st.data())
+    def test_path_length_at_most_width_minus_one(self, width, data):
+        code = data.draw(st.integers(0, 2**width - 1))
+        path = gray.gray_to_binary_path(code, width)
+        assert len(path) - 1 <= max(width - 1, 0)
+
+    def test_fixed_point_path_is_trivial(self):
+        # G^{-1}(0) = 0 and G^{-1}(1) = 1: no movement required.
+        assert gray.gray_to_binary_path(0, 4) == [0]
+        assert gray.gray_to_binary_path(1, 4) == [1]

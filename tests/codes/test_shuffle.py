@@ -1,0 +1,115 @@
+"""Tests for the shuffle operator and Lemmas 1-3 of the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes import bits, shuffle
+
+
+class TestShuffleAddress:
+    def test_shuffle_matches_definition(self):
+        # sh^1 on 4 bits: (w3 w2 w1 w0) element ends at (w2 w1 w0 w3).
+        assert shuffle.shuffle_address(0b1000, 4) == 0b0001
+        assert shuffle.shuffle_address(0b0110, 4) == 0b1100
+
+    def test_unshuffle_inverts_shuffle(self):
+        for w in range(32):
+            s = shuffle.shuffle_address(w, 5)
+            assert shuffle.unshuffle_address(s, 5) == w
+
+    @given(st.integers(0, 2**8 - 1), st.integers(0, 20))
+    def test_k_shuffles_compose(self, w, k):
+        by_k = shuffle.shuffle_address(w, 8, k)
+        step = w
+        for _ in range(k):
+            step = shuffle.shuffle_address(step, 8)
+        assert by_k == step
+
+    def test_sh_k_equals_sh_minus_m_minus_k(self):
+        # sh^k = sh^{-(m-k)} (§2).
+        m = 6
+        for w in range(2**m):
+            for k in range(m):
+                assert shuffle.shuffle_address(w, m, k) == shuffle.unshuffle_address(
+                    w, m, m - k
+                )
+
+
+class TestShufflePermutation:
+    def test_permutation_is_bijection(self):
+        perm = shuffle.shuffle_permutation(6)
+        assert sorted(perm.tolist()) == list(range(64))
+
+    def test_permutation_matches_scalar(self):
+        perm = shuffle.shuffle_permutation(5, 2)
+        expected = [shuffle.shuffle_address(w, 5, 2) for w in range(32)]
+        assert perm.tolist() == expected
+
+    def test_width_zero(self):
+        assert shuffle.shuffle_permutation(0).tolist() == [0]
+
+    def test_lemma1_transpose_via_shuffles(self):
+        """Lemma 1: A^T = sh^p A for a 2^p x 2^q matrix.
+
+        The address of a(u, v) is (u || v); the transposed matrix stores
+        a(u, v) at address (v || u).  sh^p applied p times rotates the
+        p row bits from the top of the address to the bottom.
+        """
+        p, q = 2, 3
+        m = p + q
+        A = np.arange(2**m).reshape(2**p, 2**q)
+        flat = A.reshape(-1)  # flat[u||v] = a(u, v)
+        perm = shuffle.shuffle_permutation(m, p)
+        shuffled = np.empty_like(flat)
+        shuffled[perm] = flat  # element at w moves to location sh^p(w)
+        assert np.array_equal(shuffled.reshape(2**q, 2**p), A.T)
+
+    def test_lemma1_via_unshuffle_q(self):
+        p, q = 3, 2
+        m = p + q
+        A = np.arange(2**m).reshape(2**p, 2**q)
+        flat = A.reshape(-1)
+        w = np.arange(2**m)
+        perm = np.array([shuffle.unshuffle_address(int(x), m, q) for x in w])
+        shuffled = np.empty_like(flat)
+        shuffled[perm] = flat
+        assert np.array_equal(shuffled.reshape(2**q, 2**p), A.T)
+
+
+class TestMaxShuffleHamming:
+    @pytest.mark.parametrize(
+        "m,k", [(m, k) for m in range(1, 11) for k in range(m)]
+    )
+    def test_closed_form_matches_exhaustive(self, m, k):
+        w = np.arange(2**m, dtype=np.int64)
+        mask = (1 << m) - 1
+        kk = k % m
+        shuffled = ((w << kk) | (w >> (m - kk))) & mask if kk else w
+        exhaustive = int(bits.hamming_array(w, shuffled).max())
+        assert shuffle.max_shuffle_hamming(m, k) == exhaustive
+
+    def test_lemma2_even_m_single_shuffle(self):
+        # For m even there exists w with Hamming(w, sh w) = m.
+        for m in (2, 4, 6, 8):
+            assert shuffle.max_shuffle_hamming(m, 1) == m
+
+    def test_lemma2_odd_m_single_shuffle(self):
+        for m in (3, 5, 7, 9):
+            assert shuffle.max_shuffle_hamming(m, 1) == m - 1
+
+    def test_corollary2_half_rotation(self):
+        # For m even, max_w Hamming(w, sh^{m/2} w) = m.
+        for m in (2, 4, 6, 8, 10):
+            assert shuffle.max_shuffle_hamming(m, m // 2) == m
+
+    def test_lemma3_lower_bound(self):
+        # For 0 <= k < m the maximum distance is at least k.
+        for m in range(1, 12):
+            for k in range(m):
+                assert shuffle.max_shuffle_hamming(m, k) >= k
+
+    def test_zero_rotation(self):
+        assert shuffle.max_shuffle_hamming(8, 0) == 0
+        assert shuffle.max_shuffle_hamming(8, 8) == 0

@@ -1,0 +1,85 @@
+"""Direct checks of the paper's small lemmas and corollaries that are
+not already embedded in an algorithm test."""
+
+import numpy as np
+import pytest
+
+from repro.codes.bits import hamming
+from repro.codes.shuffle import max_shuffle_hamming
+from repro.cube.paths import transpose_partner
+from repro.cube.topology import diameter_pairs, distance
+
+
+class TestLemma5:
+    """p = q, u and v equal except in one bit: Hamming((u||v),(v||u)) = 2."""
+
+    @pytest.mark.parametrize("q", [2, 3, 4])
+    def test_single_differing_bit(self, q):
+        for u in range(1 << q):
+            for i in range(q):
+                v = u ^ (1 << i)
+                w1 = (u << q) | v
+                w2 = (v << q) | u
+                assert hamming(w1, w2) == 2
+
+
+class TestCorollary4:
+    """With one element per node, the transpose needs m/2 exchanges, each
+    over distance 2 — and that matches the Corollary 2 lower bound."""
+
+    @pytest.mark.parametrize("q", [1, 2, 3])
+    def test_exchange_count_and_distance(self, q):
+        m = 2 * q
+        # Each exchange pairs (u_i, v_i): m/2 pairs, each moving data
+        # across exactly two dimensions (Lemma 5).
+        assert m // 2 == q
+        # Lower bound: max_w Hamming(w, sh^{m/2} w) = m (Corollary 2),
+        # i.e. some element must cross all m dimensions; q exchanges of
+        # distance 2 provide exactly 2q = m crossings.
+        assert max_shuffle_hamming(m, m // 2) == m
+
+
+class TestCorollary5:
+    """1D partitioning with |R_b| = |R_a|: some element traverses all
+    |R_b| dimensions — the transpose partner of some node is antipodal
+    within the processor subspace."""
+
+    def test_exists_full_distance_element(self):
+        from repro.layout import partition as pt
+        from repro.layout.classify import dims_after_transpose
+
+        p = q = 4
+        n = 3
+        before = pt.row_consecutive(p, q, n)
+        after = pt.row_consecutive(q, p, n)
+        w = np.arange(1 << (p + q), dtype=np.int64)
+        src = before.owner_array(w)
+        u, v = w >> q, w & ((1 << q) - 1)
+        dst = after.owner_array((v << p) | u)
+        assert int(np.max([distance(int(a), int(b)) for a, b in zip(src, dst)])) == n
+
+
+class TestAntipodalTranspose:
+    """The anti-diagonal nodes of the 2D layout are at distance n from
+    their partner (the start-up lower bound of Theorem 3)."""
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_antidiagonal_at_full_distance(self, n):
+        half = n // 2
+        mask = (1 << half) - 1
+        full = [
+            x
+            for x in range(1 << n)
+            if distance(x, transpose_partner(x, n)) == n
+        ]
+        # Exactly the nodes with x_c = complement of x_r.
+        expected = [
+            (r << half) | (~r & mask) for r in range(1 << half)
+        ]
+        assert sorted(full) == sorted(expected)
+
+    def test_diameter_pairs_helper(self):
+        pairs = diameter_pairs(3)
+        assert len(pairs) == 8
+        for a, b in pairs:
+            assert distance(a, b) == 3

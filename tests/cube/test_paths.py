@@ -1,0 +1,218 @@
+"""Tests for the SPT/DPT/MPT path families of §6.1, including the paper's
+worked example and the disjointness lemmas (Lemmas 9-14)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.bits import hamming
+from repro.cube import paths as cp
+from repro.cube.topology import is_edge, path_dims_to_nodes
+
+
+def edges_of(src: int, dims: list[int]) -> list[tuple[int, int]]:
+    nodes = path_dims_to_nodes(src, dims)
+    return list(zip(nodes, nodes[1:]))
+
+
+class TestTransposePartner:
+    def test_swaps_halves(self):
+        assert cp.transpose_partner(0b100100, 6) == 0b100100
+        assert cp.transpose_partner(0b000111, 6) == 0b111000
+        assert cp.transpose_partner(0b10010100, 8) == 0b01001001
+
+    def test_is_involution(self):
+        for x in range(64):
+            assert cp.transpose_partner(cp.transpose_partner(x, 6), 6) == x
+
+    def test_odd_cube_rejected(self):
+        with pytest.raises(ValueError):
+            cp.transpose_partner(0, 5)
+
+    def test_hamming_relationship(self):
+        for x in range(256):
+            h = cp.transpose_hamming(x, 8)
+            assert hamming(x, cp.transpose_partner(x, 8)) == 2 * h
+
+
+class TestPaperExample:
+    """x = (1001 || 0100), section 6.1.3: the six published paths."""
+
+    X = 0b10010100
+    N = 8
+
+    def test_h_and_partner(self):
+        assert cp.transpose_hamming(self.X, self.N) == 3
+        assert cp.transpose_partner(self.X, self.N) == 0b01001001
+
+    def test_all_six_paths(self):
+        expected = {
+            0: [7, 3, 6, 2, 4, 0],
+            1: [4, 0, 7, 3, 6, 2],
+            2: [6, 2, 4, 0, 7, 3],
+            3: [3, 7, 2, 6, 0, 4],
+            4: [0, 4, 3, 7, 2, 6],
+            5: [2, 6, 0, 4, 3, 7],
+        }
+        for p, dims in expected.items():
+            assert cp.mpt_path_dims(self.X, self.N, p) == dims, f"path {p}"
+
+    def test_path0_node_sequence(self):
+        nodes = path_dims_to_nodes(self.X, cp.mpt_path_dims(self.X, self.N, 0))
+        assert nodes == [
+            0b10010100,
+            0b00010100,
+            0b00011100,
+            0b01011100,
+            0b01011000,
+            0b01001000,
+            0b01001001,
+        ]
+
+    def test_spt_is_path_zero(self):
+        assert cp.spt_path(self.X, self.N) == cp.mpt_path_dims(self.X, self.N, 0)
+
+    def test_dpt_is_paths_zero_and_h(self):
+        assert cp.dpt_paths(self.X, self.N) == [
+            cp.mpt_path_dims(self.X, self.N, 0),
+            cp.mpt_path_dims(self.X, self.N, 3),
+        ]
+
+
+class TestPathStructure:
+    @given(st.integers(0, 255))
+    def test_paths_reach_partner(self, x):
+        n = 8
+        tr = cp.transpose_partner(x, n)
+        for dims in cp.mpt_paths(x, n):
+            nodes = path_dims_to_nodes(x, dims)
+            assert nodes[-1] == tr
+            for a, b in zip(nodes, nodes[1:]):
+                assert is_edge(a, b)
+
+    @given(st.integers(0, 255))
+    def test_lemma9_paths_of_one_node_edge_disjoint(self, x):
+        n = 8
+        all_edges: set[tuple[int, int]] = set()
+        count = 0
+        for dims in cp.mpt_paths(x, n):
+            for e in edges_of(x, dims):
+                all_edges.add(e)
+                count += 1
+        assert len(all_edges) == count
+
+    @given(st.integers(0, 255))
+    def test_path_lengths(self, x):
+        n = 8
+        h = cp.transpose_hamming(x, n)
+        for dims in cp.mpt_paths(x, n):
+            assert len(dims) == 2 * h
+
+    def test_diagonal_node_has_no_paths(self):
+        assert cp.mpt_paths(0b101101, 6) == []
+        assert cp.spt_path(0b101101, 6) == []
+        assert cp.dpt_paths(0b101101, 6) == []
+
+
+class TestDisjointnessLemmas:
+    N = 6
+
+    def test_lemma13_distinct_classes_share_no_edges(self):
+        """If x' !~_s x'' then Paths(x') and Paths(x'') are edge-disjoint."""
+        n = self.N
+        by_class: dict[tuple[int, int], set[tuple[int, int]]] = {}
+        for x in range(1 << n):
+            key = cp.same_set_relation(x, n)
+            acc = by_class.setdefault(key, set())
+            for dims in cp.mpt_paths(x, n):
+                acc |= set(edges_of(x, dims))
+        keys = list(by_class)
+        for i in range(len(keys)):
+            for j in range(i + 1, len(keys)):
+                assert not (by_class[keys[i]] & by_class[keys[j]])
+
+    def test_lemma14_two_two_h_disjoint_schedule(self):
+        """Packets injected on every path of every node during cycles 1 and 2
+        never contend for a directed edge in the same cycle."""
+        n = self.N
+        # occupancy[cycle] = set of directed edges in use that cycle
+        occupancy: dict[int, set[tuple[int, int]]] = {}
+        for x in range(1 << n):
+            h = cp.transpose_hamming(x, n)
+            if h == 0:
+                continue
+            for dims in cp.mpt_paths(x, n):
+                nodes = path_dims_to_nodes(x, dims)
+                for inject in (0, 1):  # cycles 1 and 2 of the period
+                    for hop, e in enumerate(zip(nodes, nodes[1:])):
+                        cycle = inject + hop
+                        used = occupancy.setdefault(cycle, set())
+                        assert e not in used, (
+                            f"edge {e} reused in cycle {cycle}"
+                        )
+                        used.add(e)
+
+    def test_even_nodes_stay_in_class(self):
+        """Corollary 8: nodes at even distance along a path are ~_s x."""
+        n = self.N
+        for x in range(1 << n):
+            key = cp.same_set_relation(x, n)
+            for dims in cp.mpt_paths(x, n):
+                nodes = path_dims_to_nodes(x, dims)
+                for e in range(2, len(nodes), 2):
+                    assert cp.same_set_relation(nodes[e], n) == key
+
+    def test_odd_nodes_leave_antidiagonal(self):
+        """Lemma 10: odd-distance nodes are off the anti-diagonal class."""
+        n = self.N
+        for x in range(1 << n):
+            ad = cp.anti_diagonal_class(x, n)
+            for dims in cp.mpt_paths(x, n):
+                nodes = path_dims_to_nodes(x, dims)
+                for e in range(1, len(nodes), 2):
+                    assert cp.anti_diagonal_class(nodes[e], n) != ad
+
+
+class TestItineraries:
+    """Unit tests for the synchronized (padded) SPT/DPT schedules."""
+
+    def test_spt_itinerary_length_and_padding(self):
+        from repro.cube.paths import spt_itinerary
+
+        n = 6
+        for x in range(1 << n):
+            slots = spt_itinerary(x, n)
+            assert len(slots) == n
+            active = [d for d in slots if d is not None]
+            assert active == cp.spt_path(x, n)
+
+    def test_spt_itinerary_slot_positions(self):
+        """Slot 2i holds alpha_{H-1-i}'s global position: every node is
+        either on-dimension or idle at each ordinal."""
+        from repro.cube.paths import spt_itinerary
+
+        n = 6
+        half = n // 2
+        order = [d for k in range(half - 1, -1, -1) for d in (k + half, k)]
+        for x in range(1 << n):
+            for s, d in enumerate(spt_itinerary(x, n)):
+                assert d is None or d == order[s]
+
+    def test_dpt_itineraries_pairwise_permuted(self):
+        from repro.cube.paths import dpt_itineraries
+
+        n = 6
+        for x in range(1 << n):
+            its = dpt_itineraries(x, n)
+            if cp.transpose_hamming(x, n) == 0:
+                assert its == []
+                continue
+            first, second = its
+            # The second path permutes each (row, column) pair.
+            for s in range(0, n, 2):
+                assert (first[s], first[s + 1]) == (second[s + 1], second[s])
+
+    def test_diagonal_nodes_idle_everywhere(self):
+        from repro.cube.paths import spt_itinerary
+
+        assert spt_itinerary(0b101101, 6) == [None] * 6

@@ -1,0 +1,121 @@
+"""Tests for Boolean n-cube topology primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes.bits import hamming
+from repro.cube import topology
+
+
+class TestNeighbors:
+    def test_node_count(self):
+        assert topology.num_nodes(0) == 1
+        assert topology.num_nodes(6) == 64
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            topology.num_nodes(-1)
+
+    def test_neighbor_count_and_distance(self):
+        n = 5
+        for x in (0, 7, 31):
+            nbrs = topology.neighbors(x, n)
+            assert len(nbrs) == n
+            assert all(hamming(x, y) == 1 for y in nbrs)
+            assert len(set(nbrs)) == n
+
+    def test_node_outside_cube_rejected(self):
+        with pytest.raises(ValueError):
+            topology.neighbors(8, 3)
+
+    def test_is_edge(self):
+        assert topology.is_edge(0b000, 0b100)
+        assert not topology.is_edge(0b000, 0b110)
+        assert not topology.is_edge(5, 5)
+
+    def test_dimension_of_edge(self):
+        assert topology.dimension_of_edge(0b0010, 0b1010) == 3
+        with pytest.raises(ValueError):
+            topology.dimension_of_edge(0, 3)
+
+
+class TestEcubeRoute:
+    def test_route_endpoints_and_steps(self):
+        route = topology.ecube_route(0b000, 0b101, 3)
+        assert route[0] == 0b000
+        assert route[-1] == 0b101
+        assert route == [0b000, 0b001, 0b101]
+
+    def test_descending_order(self):
+        route = topology.ecube_route(0b000, 0b101, 3, ascending=False)
+        assert route == [0b000, 0b100, 0b101]
+
+    def test_trivial_route(self):
+        assert topology.ecube_route(6, 6, 3) == [6]
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_route_length_is_hamming_distance(self, src, dst):
+        route = topology.ecube_route(src, dst, 6)
+        assert len(route) - 1 == hamming(src, dst)
+        for a, b in zip(route, route[1:]):
+            assert topology.is_edge(a, b)
+
+
+class TestDisjointPaths:
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_saad_schultz_structure(self, src, dst):
+        """n paths: H of length H, n-H of length H+2 (§2)."""
+        n = 5
+        if src == dst:
+            return
+        h = hamming(src, dst)
+        paths = topology.disjoint_paths(src, dst, n)
+        assert len(paths) == n
+        lengths = sorted(len(p) - 1 for p in paths)
+        assert lengths == [h] * h + [h + 2] * (n - h)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_paths_valid_and_interior_disjoint(self, src, dst):
+        n = 5
+        if src == dst:
+            return
+        paths = topology.disjoint_paths(src, dst, n)
+        interiors = []
+        for p in paths:
+            assert p[0] == src and p[-1] == dst
+            for a, b in zip(p, p[1:]):
+                assert topology.is_edge(a, b)
+            interiors.append(set(p[1:-1]))
+        for i in range(len(interiors)):
+            for j in range(i + 1, len(interiors)):
+                assert not (interiors[i] & interiors[j])
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            topology.disjoint_paths(3, 3, 4)
+
+
+class TestSubcubes:
+    def test_full_cube(self):
+        assert topology.subcube_nodes(3, {}) == list(range(8))
+
+    def test_pinned_dimension(self):
+        assert topology.subcube_nodes(3, {2: 1}) == [4, 5, 6, 7]
+        assert topology.subcube_nodes(3, {0: 0}) == [0, 2, 4, 6]
+
+    def test_two_pins(self):
+        assert topology.subcube_nodes(3, {0: 1, 2: 0}) == [1, 3]
+
+    def test_invalid_pin_rejected(self):
+        with pytest.raises(ValueError):
+            topology.subcube_nodes(3, {5: 0})
+        with pytest.raises(ValueError):
+            topology.subcube_nodes(3, {0: 2})
+
+    def test_subcubes_partition_the_cube(self):
+        seen = []
+        for v0 in (0, 1):
+            for v1 in (0, 1):
+                seen += topology.subcube_nodes(4, {1: v0, 3: v1})
+        assert sorted(seen) == list(range(16))

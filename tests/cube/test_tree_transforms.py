@@ -1,0 +1,91 @@
+"""Tests for SpanningTree transformations (Definitions 8-9, §3.2)."""
+
+import pytest
+
+from repro.codes.bits import rotate_left
+from repro.cube.trees import SpanningTree, spanning_binomial_tree
+
+
+class TestTranslate:
+    def test_translation_relabels_by_xor(self):
+        """§3.2: the tree rooted at s is the XOR-translation of the tree
+        rooted at 0."""
+        n = 4
+        base = spanning_binomial_tree(n)
+        for s in (0b0101, 0b1111):
+            t = base.translate(s)
+            assert t.root == s
+            for x in range(1 << n):
+                assert t.parent[x ^ s] == base.parent[x] ^ s
+
+    def test_translate_matches_rooted_constructor(self):
+        n = 4
+        s = 0b1010
+        assert (
+            spanning_binomial_tree(n).translate(s).parent
+            == spanning_binomial_tree(n, root=s).parent
+        )
+
+    def test_double_translation_is_identity(self):
+        t = spanning_binomial_tree(3)
+        assert t.translate(5).translate(5).parent == t.parent
+
+
+class TestRotate:
+    def test_rotate_relabels_by_shuffle(self):
+        n = 4
+        base = spanning_binomial_tree(n)
+        rot = base.rotate(1)
+        for x in range(1 << n):
+            assert rot.parent[rotate_left(x, 1, n)] == rotate_left(
+                base.parent[x], 1, n
+            )
+
+    def test_rotate_matches_rotation_constructor(self):
+        n = 4
+        assert (
+            spanning_binomial_tree(n).rotate(2).parent
+            == spanning_binomial_tree(n, rotation=2).parent
+        )
+
+    def test_full_rotation_is_identity(self):
+        t = spanning_binomial_tree(3)
+        assert t.rotate(3).parent == t.parent
+
+    def test_rotation_preserves_depth_multiset(self):
+        n = 4
+        base = spanning_binomial_tree(n)
+        rot = base.rotate(1)
+        base_depths = sorted(base.depth(x) for x in range(16))
+        rot_depths = sorted(rot.depth(x) for x in range(16))
+        assert base_depths == rot_depths
+
+
+class TestQueries:
+    def test_subtree_nodes_partition(self):
+        t = spanning_binomial_tree(4)
+        seen = [t.root]
+        for c in t.children(t.root):
+            seen += t.subtree_nodes(c)
+        assert sorted(seen) == list(range(16))
+
+    def test_height(self):
+        assert spanning_binomial_tree(5).height() == 5
+
+    def test_port_of_root_child(self):
+        t = spanning_binomial_tree(3)
+        assert sorted(t.port_of_root_child(c) for c in t.children(0)) == [0, 1, 2]
+        with pytest.raises(ValueError):
+            t.port_of_root_child(0b011)  # not a root child
+
+    def test_reflection_relationship(self):
+        """Definition 9: the reflected SBT is the bit-reversal image."""
+        from repro.codes.bits import bit_reverse
+
+        n = 4
+        plain = spanning_binomial_tree(n)
+        refl = spanning_binomial_tree(n, reflected=True)
+        for x in range(1 << n):
+            assert refl.parent[bit_reverse(x, n)] == bit_reverse(
+                plain.parent[x], n
+            )

@@ -1,0 +1,170 @@
+"""Tests for spanning binomial trees and spanning balanced n-trees."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes.bits import bit_count, hamming, rotate_left
+from repro.cube import trees
+from repro.cube.topology import num_nodes
+
+
+class TestSpanningBinomialTree:
+    def test_root_children_are_all_dimensions(self):
+        t = trees.spanning_binomial_tree(4)
+        assert sorted(t.children(0)) == [1, 2, 4, 8]
+
+    def test_depth_equals_popcount(self):
+        t = trees.spanning_binomial_tree(5)
+        for x in range(32):
+            assert t.depth(x) == bit_count(x)
+
+    def test_subtree_sizes_are_binomial(self):
+        """Plain SBT: nodes descend from the child at their lowest set bit,
+        so the subtree behind dimension d holds 2^(n-1-d) nodes."""
+        n = 5
+        t = trees.spanning_binomial_tree(n)
+        sizes = t.root_subtree_sizes()
+        assert sizes == {d: 2 ** (n - 1 - d) for d in range(n)}
+
+    def test_reflected_subtree_sizes(self):
+        n = 5
+        t = trees.spanning_binomial_tree(n, reflected=True)
+        sizes = t.root_subtree_sizes()
+        assert sizes == {d: 2**d for d in range(n)}
+
+    @given(st.integers(1, 6), st.data())
+    def test_translation_preserves_shape(self, n, data):
+        root = data.draw(st.integers(0, 2**n - 1))
+        t = trees.spanning_binomial_tree(n, root=root)
+        base = trees.spanning_binomial_tree(n)
+        for x in range(2**n):
+            assert t.depth(x) == base.depth(x ^ root)
+
+    def test_rotation_is_isomorphic(self):
+        n = 4
+        base = trees.spanning_binomial_tree(n)
+        rot = trees.spanning_binomial_tree(n, rotation=2)
+        for x in range(16):
+            assert rot.depth(rotate_left(x, 2, n)) == base.depth(x)
+
+    def test_rotated_trees_have_distinct_root_edges(self):
+        """The n rotated SBTs give the root n distinct heaviest ports."""
+        n = 4
+        heavy_ports = set()
+        for k in range(n):
+            t = trees.spanning_binomial_tree(n, rotation=k)
+            sizes = t.root_subtree_sizes()
+            heavy_ports.add(max(sizes, key=sizes.get))
+        assert len(heavy_ports) == n
+
+    def test_height_is_n(self):
+        for n in range(1, 7):
+            assert trees.spanning_binomial_tree(n).height() == n
+
+    def test_path_from_root(self):
+        t = trees.spanning_binomial_tree(4)
+        assert t.path_from_root(0b1010) == [0, 0b0010, 0b1010]
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(ValueError):
+            trees.spanning_binomial_tree(3, root=8)
+
+
+class TestSpanningTreeValidation:
+    def test_non_cube_edge_rejected(self):
+        # parent of 3 is 0: not a cube edge.
+        with pytest.raises(ValueError):
+            trees.SpanningTree(2, 0, (0, 0, 0, 0))
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            trees.SpanningTree(2, 0, (0, 0, 0))
+
+    def test_root_not_self_parent_rejected(self):
+        with pytest.raises(ValueError):
+            trees.SpanningTree(1, 0, (1, 0))
+
+
+class TestRotationBase:
+    def test_examples(self):
+        assert trees.rotation_base(0b100, 3) == 2
+        assert trees.rotation_base(0b110, 3) == 1
+        assert trees.rotation_base(0b101, 3) == 2
+        assert trees.rotation_base(0b001, 3) == 0
+
+    @given(st.integers(1, 8), st.data())
+    def test_bit_base_is_one(self, n, data):
+        v = data.draw(st.integers(1, 2**n - 1))
+        b = trees.rotation_base(v, n)
+        assert (v >> b) & 1 == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            trees.rotation_base(0, 3)
+
+
+class TestSbntRoute:
+    @given(st.integers(1, 8), st.data())
+    def test_route_crosses_exactly_set_bits(self, n, data):
+        rel = data.draw(st.integers(1, 2**n - 1))
+        dims = trees.sbnt_route_dims(rel, n)
+        assert sorted(dims) == [d for d in range(n) if (rel >> d) & 1]
+
+    @given(st.integers(1, 8), st.data())
+    def test_route_is_shortest(self, n, data):
+        rel = data.draw(st.integers(1, 2**n - 1))
+        assert len(trees.sbnt_route_dims(rel, n)) == bit_count(rel)
+
+    def test_route_order_is_cyclic_ascending_from_base(self):
+        # rel = 0b1011, base 3 -> order 3, 0, 1.
+        assert trees.sbnt_route_dims(0b1011, 4) == [3, 0, 1]
+        # rel = 0b101, base 2 -> order 2, 0.
+        assert trees.sbnt_route_dims(0b101, 3) == [2, 0]
+
+
+class TestSpanningBalancedTree:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_is_spanning(self, n):
+        t = trees.spanning_balanced_tree(n)
+        assert sorted(t.subtree_nodes(0)) == list(range(num_nodes(n)))
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_depth_equals_distance(self, n):
+        """SBnT routes are shortest paths, so tree depth = Hamming distance."""
+        t = trees.spanning_balanced_tree(n)
+        for x in range(num_nodes(n)):
+            assert t.depth(x) == bit_count(x)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8])
+    def test_root_subtrees_are_balanced(self, n):
+        """Subtree sizes sum to N - 1 and stay near (N - 1)/n."""
+        t = trees.spanning_balanced_tree(n)
+        sizes = t.root_subtree_sizes()
+        total = num_nodes(n) - 1
+        assert sum(sizes.values()) == total
+        expected = total / n
+        for s in sizes.values():
+            assert s <= 2 * expected + 1
+            assert s >= expected / 2 - 1
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_tree_path_matches_route(self, n):
+        """The route of every node is its path down the SBnT."""
+        t = trees.spanning_balanced_tree(n)
+        for x in range(1, num_nodes(n)):
+            dims = trees.sbnt_route_dims(x, n)
+            nodes = [0]
+            cur = 0
+            for d in dims:
+                cur ^= 1 << d
+                nodes.append(cur)
+            assert t.path_from_root(x) == nodes
+
+    def test_translated_root(self):
+        n = 4
+        root = 0b1010
+        t = trees.spanning_balanced_tree(n, root=root)
+        assert sorted(t.subtree_nodes(root)) == list(range(16))
+        for x in range(16):
+            assert t.depth(x) == hamming(x, root)

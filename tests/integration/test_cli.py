@@ -1,0 +1,95 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_machines(self, capsys):
+        assert main(["machines", "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Intel iPSC" in out
+        assert "Connection Machine" in out
+
+    def test_advise_ipsc(self, capsys):
+        assert main(["advise", "--machine", "ipsc", "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        assert "exchange (buffered)" in out
+
+    def test_advise_cm(self, capsys):
+        assert main(["advise", "--machine", "cm", "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "MPT" in out
+
+    def test_advise_custom(self, capsys):
+        assert (
+            main(
+                [
+                    "advise",
+                    "--machine",
+                    "custom",
+                    "-n",
+                    "4",
+                    "--tau",
+                    "2.0",
+                    "--n-port",
+                ]
+            )
+            == 0
+        )
+        assert "SBnT" in capsys.readouterr().out
+
+    def test_run_2d(self, capsys):
+        assert (
+            main(["run", "--machine", "ipsc", "-n", "4", "--elements", "4096"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "verified:   True" in out
+        assert "spt" in out
+
+    def test_run_1d_rows(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--machine",
+                    "cm",
+                    "-n",
+                    "3",
+                    "--layout",
+                    "1d-rows",
+                    "--elements",
+                    "1024",
+                ]
+            )
+            == 0
+        )
+        assert "verified:   True" in capsys.readouterr().out
+
+    def test_run_rejects_non_power_of_two(self, capsys):
+        assert main(["run", "--elements", "1000"]) == 2
+
+    def test_run_rejects_odd_cube_for_2d(self, capsys):
+        assert main(["run", "-n", "3", "--layout", "2d"]) == 2
+
+    def test_rectangular_1d_cols(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--machine",
+                    "ipsc",
+                    "-n",
+                    "2",
+                    "--layout",
+                    "1d-cols",
+                    "--elements",
+                    "2048",  # 2^11 -> 32 x 64, rectangular
+                ]
+            )
+            == 0
+        )
+        assert "verified:   True" in capsys.readouterr().out

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run clean.
+
+Each example asserts its own correctness internally (they all compare
+against NumPy or the paper's structure), so a zero exit status is a
+meaningful check, not just an import test.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+
+
+def test_every_example_is_covered():
+    assert len(EXAMPLES) >= 8
+    assert "quickstart.py" in EXAMPLES

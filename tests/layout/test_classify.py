@@ -1,0 +1,95 @@
+"""Tests for transpose communication classification (§2)."""
+
+import pytest
+
+from repro.layout import CommClass, classify_transpose, dims_after_transpose
+from repro.layout import partition as pt
+
+
+class TestDimsAfterTranspose:
+    def test_two_dim_cyclic_square(self):
+        """2D cyclic with n_r = n_c: R_a equals R_b in the original frame."""
+        p = q = 3
+        before = pt.two_dim_cyclic(p, q, 2, 2)
+        after = pt.two_dim_cyclic(q, p, 2, 2)
+        assert frozenset(dims_after_transpose(after)) == before.proc_dim_set
+
+    def test_one_dim_row_to_row(self):
+        """1D consecutive rows before and after: disjoint fields."""
+        p = q = 3
+        before = pt.row_consecutive(p, q, 2)
+        after = pt.row_consecutive(q, p, 2)
+        r_a = frozenset(dims_after_transpose(after))
+        assert not (r_a & before.proc_dim_set)
+
+
+class TestClassify:
+    P = Q = 4
+
+    def test_pairwise_two_dim_same_scheme(self):
+        before = pt.two_dim_consecutive(self.P, self.Q, 2, 2)
+        after = pt.two_dim_consecutive(self.Q, self.P, 2, 2)
+        info = classify_transpose(before, after)
+        assert info.comm_class is CommClass.PAIRWISE
+        assert info.intersection == info.r_before
+
+    def test_all_to_all_one_dim(self):
+        before = pt.row_consecutive(self.P, self.Q, 3)
+        after = pt.row_consecutive(self.Q, self.P, 3)
+        info = classify_transpose(before, after)
+        assert info.comm_class is CommClass.ALL_TO_ALL
+        assert info.k == 0
+        assert info.l == 3
+
+    def test_one_dim_cyclic_to_consecutive_still_all_to_all(self):
+        """Corollary 6: conversions among the 1D storage forms are
+        equivalent in global communication when I is empty."""
+        before = pt.column_cyclic(self.P, self.Q, 3)
+        after = pt.column_consecutive(self.Q, self.P, 3)
+        info = classify_transpose(before, after)
+        assert info.comm_class is CommClass.ALL_TO_ALL
+
+    def test_some_to_all(self):
+        before = pt.row_consecutive(self.P, self.Q, 1)
+        after = pt.row_consecutive(self.Q, self.P, 3)
+        info = classify_transpose(before, after)
+        assert info.comm_class is CommClass.SOME_TO_ALL
+        assert info.k == 2
+        assert info.l == 1
+
+    def test_all_to_some(self):
+        before = pt.row_consecutive(self.P, self.Q, 3)
+        after = pt.row_consecutive(self.Q, self.P, 1)
+        info = classify_transpose(before, after)
+        assert info.comm_class is CommClass.ALL_TO_SOME
+        assert info.k == 2
+
+    def test_mixed_partial_overlap(self):
+        """§6's consecutive-rows/cyclic-columns example with small vp space
+        can leave a partial intersection."""
+        before = pt.two_dim_mixed(3, 3, 2, 2, rows="consecutive", cols="cyclic")
+        after = pt.two_dim_mixed(3, 3, 2, 2, rows="consecutive", cols="cyclic")
+        info = classify_transpose(before, after)
+        # before rp: u: dims 5,4 (u2,u1); v: dims 1,0. after (in orig frame):
+        # rows of A^T = v: consecutive -> v2,v1 = dims 2,1; cols = u cyclic ->
+        # u1,u0 = dims 4,3.  Intersection = {4, 1}: mixed.
+        assert info.comm_class is CommClass.MIXED
+        assert info.intersection == frozenset({4, 1})
+
+    def test_local_when_serial(self):
+        before = pt.row_cyclic(2, 2, 0)
+        after = pt.row_cyclic(2, 2, 0)
+        info = classify_transpose(before, after)
+        assert info.comm_class is CommClass.LOCAL
+
+    def test_wrong_after_shape_rejected(self):
+        before = pt.row_cyclic(3, 2, 1)
+        with pytest.raises(ValueError):
+            classify_transpose(before, pt.row_cyclic(3, 2, 1))
+
+    def test_rectangular_all_to_all(self):
+        before = pt.column_consecutive(2, 4, 2)
+        after = pt.column_consecutive(4, 2, 2)
+        info = classify_transpose(before, after)
+        # before: v3,v2 = dims 3,2.  after cols = u of A: u1,u0 -> dims 5,4.
+        assert info.comm_class is CommClass.ALL_TO_ALL

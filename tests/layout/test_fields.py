@@ -1,0 +1,120 @@
+"""Tests for the Layout address-field algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes.gray import gray_encode
+from repro.layout import Layout, ProcField
+from repro.layout.partition import row_cyclic, two_dim_consecutive
+
+
+class TestProcField:
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ProcField((3, 3))
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            ProcField((-1,))
+
+    def test_width(self):
+        assert ProcField((5, 2, 0)).width == 3
+
+
+class TestLayoutValidation:
+    def test_dim_outside_address_space(self):
+        with pytest.raises(ValueError):
+            Layout(1, 1, (ProcField((2,)),))
+
+    def test_dim_shared_between_fields(self):
+        with pytest.raises(ValueError):
+            Layout(2, 2, (ProcField((3,)), ProcField((3,))))
+
+    def test_shape_properties(self):
+        lay = Layout(3, 2, (ProcField((4, 1)),))
+        assert lay.m == 5
+        assert lay.n == 2
+        assert lay.num_procs == 4
+        assert lay.local_size == 8
+        assert lay.proc_dims == (4, 1)
+        assert lay.vp_dims == (3, 2, 0)
+
+
+class TestDimMaps:
+    def test_cube_dim_of(self):
+        lay = Layout(3, 3, (ProcField((5, 4)), ProcField((2,))))
+        # proc_dims = (5, 4, 2); MSB-first, so 5 -> cube dim 2, 2 -> cube dim 0.
+        assert lay.cube_dim_of(5) == 2
+        assert lay.cube_dim_of(4) == 1
+        assert lay.cube_dim_of(2) == 0
+        with pytest.raises(ValueError):
+            lay.cube_dim_of(0)
+
+    def test_offset_bit_of(self):
+        lay = Layout(3, 3, (ProcField((5, 4)), ProcField((2,))))
+        # vp_dims = (3, 1, 0) -> offset bits 2, 1, 0.
+        assert lay.offset_bit_of(3) == 2
+        assert lay.offset_bit_of(1) == 1
+        assert lay.offset_bit_of(0) == 0
+        with pytest.raises(ValueError):
+            lay.offset_bit_of(5)
+
+
+class TestOwnerOffset:
+    def test_binary_owner_reads_field_bits(self):
+        lay = Layout(2, 2, (ProcField((3, 1)),))
+        # w = u1 u0 v1 v0; proc = (w3 w1).
+        assert lay.owner(0b1010) == 0b11
+        assert lay.owner(0b1000) == 0b10
+        assert lay.owner(0b0010) == 0b01
+
+    def test_gray_owner(self):
+        lay = Layout(2, 2, (ProcField((3, 2), gray=True),))
+        for u in range(4):
+            w = u << 2
+            assert lay.owner(w) == gray_encode(u)
+
+    def test_split_gray_fields_encode_separately(self):
+        """Table 2 non-contiguous: G applied per sub-field."""
+        lay = Layout(2, 2, (ProcField((3, 2), gray=True), ProcField((1, 0), gray=True)))
+        for u in range(4):
+            for v in range(4):
+                w = (u << 2) | v
+                assert lay.owner(w) == (gray_encode(u) << 2) | gray_encode(v)
+
+    @given(st.data())
+    def test_address_of_inverts_owner_offset(self, data):
+        p, q = 3, 2
+        lay = two_dim_consecutive(p, q, 2, 1, gray=data.draw(st.booleans()))
+        w = data.draw(st.integers(0, 2 ** (p + q) - 1))
+        proc, off = lay.owner(w), lay.offset(w)
+        assert lay.address_of(proc, off) == w
+
+    def test_address_of_range_checks(self):
+        lay = row_cyclic(3, 3, 2)
+        with pytest.raises(ValueError):
+            lay.address_of(4, 0)
+        with pytest.raises(ValueError):
+            lay.address_of(0, lay.local_size)
+
+    @given(st.integers(0, 1))
+    def test_mapping_is_bijective(self, gray_flag):
+        lay = Layout(
+            2, 3, (ProcField((4, 0), gray=bool(gray_flag)), ProcField((2,)))
+        )
+        seen = set()
+        for w in range(2**5):
+            seen.add((lay.owner(w), lay.offset(w)))
+        assert len(seen) == 2**5
+
+    def test_arrays_match_scalars(self):
+        lay = Layout(3, 3, (ProcField((5, 2), gray=True), ProcField((0,))))
+        w = np.arange(64)
+        assert lay.owner_array(w).tolist() == [lay.owner(i) for i in range(64)]
+        assert lay.offset_array(w).tolist() == [lay.offset(i) for i in range(64)]
+
+    def test_describe_mentions_gray(self):
+        lay = Layout(2, 2, (ProcField((3, 2), gray=True),), name="t")
+        assert "G(" in lay.describe()

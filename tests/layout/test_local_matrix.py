@@ -1,0 +1,91 @@
+"""Tests for the local sub-matrix view (block layouts)."""
+
+import numpy as np
+import pytest
+
+from repro.layout import DistributedMatrix
+from repro.layout import partition as pt
+
+
+class TestLocalBlockShape:
+    def test_row_consecutive(self):
+        lay = pt.row_consecutive(4, 3, 2)
+        assert lay.local_block_shape() == (4, 8)  # 4 full rows each
+
+    def test_two_dim_consecutive(self):
+        lay = pt.two_dim_consecutive(4, 4, 2, 1)
+        assert lay.local_block_shape() == (4, 8)
+
+    def test_column_consecutive(self):
+        lay = pt.column_consecutive(3, 4, 2)
+        assert lay.local_block_shape() == (8, 4)
+
+    def test_cyclic_is_not_a_block(self):
+        assert pt.row_cyclic(4, 3, 2).local_block_shape() is None
+        assert pt.two_dim_cyclic(4, 4, 1, 1).local_block_shape() is None
+
+    def test_combined_is_not_a_block(self):
+        lay = pt.combined_contiguous(4, 4, 2, offset=1, axis="row")
+        assert lay.local_block_shape() is None
+
+    def test_serial_layout_is_whole_matrix(self):
+        lay = pt.row_consecutive(3, 2, 0)
+        assert lay.local_block_shape() == (8, 4)
+
+
+class TestLocalMatrixView:
+    def test_values_match_global_tile(self):
+        lay = pt.two_dim_consecutive(3, 3, 1, 1)
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((8, 8))
+        dm = DistributedMatrix.from_global(A, lay)
+        for pr in range(2):
+            for pc in range(2):
+                proc = (pr << 1) | pc
+                tile = dm.local_matrix(proc)
+                assert np.array_equal(
+                    tile, A[pr * 4 : (pr + 1) * 4, pc * 4 : (pc + 1) * 4]
+                )
+
+    def test_view_is_writable_through(self):
+        lay = pt.row_consecutive(3, 3, 1)
+        dm = DistributedMatrix.iota(lay)
+        dm.local_matrix(0)[0, 0] = -1
+        assert dm.local_data[0][0] == -1
+
+    def test_raises_for_cyclic(self):
+        dm = DistributedMatrix.iota(pt.row_cyclic(3, 3, 1))
+        with pytest.raises(ValueError):
+            dm.local_matrix(0)
+
+
+class TestMapLocal:
+    def test_applies_kernel_per_node(self):
+        lay = pt.row_consecutive(3, 3, 1)
+        dm = DistributedMatrix.iota(lay)
+        doubled = dm.map_local(lambda tile, proc: tile * 2)
+        assert np.array_equal(doubled.local_data, dm.local_data * 2)
+
+    def test_proc_argument(self):
+        lay = pt.row_consecutive(3, 3, 2)
+        dm = DistributedMatrix.iota(lay)
+        tagged = dm.map_local(lambda tile, proc: np.full_like(tile, proc))
+        for x in range(4):
+            assert np.all(tagged.local_data[x] == x)
+
+    def test_dtype_promotion(self):
+        lay = pt.row_consecutive(3, 3, 1)
+        dm = DistributedMatrix.iota(lay)
+        complex_out = dm.map_local(lambda tile, proc: tile * (1 + 1j))
+        assert complex_out.local_data.dtype == np.complex128
+
+    def test_shape_mismatch_rejected(self):
+        lay = pt.row_consecutive(3, 3, 1)
+        dm = DistributedMatrix.iota(lay)
+        with pytest.raises(ValueError):
+            dm.map_local(lambda tile, proc: tile[:1])
+
+    def test_cyclic_layout_rejected(self):
+        dm = DistributedMatrix.iota(pt.row_cyclic(3, 3, 1))
+        with pytest.raises(ValueError):
+            dm.map_local(lambda tile, proc: tile)

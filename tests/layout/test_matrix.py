@@ -1,0 +1,105 @@
+"""Tests for DistributedMatrix scatter/gather round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import DistributedMatrix, Layout, ProcField
+from repro.layout import partition as pt
+
+LAYOUT_MAKERS = [
+    lambda: pt.row_cyclic(3, 4, 2),
+    lambda: pt.row_consecutive(3, 4, 3),
+    lambda: pt.column_cyclic(3, 4, 2, gray=True),
+    lambda: pt.column_consecutive(3, 4, 4),
+    lambda: pt.two_dim_cyclic(3, 4, 2, 2),
+    lambda: pt.two_dim_consecutive(3, 4, 1, 2, gray=True),
+    lambda: pt.two_dim_mixed(3, 4, 2, 1),
+    lambda: pt.combined_contiguous(3, 4, 2, offset=1, axis="column"),
+    lambda: Layout(3, 4, (ProcField((6, 2), gray=True), ProcField((4, 0)))),
+]
+
+
+@pytest.mark.parametrize("make", LAYOUT_MAKERS)
+class TestRoundTrip:
+    def test_scatter_gather_identity(self, make):
+        layout = make()
+        rng = np.random.default_rng(7)
+        A = rng.standard_normal((1 << layout.p, 1 << layout.q))
+        dm = DistributedMatrix.from_global(A, layout)
+        assert np.array_equal(dm.to_global(), A)
+
+    def test_iota_local_values_are_owned_addresses(self, make):
+        layout = make()
+        dm = DistributedMatrix.iota(layout)
+        for proc in range(layout.num_procs):
+            for off, value in enumerate(dm.local(proc)):
+                assert layout.owner(int(value)) == proc
+                assert layout.offset(int(value)) == off
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        layout = pt.row_cyclic(2, 2, 1)
+        with pytest.raises(ValueError):
+            DistributedMatrix.from_global(np.zeros((4, 8)), layout)
+
+    def test_local_data_shape_checked(self):
+        layout = pt.row_cyclic(2, 2, 1)
+        with pytest.raises(ValueError):
+            DistributedMatrix(layout, np.zeros((3, 3)))
+
+    def test_with_layout_requires_same_shape(self):
+        layout = pt.row_cyclic(2, 2, 1)
+        dm = DistributedMatrix.iota(layout)
+        other = pt.row_cyclic(2, 2, 2)
+        with pytest.raises(ValueError):
+            dm.with_layout(other)
+
+    def test_with_layout_reinterprets(self):
+        a = pt.row_cyclic(2, 2, 1)
+        b = pt.row_consecutive(2, 2, 1)
+        dm = DistributedMatrix.iota(a)
+        re = dm.with_layout(b)
+        assert re.layout is b
+        assert np.shares_memory(re.local_data, dm.local_data)
+
+    def test_copy_is_independent(self):
+        dm = DistributedMatrix.iota(pt.row_cyclic(2, 2, 1))
+        c = dm.copy()
+        c.local_data[0, 0] = -1
+        assert dm.local_data[0, 0] != -1
+
+    def test_allclose(self):
+        layout = pt.two_dim_cyclic(2, 2, 1, 1)
+        A = np.arange(16.0).reshape(4, 4)
+        dm = DistributedMatrix.from_global(A, layout)
+        assert dm.allclose(A)
+        assert not dm.allclose(A.T)
+
+    def test_total_elements(self):
+        dm = DistributedMatrix.iota(pt.row_cyclic(2, 3, 2))
+        assert dm.total_elements == 32
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.integers(1, 4),
+    q=st.integers(1, 4),
+    data=st.data(),
+)
+def test_random_layout_round_trip(p, q, data):
+    """Any legal field selection scatters and gathers losslessly."""
+    m = p + q
+    n = data.draw(st.integers(0, m))
+    dims = data.draw(
+        st.permutations(range(m)).map(lambda perm: tuple(perm[:n]))
+    )
+    gray = data.draw(st.booleans())
+    fields = (ProcField(dims, gray),) if dims else ()
+    layout = Layout(p, q, fields)
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    A = rng.integers(0, 100, size=(1 << p, 1 << q))
+    dm = DistributedMatrix.from_global(A, layout)
+    assert np.array_equal(dm.to_global(), A)

@@ -1,0 +1,134 @@
+"""Tests that the layout constructors match the paper's Definitions 6-7
+and Tables 1-2 (ownership formulas for cyclic/consecutive/combined)."""
+
+import pytest
+
+from repro.layout import partition as pt
+
+
+P_BITS, Q_BITS = 4, 3
+P, Q = 1 << P_BITS, 1 << Q_BITS
+
+
+def w_of(u: int, v: int) -> int:
+    return (u << Q_BITS) | v
+
+
+class TestOneDimensional:
+    def test_row_cyclic_matches_mod(self):
+        n = 2
+        lay = pt.row_cyclic(P_BITS, Q_BITS, n)
+        for u in range(P):
+            for v in range(Q):
+                assert lay.owner(w_of(u, v)) == u % (1 << n)
+
+    def test_row_consecutive_matches_floor(self):
+        n = 2
+        lay = pt.row_consecutive(P_BITS, Q_BITS, n)
+        rows_per = P // (1 << n)
+        for u in range(P):
+            for v in range(Q):
+                assert lay.owner(w_of(u, v)) == u // rows_per
+
+    def test_column_cyclic_matches_mod(self):
+        n = 2
+        lay = pt.column_cyclic(P_BITS, Q_BITS, n)
+        for u in range(P):
+            for v in range(Q):
+                assert lay.owner(w_of(u, v)) == v % (1 << n)
+
+    def test_column_consecutive_matches_floor(self):
+        n = 2
+        lay = pt.column_consecutive(P_BITS, Q_BITS, n)
+        cols_per = Q // (1 << n)
+        for u in range(P):
+            for v in range(Q):
+                assert lay.owner(w_of(u, v)) == v // cols_per
+
+    def test_too_many_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            pt.row_cyclic(2, 4, 3)
+        with pytest.raises(ValueError):
+            pt.column_consecutive(4, 2, 3)
+
+    def test_full_partitioning_one_row_each(self):
+        lay = pt.row_consecutive(P_BITS, Q_BITS, P_BITS)
+        assert lay.local_size == Q
+        for u in range(P):
+            assert lay.owner(w_of(u, 0)) == u
+
+
+class TestTwoDimensional:
+    def test_cyclic_matches_definition(self):
+        nr, nc = 2, 1
+        lay = pt.two_dim_cyclic(P_BITS, Q_BITS, nr, nc)
+        for u in range(P):
+            for v in range(Q):
+                expected = ((u % (1 << nr)) << nc) | (v % (1 << nc))
+                assert lay.owner(w_of(u, v)) == expected
+
+    def test_consecutive_matches_definition(self):
+        nr, nc = 2, 2
+        lay = pt.two_dim_consecutive(P_BITS, Q_BITS, nr, nc)
+        rows_per = P // (1 << nr)
+        cols_per = Q // (1 << nc)
+        for u in range(P):
+            for v in range(Q):
+                expected = ((u // rows_per) << nc) | (v // cols_per)
+                assert lay.owner(w_of(u, v)) == expected
+
+    def test_mixed_consecutive_rows_cyclic_columns(self):
+        nr, nc = 1, 2
+        lay = pt.two_dim_mixed(P_BITS, Q_BITS, nr, nc)
+        rows_per = P // (1 << nr)
+        for u in range(P):
+            for v in range(Q):
+                expected = ((u // rows_per) << nc) | (v % (1 << nc))
+                assert lay.owner(w_of(u, v)) == expected
+
+    def test_mixed_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            pt.two_dim_mixed(3, 3, 1, 1, rows="diagonal")
+        with pytest.raises(ValueError):
+            pt.two_dim_mixed(3, 3, 1, 1, cols="diagonal")
+
+    def test_local_size(self):
+        lay = pt.two_dim_cyclic(P_BITS, Q_BITS, 2, 1)
+        assert lay.local_size == (P * Q) // 8
+
+
+class TestCombined:
+    def test_offset_zero_is_consecutive(self):
+        a = pt.combined_contiguous(P_BITS, Q_BITS, 2, offset=0, axis="row")
+        b = pt.row_consecutive(P_BITS, Q_BITS, 2)
+        assert a.proc_dims == b.proc_dims
+
+    def test_max_offset_is_cyclic(self):
+        a = pt.combined_contiguous(P_BITS, Q_BITS, 2, offset=P_BITS - 2, axis="row")
+        b = pt.row_cyclic(P_BITS, Q_BITS, 2)
+        assert a.proc_dims == b.proc_dims
+
+    def test_interior_offset_field(self):
+        lay = pt.combined_contiguous(P_BITS, Q_BITS, 2, offset=1, axis="row")
+        # Field is (u_{p-2} u_{p-3}) = element dims (q + 2, q + 1).
+        assert lay.proc_dims == (Q_BITS + 2, Q_BITS + 1)
+
+    def test_column_axis(self):
+        lay = pt.combined_contiguous(P_BITS, Q_BITS, 2, offset=1, axis="column")
+        assert lay.proc_dims == (1, 0)
+
+    def test_out_of_range_offset_rejected(self):
+        with pytest.raises(ValueError):
+            pt.combined_contiguous(P_BITS, Q_BITS, 2, offset=3, axis="row")
+        with pytest.raises(ValueError):
+            pt.combined_contiguous(P_BITS, Q_BITS, 2, offset=-1, axis="row")
+        with pytest.raises(ValueError):
+            pt.combined_contiguous(P_BITS, Q_BITS, 2, offset=0, axis="banana")
+
+    def test_blocks_assigned_cyclically_above_field(self):
+        """Bits above the field act cyclically: consecutive super-blocks
+        wrap around the processors."""
+        lay = pt.combined_contiguous(P_BITS, Q_BITS, 1, offset=1, axis="row")
+        # Field is u_2; u = 0..3 -> owner of u_2: 0,0,0,0 then u=4..7 -> 1...
+        owners = [lay.owner(w_of(u, 0)) for u in range(P)]
+        assert owners == [0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1]

@@ -1,0 +1,89 @@
+"""Tests for the Figure 1/2 renderer and the vectorized inverse mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import Layout, ProcField
+from repro.layout import partition as pt
+
+
+class TestAddressOfArray:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: pt.row_cyclic(3, 4, 2),
+            lambda: pt.two_dim_consecutive(3, 4, 2, 2, gray=True),
+            lambda: Layout(3, 4, (ProcField((6, 2), gray=True), ProcField((4, 0)))),
+        ],
+    )
+    def test_matches_scalar(self, make):
+        lay = make()
+        for proc in range(lay.num_procs):
+            offsets = np.arange(lay.local_size)
+            got = lay.address_of_array(proc, offsets)
+            expected = [lay.address_of(proc, int(j)) for j in offsets]
+            assert got.tolist() == expected
+
+    def test_broadcasts(self):
+        lay = pt.row_cyclic(2, 2, 1)
+        procs = np.array([[0], [1]])
+        offsets = np.arange(lay.local_size)
+        got = lay.address_of_array(procs, offsets)
+        assert got.shape == (2, lay.local_size)
+
+    def test_rejects_out_of_range(self):
+        lay = pt.row_cyclic(2, 2, 1)
+        with pytest.raises(ValueError):
+            lay.address_of_array(2, 0)
+        with pytest.raises(ValueError):
+            lay.address_of_array(0, lay.local_size)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4), st.data())
+    def test_inverse_of_owner_offset(self, p, q, data):
+        n = data.draw(st.integers(0, min(p, 3)))
+        lay = pt.row_consecutive(p, q, n, gray=data.draw(st.booleans()))
+        w = np.arange(1 << (p + q), dtype=np.int64)
+        back = lay.address_of_array(lay.owner_array(w), lay.offset_array(w))
+        assert np.array_equal(back, w)
+
+
+class TestRenderAssignment:
+    def test_figure1_cyclic_stripes(self):
+        """Figure 1, cyclic: row u belongs to processor u mod N."""
+        lay = pt.row_cyclic(3, 2, 2)
+        lines = lay.render_assignment().splitlines()
+        assert lines[0].split() == ["P0"] * 4
+        assert lines[1].split() == ["P1"] * 4
+        assert lines[4].split() == ["P0"] * 4  # wraps around
+
+    def test_figure1_consecutive_blocks(self):
+        lay = pt.row_consecutive(3, 2, 2)
+        lines = lay.render_assignment().splitlines()
+        assert lines[0].split() == ["P0"] * 4
+        assert lines[1].split() == ["P0"] * 4
+        assert lines[2].split() == ["P1"] * 4
+
+    def test_figure2_two_dim_cyclic(self):
+        """Figure 2, cyclic 2D: the P0..P8-style repeating tile (here 2x2)."""
+        lay = pt.two_dim_cyclic(2, 2, 1, 1)
+        lines = lay.render_assignment().splitlines()
+        assert lines[0].split() == ["P0", "P1", "P0", "P1"]
+        assert lines[1].split() == ["P2", "P3", "P2", "P3"]
+        assert lines[2].split() == ["P0", "P1", "P0", "P1"]
+
+    def test_figure2_two_dim_consecutive(self):
+        lay = pt.two_dim_consecutive(2, 2, 1, 1)
+        lines = lay.render_assignment().splitlines()
+        assert lines[0].split() == ["P0", "P0", "P1", "P1"]
+        assert lines[3].split() == ["P2", "P2", "P3", "P3"]
+
+    def test_truncation(self):
+        lay = pt.row_cyclic(6, 6, 2)
+        text = lay.render_assignment(max_rows=4, max_cols=4)
+        lines = text.splitlines()
+        assert len(lines) == 5  # 4 rows + "..."
+        assert lines[-1] == "..."
+        assert lines[0].endswith("...")

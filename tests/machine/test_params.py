@@ -1,0 +1,85 @@
+"""Tests for the machine cost model and presets."""
+
+import pytest
+
+from repro.machine import MachineParams, PortModel, connection_machine, custom_machine, intel_ipsc
+from repro.machine.presets import IPSC_PACKET_ELEMENTS, IPSC_T_C, IPSC_T_COPY, IPSC_TAU
+
+
+class TestMachineParams:
+    def test_num_procs(self):
+        assert custom_machine(0).num_procs == 1
+        assert custom_machine(6).num_procs == 64
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            MachineParams(n=-1, tau=1, t_c=1, packet_capacity=1)
+        with pytest.raises(ValueError):
+            MachineParams(n=2, tau=-1, t_c=1, packet_capacity=1)
+        with pytest.raises(ValueError):
+            MachineParams(n=2, tau=1, t_c=1, packet_capacity=0)
+
+    def test_packets_for_rounds_up(self):
+        m = custom_machine(3, packet_capacity=256)
+        assert m.packets_for(1) == 1
+        assert m.packets_for(256) == 1
+        assert m.packets_for(257) == 2
+        assert m.packets_for(1024) == 4
+
+    def test_packets_for_rejects_empty(self):
+        with pytest.raises(ValueError):
+            custom_machine(3).packets_for(0)
+
+    def test_pipelined_single_startup(self):
+        m = custom_machine(3, packet_capacity=4, pipelined=True)
+        assert m.packets_for(1000) == 1
+
+    def test_message_time(self):
+        m = custom_machine(3, tau=10.0, t_c=2.0, packet_capacity=5)
+        # 12 elements -> 3 packets -> 3*10 + 12*2 = 54.
+        assert m.message_time(12) == pytest.approx(54.0)
+
+    def test_copy_time(self):
+        m = custom_machine(3, t_copy=0.5)
+        assert m.copy_time(10) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            m.copy_time(-1)
+
+    def test_with_dimension_and_ports(self):
+        m = intel_ipsc(4)
+        m2 = m.with_dimension(6)
+        assert m2.n == 6 and m2.tau == m.tau
+        m3 = m.with_ports(PortModel.N_PORT)
+        assert m3.port_model is PortModel.N_PORT
+
+
+class TestPresets:
+    def test_ipsc_constants_match_paper(self):
+        m = intel_ipsc(5)
+        assert m.tau == pytest.approx(5e-3)  # "tau ~ 5 msec"
+        assert m.t_c == pytest.approx(4e-6)  # 1 us/byte, 4-byte elements
+        assert m.packet_capacity == 256  # 1 KByte packets
+        assert m.port_model is PortModel.ONE_PORT
+        assert not m.pipelined
+
+    def test_ipsc_copy_calibration(self):
+        """Fig. 9: 1024 floats copy in ~37 ms; §8.1: the two-sided
+        buffering break-even sits at ~64 elements."""
+        m = intel_ipsc(5)
+        assert m.copy_time(1024) == pytest.approx(37e-3)
+        break_even = m.tau / (2 * m.t_copy)
+        assert 60 <= break_even <= 75
+
+    def test_cm_is_pipelined_n_port(self):
+        m = connection_machine(10)
+        assert m.port_model is PortModel.N_PORT
+        assert m.pipelined
+        assert m.packets_for(10**6) == 1
+
+    def test_cm_much_faster_startup_than_ipsc(self):
+        assert connection_machine(8).tau < intel_ipsc(8).tau / 50
+
+    def test_preset_module_constants(self):
+        assert IPSC_PACKET_ELEMENTS == 256
+        assert IPSC_TAU / (2 * IPSC_T_COPY) == pytest.approx(69.2, abs=0.5)
+        assert IPSC_T_C == pytest.approx(4e-6)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Assemble benchmarks/results/*.txt into a single RESULTS.md.
+
+Run the bench suite first, then this script:
+
+    pytest benchmarks/ --benchmark-only -q
+    python tools/make_results_report.py
+
+The report groups the figure reproductions, the analytic validations and
+the ablations, in paper order, into one reviewable document.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+OUT = ROOT / "RESULTS.md"
+
+ORDER = [
+    ("Paper figures", [
+        "fig09_copy_time",
+        "fig10_one_dim",
+        "fig11_buffer_threshold",
+        "fig12_buffering_effect",
+        "fig13_two_dim_breakdown",
+        "fig14_spt_vs_router",
+        "fig15_mixed_encoding",
+        "fig16_cm_single",
+        "fig17_cm_multi",
+        "fig18_cm_scaling",
+        "fig19_1d_vs_2d",
+    ]),
+    ("Analytic validations", [
+        "table3_some_to_all",
+        "theorem2_mpt",
+        "lower_bounds",
+        "crossover_analytic",
+        "crossover_simulated",
+        "router_calls",
+    ]),
+    ("Ablations", [
+        "ablation_paths",
+        "ablation_trees",
+        "ablation_remap",
+        "ablation_exchange_pipelining",
+    ]),
+]
+
+
+def main() -> int:
+    if not RESULTS.is_dir():
+        print("no benchmarks/results/ — run the bench suite first", file=sys.stderr)
+        return 1
+    sections = ["# Regenerated results", ""]
+    sections.append(
+        "Produced by the bench suite against the simulated machines; see "
+        "EXPERIMENTS.md for the paper-vs-measured commentary.\n"
+    )
+    listed: set[str] = set()
+    missing: list[str] = []
+    for title, names in ORDER:
+        sections.append(f"# {title}\n")
+        for name in names:
+            path = RESULTS / f"{name}.txt"
+            listed.add(name)
+            if not path.exists():
+                missing.append(name)
+                continue
+            sections.append("```")
+            sections.append(path.read_text().rstrip())
+            sections.append("```\n")
+    extras = sorted(
+        p.stem for p in RESULTS.glob("*.txt") if p.stem not in listed
+    )
+    for name in extras:
+        sections.append("```")
+        sections.append((RESULTS / f"{name}.txt").read_text().rstrip())
+        sections.append("```\n")
+    OUT.write_text("\n".join(sections) + "\n")
+    print(f"wrote {OUT}")
+    if missing:
+        print(f"missing (bench not run?): {', '.join(missing)}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Reproduce everything: tests, every figure, consolidated reports.
+set -e
+cd "$(dirname "$0")/.."
+echo "== unit/integration/property tests =="
+python -m pytest tests/
+echo "== figure and ablation benches =="
+python -m pytest benchmarks/ --benchmark-only -q
+echo "== consolidated reports =="
+python tools/make_results_report.py
+python tools/gen_api_docs.py
+echo "done: see RESULTS.md, EXPERIMENTS.md, benchmarks/results/"
