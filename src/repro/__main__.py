@@ -43,6 +43,7 @@ def cmd_advise(args) -> int:
 def cmd_run(args) -> int:
     from repro import CubeNetwork, DistributedMatrix, transpose
     from repro.layout import partition as pt
+    from repro.machine.faults import FaultError, FaultPlan, RoutingStalledError
 
     bits = args.elements.bit_length() - 1
     if 1 << bits != args.elements:
@@ -61,23 +62,44 @@ def cmd_run(args) -> int:
     else:
         layout = pt.column_cyclic(p, q, n)
 
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultPlan.from_spec(n, args.faults)
+        except ValueError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+
     rng = np.random.default_rng(0)
     A = rng.standard_normal((1 << p, 1 << q))
-    net = CubeNetwork(_machine(args))
-    result = transpose(
-        net,
-        DistributedMatrix.from_global(A, layout),
-        pt.two_dim_cyclic(q, p, n // 2, n // 2)
-        if args.layout == "2d" and p != q
-        else None
-        if p == q
-        else _mirror(layout),
-    )
+    net = CubeNetwork(_machine(args), faults=faults)
+    try:
+        result = transpose(
+            net,
+            DistributedMatrix.from_global(A, layout),
+            pt.two_dim_cyclic(q, p, n // 2, n // 2)
+            if args.layout == "2d" and p != q
+            else None
+            if p == q
+            else _mirror(layout),
+            algorithm=args.algorithm,
+        )
+    except (FaultError, RoutingStalledError) as exc:
+        print(f"transpose failed under faults: {exc}", file=sys.stderr)
+        return 1
     ok = result.verify_against(A)
     print(f"matrix:     {1 << p} x {1 << q} ({args.elements} elements)")
     print(f"layout:     {layout.describe()}")
     print(f"machine:    {net.params.name} ({net.params.port_model.value})")
     print(f"algorithm:  {result.algorithm} ({result.comm_class.value})")
+    if faults is not None:
+        print(f"faults:     {faults.describe()}")
+        if result.degraded:
+            print(
+                f"degraded:   {result.requested} -> {result.algorithm} "
+                f"(skipped {', '.join(result.fallbacks)}); recovery "
+                f"overhead {result.recovery_overhead * 1e3:.3f} ms"
+            )
     print(f"verified:   {ok}")
     print(f"model time: {result.stats.summary()}")
     return 0 if ok else 1
@@ -133,6 +155,19 @@ def build_parser() -> argparse.ArgumentParser:
     pr = sub.add_parser("run", help="run one simulated transpose")
     common(pr)
     pr.add_argument("--layout", choices=["2d", "1d-rows", "1d-cols"], default="2d")
+    pr.add_argument(
+        "--algorithm",
+        default="auto",
+        help="strategy name (default auto; e.g. spt, dpt, mpt, router)",
+    )
+    pr.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="reproducible fault scenario as comma-separated key=value: "
+        "seed=S, link_rate=R, transient_rate=R, window=W, "
+        "nodes=3+9, links=0-1+6-4 (see FaultPlan.from_spec)",
+    )
     pr.set_defaults(fn=cmd_run)
 
     pm = sub.add_parser("machines", help="show machine presets")

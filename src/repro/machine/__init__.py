@@ -22,6 +22,17 @@ from repro.machine.presets import connection_machine, custom_machine, intel_ipsc
 from repro.machine.message import Block, Message
 from repro.machine.memory import NodeMemory
 from repro.machine.metrics import TransferStats
+from repro.machine.faults import (
+    DisconnectedCubeError,
+    FaultError,
+    FaultKind,
+    FaultPlan,
+    LinkFailureError,
+    LinkFault,
+    NodeFailureError,
+    NodeFault,
+    RoutingStalledError,
+)
 from repro.machine.trace import PhaseEvent, TraceRecorder
 from repro.machine.engine import CubeNetwork, LinkConflictError
 from repro.machine.routing import route_messages
@@ -29,12 +40,21 @@ from repro.machine.routing import route_messages
 __all__ = [
     "Block",
     "CubeNetwork",
+    "DisconnectedCubeError",
+    "FaultError",
+    "FaultKind",
+    "FaultPlan",
     "LinkConflictError",
+    "LinkFailureError",
+    "LinkFault",
     "MachineParams",
     "Message",
+    "NodeFailureError",
+    "NodeFault",
     "NodeMemory",
     "PhaseEvent",
     "PortModel",
+    "RoutingStalledError",
     "TraceRecorder",
     "TransferStats",
     "connection_machine",

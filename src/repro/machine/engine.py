@@ -27,6 +27,11 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.cube.topology import dimension_of_edge
+from repro.machine.faults import (
+    FaultPlan,
+    LinkFailureError,
+    NodeFailureError,
+)
 from repro.machine.memory import NodeMemory
 from repro.machine.message import Block, Message
 from repro.machine.metrics import TransferStats
@@ -50,12 +55,23 @@ class CubeNetwork:
     check of the paper's disjointness lemmas on every run.
     """
 
-    def __init__(self, params: MachineParams) -> None:
+    def __init__(
+        self, params: MachineParams, *, faults: FaultPlan | None = None
+    ) -> None:
+        if faults is not None and faults.n != params.n:
+            raise ValueError(
+                f"fault plan is for a {faults.n}-cube but the machine is a "
+                f"{params.n}-cube"
+            )
         self.params = params
         self.memories = [NodeMemory(x) for x in range(params.num_procs)]
         self.stats = TransferStats()
-        #: Optional observer with ``on_phase(transfers, duration)`` and
-        #: ``on_local(elements, duration)`` hooks — see
+        #: Optional :class:`repro.machine.faults.FaultPlan`; deliveries over
+        #: a faulted link or node raise the typed fault errors.
+        self.faults = faults
+        #: Optional observer with ``on_phase(transfers, duration)``,
+        #: ``on_local(elements, duration)`` and (optionally)
+        #: ``on_fault(src, dst, phase, kind)`` hooks — see
         #: :class:`repro.machine.trace.TraceRecorder`.
         self.observer = None
 
@@ -65,6 +81,16 @@ class CubeNetwork:
     def time(self) -> float:
         """Modelled elapsed time in seconds."""
         return self.stats.time
+
+    @property
+    def phase_index(self) -> int:
+        """Index the *next* communication phase will execute at.
+
+        This is the simulator's clock for fault injection: a
+        :class:`~repro.machine.faults.FaultPlan` keys fault activity by
+        this counter.
+        """
+        return self.stats.phases
 
     def memory(self, node: int) -> NodeMemory:
         return self.memories[node]
@@ -93,16 +119,51 @@ class CubeNetwork:
         params = self.params
         n = params.n
 
+        # Fault check first: delivering over a dead resource must fail
+        # before any block moves, so an aborted phase leaves every memory
+        # untouched and the planner can retry with a different schedule.
+        if self.faults is not None and not self.faults.is_empty:
+            phase_now = self.stats.phases
+            for msg in messages:
+                for node in (msg.src, msg.dst):
+                    nf = self.faults.node_fault(node, phase_now)
+                    if nf is not None:
+                        self._notice_fault(msg.src, msg.dst, phase_now, "node")
+                        raise NodeFailureError(node, phase_now, nf.kind)
+                lf = self.faults.link_fault(msg.src, msg.dst, phase_now)
+                if lf is not None:
+                    self._notice_fault(msg.src, msg.dst, phase_now, "link")
+                    raise LinkFailureError(
+                        msg.src, msg.dst, phase_now, lf.kind
+                    )
+
         # Validate edges and gather per-link loads.
         link_cost: dict[tuple[int, int], float] = {}
         link_msgs: dict[tuple[int, int], int] = {}
         costed: list[tuple[Message, int, int, float]] = []
+        first_sender: dict[Hashable, Message] = {}
         for msg in messages:
             dimension_of_edge(msg.src, msg.dst)  # raises on non-edges
             if msg.src >> n or msg.dst >> n:
                 raise ValueError(
                     f"message {msg.src}->{msg.dst} outside {n}-cube"
                 )
+            link = (msg.src, msg.dst)
+            if link in link_cost and exclusive:
+                raise LinkConflictError(
+                    f"two messages use directed link {msg.src}->{msg.dst} "
+                    "in the same phase"
+                )
+            for key in msg.keys:
+                earlier = first_sender.get((msg.src, key))
+                if earlier is not None:
+                    raise ValueError(
+                        f"block key {key!r} at node {msg.src} is carried by "
+                        f"two messages of one phase: "
+                        f"{earlier.src}->{earlier.dst} and "
+                        f"{msg.src}->{msg.dst}"
+                    )
+                first_sender[(msg.src, key)] = msg
             elements = sum(
                 self.memories[msg.src].get(key).size for key in msg.keys
             )
@@ -112,12 +173,6 @@ class CubeNetwork:
                 )
             packets = params.packets_for(elements)
             cost = params.message_time(elements)
-            link = (msg.src, msg.dst)
-            if link in link_cost and exclusive:
-                raise LinkConflictError(
-                    f"two messages use directed link {msg.src}->{msg.dst} "
-                    "in the same phase"
-                )
             link_cost[link] = link_cost.get(link, 0.0) + cost
             link_msgs[link] = link_msgs.get(link, 0) + 1
             costed.append((msg, elements, packets, cost))
@@ -160,24 +215,59 @@ class CubeNetwork:
             )
         return duration
 
-    def execute_local(self, costs: Mapping[int, float] | float) -> float:
+    def _notice_fault(
+        self, src: int, dst: int, phase: int, kind: str
+    ) -> None:
+        """Record a fault encounter in stats and (if any) the observer."""
+        self.stats.record_fault(node=kind == "node")
+        if self.observer is not None:
+            on_fault = getattr(self.observer, "on_fault", None)
+            if on_fault is not None:
+                on_fault(src, dst, phase, kind)
+
+    def idle_phase(self) -> float:
+        """Advance the phase clock without moving data (zero duration).
+
+        Fault-tolerant routing uses this when every pending transfer is
+        blocked by transient faults: the round must still pass for the
+        faults to heal, since fault activity is keyed by the phase index.
+        """
+        self.stats.record_phase(0.0)
+        if self.observer is not None:
+            self.observer.on_phase([], 0.0)
+        return 0.0
+
+    def execute_local(
+        self,
+        costs: Mapping[int, float] | float,
+        elements: Mapping[int, int] | int | None = None,
+    ) -> float:
         """Charge concurrent local work; returns the charged duration.
 
         ``costs`` is either a per-node mapping (time in seconds) or a
         single float applied as the common cost.  Nodes work in parallel,
-        so the charge is the maximum.
+        so the charge is the maximum.  ``elements`` optionally reports
+        the element count the work touched (a total or per-node mapping)
+        so metrics and traces account local work faithfully instead of
+        recording zero.
         """
         if isinstance(costs, (int, float)):
             duration = float(costs)
-            elements = 0
         else:
             duration = max(costs.values(), default=0.0)
-            elements = 0
+        if elements is None:
+            total_elements = 0
+        elif isinstance(elements, int):
+            total_elements = elements
+        else:
+            total_elements = sum(elements.values())
+        if total_elements < 0:
+            raise ValueError("local work cannot touch a negative element count")
         if duration < 0:
             raise ValueError("local work cannot take negative time")
-        self.stats.record_copy(elements, duration)
+        self.stats.record_copy(total_elements, duration)
         if self.observer is not None and duration:
-            self.observer.on_local(elements, duration)
+            self.observer.on_local(total_elements, duration)
         return duration
 
     def charge_copy(self, per_node_elements: Mapping[int, int]) -> float:

@@ -1,0 +1,400 @@
+"""Deterministic fault injection for the simulated cube.
+
+The paper's schedules assume a healthy machine: the SPT/DPT/MPT
+optimality arguments are edge-disjointness lemmas over *all* links, so a
+single dead channel voids them.  Real ensemble machines ran with faulty
+channels and nodes, and a production-scale system must model that.  This
+module provides the fault *description*; the engine
+(:mod:`repro.machine.engine`) enforces it, the router
+(:mod:`repro.machine.routing`) detours around it, and the planner
+(:mod:`repro.transpose.planner`) degrades gracefully when a schedule
+would traverse a faulted resource.
+
+A :class:`FaultPlan` is an immutable, seeded description of permanent
+and transient failures of directed links and whole nodes.  Faults are
+keyed by the engine's *phase index* (the number of communication phases
+executed so far), which is the simulator's only clock: a fault is active
+during ``[start, end)`` phases, with ``end=None`` meaning permanent.
+Everything is deterministic — the same seed yields the same plan, and a
+faulted run replays exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.cube.topology import is_edge
+
+__all__ = [
+    "DisconnectedCubeError",
+    "FaultError",
+    "FaultKind",
+    "FaultPlan",
+    "LinkFailureError",
+    "LinkFault",
+    "NodeFailureError",
+    "NodeFault",
+    "RoutingStalledError",
+]
+
+
+class FaultKind(enum.Enum):
+    """Whether a fault heals (transient) or persists (permanent)."""
+
+    PERMANENT = "permanent"
+    TRANSIENT = "transient"
+
+
+# -- typed errors ---------------------------------------------------------------
+
+
+class FaultError(RuntimeError):
+    """Base class: a delivery was attempted over a faulted resource."""
+
+
+class LinkFailureError(FaultError):
+    """A message was scheduled over a faulted directed link."""
+
+    def __init__(self, src: int, dst: int, phase: int, kind: FaultKind) -> None:
+        self.src = src
+        self.dst = dst
+        self.phase = phase
+        self.kind = kind
+        super().__init__(
+            f"directed link {src}->{dst} is {kind.value}ly faulted "
+            f"at phase {phase}"
+        )
+
+
+class NodeFailureError(FaultError):
+    """A message endpoint is a faulted node."""
+
+    def __init__(self, node: int, phase: int, kind: FaultKind) -> None:
+        self.node = node
+        self.phase = phase
+        self.kind = kind
+        super().__init__(
+            f"node {node} is {kind.value}ly faulted at phase {phase}"
+        )
+
+
+class DisconnectedCubeError(FaultError):
+    """The surviving topology cannot carry the requested communication."""
+
+
+class RoutingStalledError(RuntimeError):
+    """Fault-tolerant routing can make no further progress.
+
+    Raised instead of spinning: the message carries a diagnosis of which
+    transfers are stuck where, so a stalled run is debuggable rather than
+    a livelock.
+    """
+
+
+# -- fault descriptions ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Failure of one *directed* link, active during phases [start, end)."""
+
+    src: int
+    dst: int
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("fault start phase must be non-negative")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("fault end phase must exceed its start")
+        if not is_edge(self.src, self.dst):
+            raise ValueError(
+                f"({self.src}, {self.dst}) is not a cube edge; link faults "
+                "apply to directed cube links"
+            )
+
+    @property
+    def kind(self) -> FaultKind:
+        return FaultKind.PERMANENT if self.end is None else FaultKind.TRANSIENT
+
+    def active(self, phase: int) -> bool:
+        return self.start <= phase and (self.end is None or phase < self.end)
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """Failure of a whole node, active during phases [start, end)."""
+
+    node: int
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node addresses must be non-negative")
+        if self.start < 0:
+            raise ValueError("fault start phase must be non-negative")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("fault end phase must exceed its start")
+
+    @property
+    def kind(self) -> FaultKind:
+        return FaultKind.PERMANENT if self.end is None else FaultKind.TRANSIENT
+
+    def active(self, phase: int) -> bool:
+        return self.start <= phase and (self.end is None or phase < self.end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, reproducible schedule of injected faults.
+
+    ``n`` is the cube dimension the plan applies to; attaching a plan to
+    a network of a different dimension is rejected by the engine.  The
+    ``seed`` records provenance for :meth:`random` plans (it does not
+    affect behaviour once the fault lists exist).
+    """
+
+    n: int
+    link_faults: tuple[LinkFault, ...] = ()
+    node_faults: tuple[NodeFault, ...] = ()
+    seed: int | None = None
+
+    _links_by_edge: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _nodes_by_id: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError(f"cube dimension must be non-negative, got {self.n}")
+        if not isinstance(self.link_faults, tuple):
+            object.__setattr__(self, "link_faults", tuple(self.link_faults))
+        if not isinstance(self.node_faults, tuple):
+            object.__setattr__(self, "node_faults", tuple(self.node_faults))
+        for f in self.link_faults:
+            if f.src >> self.n or f.dst >> self.n:
+                raise ValueError(
+                    f"link fault {f.src}->{f.dst} outside {self.n}-cube"
+                )
+            self._links_by_edge.setdefault((f.src, f.dst), []).append(f)
+        for f in self.node_faults:
+            if f.node >> self.n:
+                raise ValueError(f"node fault {f.node} outside {self.n}-cube")
+            self._nodes_by_id.setdefault(f.node, []).append(f)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.link_faults and not self.node_faults
+
+    def link_fault(self, src: int, dst: int, phase: int) -> LinkFault | None:
+        """The fault making directed link ``src->dst`` dead at ``phase``."""
+        for f in self._links_by_edge.get((src, dst), ()):
+            if f.active(phase):
+                return f
+        return None
+
+    def node_fault(self, node: int, phase: int) -> NodeFault | None:
+        """The fault making ``node`` dead at ``phase``."""
+        for f in self._nodes_by_id.get(node, ()):
+            if f.active(phase):
+                return f
+        return None
+
+    def faulted_links_ever(self) -> set[tuple[int, int]]:
+        """Directed links faulted at *any* phase (planner feasibility)."""
+        return set(self._links_by_edge)
+
+    def faulted_nodes_ever(self) -> set[int]:
+        return set(self._nodes_by_id)
+
+    def permanent_links(self) -> set[tuple[int, int]]:
+        return {
+            (f.src, f.dst) for f in self.link_faults if f.end is None
+        }
+
+    def permanent_nodes(self) -> set[int]:
+        return {f.node for f in self.node_faults if f.end is None}
+
+    def last_transient_phase(self) -> int:
+        """Largest ``end`` of any transient fault (-1 if none).
+
+        Beyond this phase every remaining fault is permanent, so a round
+        in which nothing advances can never heal — the router uses this
+        to turn a would-be livelock into a diagnosable error.
+        """
+        ends = [
+            f.end
+            for f in (*self.link_faults, *self.node_faults)
+            if f.end is not None
+        ]
+        return max(ends, default=-1)
+
+    def surviving_connected(self) -> bool:
+        """Is the topology minus *permanent* faults strongly connected?
+
+        Transient faults heal, so they do not affect eventual
+        deliverability; permanent ones carve the cube.  Requires every
+        surviving node to reach every other over surviving directed
+        links (both directions checked, since link faults are directed).
+        """
+        dead_nodes = self.permanent_nodes()
+        dead_links = self.permanent_links()
+        alive = [x for x in range(1 << self.n) if x not in dead_nodes]
+        if not alive:
+            return False
+        if len(alive) == 1:
+            return True
+
+        def reachable(start: int, forward: bool) -> set[int]:
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                x = frontier.pop()
+                for d in range(self.n):
+                    y = x ^ (1 << d)
+                    if y in seen or y in dead_nodes:
+                        continue
+                    link = (x, y) if forward else (y, x)
+                    if link in dead_links:
+                        continue
+                    seen.add(y)
+                    frontier.append(y)
+            return seen
+
+        want = set(alive)
+        return reachable(alive[0], True) >= want and reachable(
+            alive[0], False
+        ) >= want
+
+    def describe(self) -> str:
+        """One-line human summary for reports and the CLI."""
+        perm_l = sum(1 for f in self.link_faults if f.end is None)
+        trans_l = len(self.link_faults) - perm_l
+        perm_n = sum(1 for f in self.node_faults if f.end is None)
+        trans_n = len(self.node_faults) - perm_n
+        parts = [
+            f"{perm_l} permanent + {trans_l} transient link fault(s)",
+            f"{perm_n} permanent + {trans_n} transient node fault(s)",
+        ]
+        tail = f" [seed={self.seed}]" if self.seed is not None else ""
+        return ", ".join(parts) + tail
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def single_link(cls, n: int, src: int, dst: int) -> "FaultPlan":
+        """Kill one directed link permanently — the canonical test plan."""
+        return cls(n, (LinkFault(src, dst),))
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        *,
+        seed: int,
+        link_rate: float = 0.0,
+        transient_rate: float = 0.0,
+        window: int = 64,
+        node_failures: tuple[int, ...] = (),
+        extra_links: tuple[tuple[int, int], ...] = (),
+    ) -> "FaultPlan":
+        """A seeded random plan: reproducible fault scenarios.
+
+        Each of the ``N * n`` directed links fails permanently with
+        probability ``link_rate``, else transiently with probability
+        ``transient_rate`` (a random sub-interval of ``[0, window)``
+        phases).  ``node_failures`` kills whole nodes permanently, and
+        ``extra_links`` adds explicit permanent directed-link faults.
+        """
+        if not 0.0 <= link_rate <= 1.0 or not 0.0 <= transient_rate <= 1.0:
+            raise ValueError("fault rates must lie in [0, 1]")
+        if window < 1:
+            raise ValueError("transient window must be at least 1 phase")
+        rng = random.Random(seed)
+        links: list[LinkFault] = []
+        for x in range(1 << n):
+            for d in range(n):
+                y = x ^ (1 << d)
+                if rng.random() < link_rate:
+                    links.append(LinkFault(x, y))
+                elif transient_rate and rng.random() < transient_rate:
+                    start = rng.randrange(window)
+                    span = 1 + rng.randrange(max(1, window // 8))
+                    links.append(LinkFault(x, y, start, start + span))
+        for src, dst in extra_links:
+            links.append(LinkFault(src, dst))
+        nodes = tuple(NodeFault(x) for x in node_failures)
+        return cls(n, tuple(links), nodes, seed=seed)
+
+    @classmethod
+    def from_spec(cls, n: int, spec: str) -> "FaultPlan":
+        """Parse a command-line fault specification.
+
+        Comma-separated ``key=value`` items; recognised keys:
+
+        * ``seed``            — RNG seed (default 0);
+        * ``link_rate``       — permanent per-directed-link failure rate;
+        * ``transient_rate``  — transient per-link failure rate;
+        * ``window``          — transient phase window (default 64);
+        * ``nodes``           — ``+``-separated dead node list, e.g. ``3+9``;
+        * ``links``           — ``+``-separated directed links ``src-dst``.
+
+        Example: ``seed=7,link_rate=0.02,nodes=5,links=0-1+6-4``.
+        """
+        seed = 0
+        link_rate = 0.0
+        transient_rate = 0.0
+        window = 64
+        nodes: tuple[int, ...] = ()
+        links: tuple[tuple[int, int], ...] = ()
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(
+                    f"fault spec item {item!r} is not of the form key=value"
+                )
+            key, value = item.split("=", 1)
+            key = key.strip()
+            value = value.strip()
+            if key == "seed":
+                seed = int(value)
+            elif key == "link_rate":
+                link_rate = float(value)
+            elif key == "transient_rate":
+                transient_rate = float(value)
+            elif key == "window":
+                window = int(value)
+            elif key == "nodes":
+                nodes = tuple(int(v) for v in value.split("+") if v)
+            elif key == "links":
+                pairs = []
+                for chunk in value.split("+"):
+                    if not chunk:
+                        continue
+                    src, _, dst = chunk.partition("-")
+                    pairs.append((int(src), int(dst)))
+                links = tuple(pairs)
+            else:
+                raise ValueError(
+                    f"unknown fault spec key {key!r}; expected seed, "
+                    "link_rate, transient_rate, window, nodes or links"
+                )
+        return cls.random(
+            n,
+            seed=seed,
+            link_rate=link_rate,
+            transient_rate=transient_rate,
+            window=window,
+            node_failures=nodes,
+            extra_links=links,
+        )

@@ -25,6 +25,11 @@ class TransferStats:
     element_hops: int = 0
     copied_elements: int = 0
     max_link_elements: int = 0
+    link_fault_events: int = 0
+    node_fault_events: int = 0
+    retries: int = 0
+    detour_hops: int = 0
+    stall_phases: int = 0
     link_elements: dict[tuple[int, int], int] = field(default_factory=dict)
     phase_times: list[float] = field(default_factory=list)
 
@@ -50,6 +55,30 @@ class TransferStats:
         self.copy_time += duration
         self.time += duration
 
+    def record_fault(self, *, node: bool) -> None:
+        """A delivery hit a faulted node (``node=True``) or link."""
+        if node:
+            self.node_fault_events += 1
+        else:
+            self.link_fault_events += 1
+
+    def record_retry(self) -> None:
+        """A routed transfer waited a round for a transient fault to heal."""
+        self.retries += 1
+
+    def record_detour(self) -> None:
+        """A routed transfer misrouted one hop around a faulted resource."""
+        self.detour_hops += 1
+
+    def record_stall(self) -> None:
+        """A routing round in which no transfer could advance."""
+        self.stall_phases += 1
+
+    @property
+    def fault_events(self) -> int:
+        """Total fault encounters (link + node) observed by the engine."""
+        return self.link_fault_events + self.node_fault_events
+
     def merge(self, other: "TransferStats") -> None:
         """Fold another stats object into this one (sequential composition)."""
         self.time += other.time
@@ -60,6 +89,11 @@ class TransferStats:
         self.startups += other.startups
         self.element_hops += other.element_hops
         self.copied_elements += other.copied_elements
+        self.link_fault_events += other.link_fault_events
+        self.node_fault_events += other.node_fault_events
+        self.retries += other.retries
+        self.detour_hops += other.detour_hops
+        self.stall_phases += other.stall_phases
         for link, load in other.link_elements.items():
             new = self.link_elements.get(link, 0) + load
             self.link_elements[link] = new
@@ -68,9 +102,15 @@ class TransferStats:
         self.phase_times.extend(other.phase_times)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"time={self.time * 1e3:.3f} ms (comm {self.comm_time * 1e3:.3f}, "
             f"copy {self.copy_time * 1e3:.3f}) phases={self.phases} "
             f"messages={self.messages} startups={self.startups} "
             f"element_hops={self.element_hops}"
         )
+        if self.fault_events or self.retries or self.detour_hops:
+            text += (
+                f" faults={self.fault_events} retries={self.retries} "
+                f"detours={self.detour_hops} stalls={self.stall_phases}"
+            )
+        return text

@@ -11,6 +11,15 @@ their endpoints) are free; the engine prices each round.
 The router has no global knowledge, so its schedules are generally *not*
 conflict-free — which is exactly why the scheduled algorithms win on
 large cubes.
+
+When the network carries a :class:`~repro.machine.faults.FaultPlan`, the
+router becomes *fault tolerant*: a transfer whose preferred (profitable)
+hop is dead detours through an alternate dimension — adaptive misrouting
+bounded by a hop budget — and waits out transient faults with bounded
+retries.  Livelock is impossible by construction: either some transfer
+advances, a stall round passes (only while transient faults can still
+heal), or a diagnosable :class:`RoutingStalledError` is raised.  The
+healthy-machine behaviour is bit-for-bit the oblivious e-cube baseline.
 """
 
 from __future__ import annotations
@@ -18,12 +27,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
-from repro.cube.topology import ecube_route
+from repro.codes.bits import hamming
 from repro.machine.engine import CubeNetwork
+from repro.machine.faults import (
+    FaultPlan,
+    NodeFailureError,
+    RoutingStalledError,
+)
 from repro.machine.message import Message
 from repro.machine.params import PortModel
 
-__all__ = ["route_messages", "RoutedTransfer"]
+__all__ = ["route_messages", "RoutedTransfer", "RoutingStalledError"]
 
 
 @dataclass
@@ -41,12 +55,36 @@ class RoutedTransfer:
             raise ValueError("a transfer must carry at least one block")
 
 
+class _Pending:
+    """Mutable per-transfer routing state."""
+
+    __slots__ = ("cur", "src", "dst", "keys", "hops", "blocked", "prev")
+
+    def __init__(self, t: RoutedTransfer) -> None:
+        self.cur = t.src
+        self.src = t.src
+        self.dst = t.dst
+        self.keys = t.keys
+        self.hops = 0
+        self.blocked = 0  # consecutive rounds stuck behind a fault
+        self.prev: int | None = None
+
+    def describe(self) -> str:
+        return (
+            f"{self.keys!r}: {self.src}->{self.dst} at node {self.cur} "
+            f"after {self.hops} hop(s), blocked {self.blocked} round(s)"
+        )
+
+
 def route_messages(
     network: CubeNetwork,
     transfers: Sequence[RoutedTransfer],
     *,
     ascending: bool = True,
     half_duplex: bool = True,
+    max_rounds: int | None = None,
+    detour_budget: int | None = None,
+    retry_limit: int = 8,
 ) -> int:
     """Deliver all transfers via e-cube routing; returns the round count.
 
@@ -61,27 +99,71 @@ def route_messages(
     Connection Machine preset) use the n-port model, where this does not
     apply.  Selection is FIFO over the remaining transfers, so the
     simulation is deterministic.
+
+    Fault tolerance (active when ``network.faults`` is a non-empty
+    :class:`~repro.machine.faults.FaultPlan`):
+
+    * a transfer whose profitable hops are all dead *this round* first
+      retries up to ``retry_limit`` rounds if any blockage is transient,
+      then misroutes through a healthy unprofitable dimension (one hop
+      away from the destination, so the detour costs two extra hops);
+    * each transfer may spend at most ``detour_budget`` extra hops beyond
+      its Hamming distance (default ``2 n``); exhausting the budget with
+      no healthy profitable hop raises :class:`RoutingStalledError`;
+    * ``max_rounds`` caps the total rounds (default ``None`` = unlimited);
+    * rounds in which nothing advances are *stall rounds*: the engine's
+      phase clock still ticks (transient faults heal by phase index), but
+      once every remaining fault is permanent a stalled round raises
+      :class:`RoutingStalledError` with a per-transfer diagnosis instead
+      of spinning.
+
+    A transfer whose source or destination node is permanently dead is
+    undeliverable and raises
+    :class:`~repro.machine.faults.NodeFailureError` immediately.
     """
     n = network.params.n
     one_port = network.params.port_model is PortModel.ONE_PORT
+    plan: FaultPlan | None = network.faults
+    if plan is not None and plan.is_empty:
+        plan = None
+    if detour_budget is None:
+        detour_budget = 2 * n
 
-    # (remaining route nodes, keys); route[0] is the current holder.
-    pending: list[tuple[list[int], tuple[Hashable, ...]]] = []
+    pending: list[_Pending] = []
     for t in transfers:
         if t.src == t.dst:
             raise ValueError(f"transfer {t.keys!r} has src == dst == {t.src}")
-        route = ecube_route(t.src, t.dst, n, ascending=ascending)
-        pending.append((route, t.keys))
+        if plan is not None:
+            for endpoint in (t.src, t.dst):
+                nf = plan.node_fault(endpoint, network.stats.phases)
+                if nf is not None and nf.end is None:
+                    raise NodeFailureError(
+                        endpoint, network.stats.phases, nf.kind
+                    )
+        pending.append(_Pending(t))
 
     rounds = 0
     while pending:
+        if max_rounds is not None and rounds >= max_rounds:
+            raise RoutingStalledError(
+                f"round cap {max_rounds} reached with "
+                f"{len(pending)} transfer(s) undelivered; first stuck: "
+                + pending[0].describe()
+            )
+        phase_now = network.stats.phases
         used_links: set[tuple[int, int]] = set()
         busy_send: set[int] = set()
         busy_recv: set[int] = set()
         phase: list[Message] = []
-        advancing: list[int] = []
-        for idx, (route, keys) in enumerate(pending):
-            cur, nxt = route[0], route[1]
+        movers: list[tuple[_Pending, int]] = []
+        waiting_on_fault = False
+        for tr in pending:
+            nxt = _next_hop(tr, n, plan, phase_now, ascending,
+                            detour_budget, retry_limit)
+            if nxt is None:
+                waiting_on_fault = True
+                continue
+            cur = tr.cur
             if (cur, nxt) in used_links:
                 continue
             if one_port:
@@ -92,18 +174,152 @@ def route_messages(
             used_links.add((cur, nxt))
             busy_send.add(cur)
             busy_recv.add(nxt)
-            phase.append(Message(cur, nxt, keys))
-            advancing.append(idx)
-        if not advancing:  # cannot happen: first pending always advances
-            raise RuntimeError("router deadlock")
-        network.execute_phase(phase)
+            phase.append(Message(cur, nxt, tr.keys))
+            movers.append((tr, nxt))
+
+        if phase:
+            network.execute_phase(phase)
+        else:
+            if plan is None:  # cannot happen: first pending always advances
+                raise RoutingStalledError(
+                    "router deadlock: no transfer can advance"
+                )
+            if phase_now > plan.last_transient_phase():
+                raise RoutingStalledError(
+                    "routing stalled: every remaining fault is permanent "
+                    f"and none of {len(pending)} transfer(s) can advance; "
+                    + "; ".join(tr.describe() for tr in pending[:4])
+                )
+            # Stall round: let the clock tick so transient faults heal.
+            network.idle_phase()
+            network.stats.record_stall()
         rounds += 1
-        still: list[tuple[list[int], tuple[Hashable, ...]]] = []
-        advanced = set(advancing)
-        for idx, (route, keys) in enumerate(pending):
-            if idx in advanced:
-                route = route[1:]
-            if len(route) > 1:
-                still.append((route, keys))
-        pending = still
+
+        moved = set()
+        for tr, nxt in movers:
+            if hamming(nxt, tr.dst) > hamming(tr.cur, tr.dst):
+                network.stats.record_detour()
+            tr.prev = tr.cur
+            tr.cur = nxt
+            tr.hops += 1
+            tr.blocked = 0
+            moved.add(id(tr))
+        if waiting_on_fault:
+            for tr in pending:
+                if id(tr) not in moved and _is_fault_blocked(
+                    tr, n, plan, phase_now, ascending
+                ):
+                    tr.blocked += 1
+                    network.stats.record_retry()
+        pending = [tr for tr in pending if tr.cur != tr.dst]
     return rounds
+
+
+def _profitable_dims(cur: int, dst: int, n: int, ascending: bool) -> list[int]:
+    """Dimensions still differing from the destination, in e-cube order."""
+    diff = cur ^ dst
+    dims = [d for d in range(n) if (diff >> d) & 1]
+    if not ascending:
+        dims.reverse()
+    return dims
+
+
+def _hop_usable(
+    plan: FaultPlan, cur: int, nxt: int, phase: int
+) -> tuple[bool, bool]:
+    """(usable now, blocked only transiently) for the hop ``cur -> nxt``."""
+    transient = False
+    lf = plan.link_fault(cur, nxt, phase)
+    if lf is not None:
+        if lf.end is None:
+            return False, False
+        transient = True
+    nf = plan.node_fault(nxt, phase)
+    if nf is not None:
+        if nf.end is None:
+            return False, False
+        transient = True
+    return not transient, transient
+
+
+def _is_fault_blocked(
+    tr: _Pending, n: int, plan: FaultPlan | None, phase: int, ascending: bool
+) -> bool:
+    """Did this transfer fail to advance because of faults (vs. contention)?"""
+    if plan is None:
+        return False
+    for d in _profitable_dims(tr.cur, tr.dst, n, ascending):
+        usable, _ = _hop_usable(plan, tr.cur, tr.cur ^ (1 << d), phase)
+        if usable:
+            return False
+    return True
+
+
+def _next_hop(
+    tr: _Pending,
+    n: int,
+    plan: FaultPlan | None,
+    phase: int,
+    ascending: bool,
+    detour_budget: int,
+    retry_limit: int,
+) -> int | None:
+    """The node this transfer should move to this round, or ``None`` to wait.
+
+    Healthy machine: exactly the oblivious e-cube next hop.  Faulted
+    machine: the first healthy profitable hop; failing that, bounded
+    retries (if any blockage may heal) and then adaptive misrouting
+    through a healthy unprofitable dimension within the hop budget.
+    Skips the node we just came from while any alternative exists, so a
+    misrouted transfer resolves the blocked dimension from its detour
+    position instead of ping-ponging.
+    """
+    cur, dst = tr.cur, tr.dst
+    dims = _profitable_dims(cur, dst, n, ascending)
+    if plan is None:
+        return cur ^ (1 << dims[0])
+
+    backtrack: int | None = None
+    any_transient = False
+    for d in dims:
+        nxt = cur ^ (1 << d)
+        usable, transient = _hop_usable(plan, cur, nxt, phase)
+        any_transient = any_transient or transient
+        if not usable:
+            continue
+        if nxt == tr.prev:
+            backtrack = nxt if backtrack is None else backtrack
+            continue
+        return nxt
+    if backtrack is not None:
+        return backtrack
+
+    # Every profitable hop is faulted right now.
+    if any_transient and tr.blocked < retry_limit:
+        return None  # bounded retry: wait for the fault to heal
+
+    # Adaptive misrouting: one hop away from the destination costs two
+    # extra hops overall, so it must fit in the remaining budget.
+    extra_used = tr.hops + len(dims) - hamming(tr.src, dst)
+    if extra_used + 2 <= detour_budget:
+        backtrack = None
+        for d in range(n):
+            if (cur ^ dst) >> d & 1:
+                continue
+            nxt = cur ^ (1 << d)
+            usable, _ = _hop_usable(plan, cur, nxt, phase)
+            if not usable:
+                continue
+            if nxt == tr.prev:
+                backtrack = nxt if backtrack is None else backtrack
+                continue
+            return nxt
+        if backtrack is not None:
+            return backtrack
+
+    if any_transient:
+        return None  # out of budget or fully walled in, but it may heal
+    raise RoutingStalledError(
+        "routing stalled: no healthy hop within the detour budget "
+        f"({detour_budget} extra hops) for transfer " + tr.describe()
+    )

@@ -21,9 +21,10 @@ class PhaseEvent:
     """One recorded engine event."""
 
     index: int
-    kind: str  # "comm" or "local"
+    kind: str  # "comm", "local" or "fault"
     duration: float
     transfers: tuple[tuple[int, int, int], ...]  # (src, dst, elements)
+    detail: str = ""  # fault events: "link"/"node" plus the fault phase
 
     @property
     def total_elements(self) -> int:
@@ -57,11 +58,27 @@ class TraceRecorder:
             PhaseEvent(len(self.events), "local", duration, ((0, 0, elements),))
         )
 
+    def on_fault(self, src: int, dst: int, phase: int, kind: str) -> None:
+        """A delivery hit a faulted resource (kind is "link" or "node")."""
+        self.events.append(
+            PhaseEvent(
+                len(self.events),
+                "fault",
+                0.0,
+                ((src, dst, 0),),
+                detail=f"{kind}@phase{phase}",
+            )
+        )
+
     # -- queries -------------------------------------------------------------
 
     @property
     def comm_events(self) -> list[PhaseEvent]:
         return [e for e in self.events if e.kind == "comm"]
+
+    @property
+    def fault_events(self) -> list[PhaseEvent]:
+        return [e for e in self.events if e.kind == "fault"]
 
     def busiest_phase(self) -> PhaseEvent:
         if not self.events:

@@ -42,17 +42,27 @@ from repro.transpose.two_dim import (
     two_dim_transpose_router,
     two_dim_transpose_spt,
 )
+from repro.transpose.fallback import routed_universal_transpose
 from repro.transpose.remap import remap_transpose
 from repro.transpose.mixed import (
     mixed_code_transpose_combined,
     mixed_code_transpose_naive,
 )
-from repro.transpose.planner import TransposeResult, default_after_layout, transpose
+from repro.transpose.planner import (
+    TransposeInvariantError,
+    TransposeResult,
+    check_transpose_invariants,
+    default_after_layout,
+    schedule_links,
+    transpose,
+)
 
 __all__ = [
     "BufferPolicy",
     "ExchangeExecutor",
+    "TransposeInvariantError",
     "TransposeResult",
+    "check_transpose_invariants",
     "block_convert",
     "block_transpose",
     "conversion_bit_permutation",
@@ -66,6 +76,8 @@ __all__ = [
     "one_dim_transpose_sbnt",
     "plan_exchange_sequence",
     "remap_transpose",
+    "routed_universal_transpose",
+    "schedule_links",
     "standard_exchange_pairs",
     "transpose",
     "transpose_bit_permutation",

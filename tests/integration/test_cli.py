@@ -75,6 +75,87 @@ class TestCli:
     def test_run_rejects_odd_cube_for_2d(self, capsys):
         assert main(["run", "-n", "3", "--layout", "2d"]) == 2
 
+    def test_run_with_faults_degrades_and_verifies(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--machine",
+                    "ipsc",
+                    "-n",
+                    "4",
+                    "--elements",
+                    "4096",
+                    "--faults",
+                    "links=0-1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "faults:     1 permanent" in out
+        assert "degraded:   spt -> " in out
+        assert "verified:   True" in out
+
+    def test_run_with_faults_is_reproducible(self, capsys):
+        argv = [
+            "run",
+            "-n",
+            "4",
+            "--elements",
+            "1024",
+            "--faults",
+            "seed=9,link_rate=0.03",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_explicit_algorithm(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "-n",
+                    "4",
+                    "--elements",
+                    "1024",
+                    "--algorithm",
+                    "router",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "algorithm:  router" in out
+        assert "verified:   True" in out
+
+    def test_run_reports_disconnected_cube_cleanly(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "-n",
+                    "2",
+                    "--elements",
+                    "64",
+                    "--faults",
+                    "links=0-1+1-0+0-2+2-0",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "transpose failed under faults" in err
+        assert "not strongly connected" in err
+
+    def test_run_rejects_bad_fault_spec(self, capsys):
+        assert (
+            main(["run", "-n", "4", "--faults", "bogus_key=1"]) == 2
+        )
+        assert "bad --faults spec" in capsys.readouterr().err
+
     def test_rectangular_1d_cols(self, capsys):
         assert (
             main(
