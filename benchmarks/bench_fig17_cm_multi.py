@@ -7,7 +7,6 @@ size adding its contention/distance factor.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.reporting import emit_table, ms
 from repro.layout import DistributedMatrix

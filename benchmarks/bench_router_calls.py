@@ -9,7 +9,6 @@ did) and compare against the exchange algorithm with optimum buffering.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.reporting import emit_table, ms
 from repro.layout import DistributedMatrix

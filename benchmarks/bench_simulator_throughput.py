@@ -1,19 +1,25 @@
 """Wall-clock throughput of the simulator itself (not a paper figure).
 
 Tracks the engineering health of the engine: phases per second on a
-message-heavy schedule and modelled-elements per second on a
-payload-heavy transpose.  pytest-benchmark's history makes regressions
-visible when the engine changes.
+message-heavy schedule, modelled-elements per second on a payload-heavy
+transpose, and the compile-once/replay-N speedup of the plans subsystem.
+pytest-benchmark's history makes regressions visible when the engine
+changes.
 """
+
+from time import perf_counter
 
 import numpy as np
 
+from benchmarks.reporting import emit_table
 from repro.comm.all_to_all import all_to_all_personalized_data, all_to_all_sbnt
 from repro.layout import DistributedMatrix
 from repro.layout import partition as pt
 from repro.machine import CubeNetwork, custom_machine
 from repro.machine.params import PortModel
+from repro.plans import capture_transpose, replay_plan, synthetic_matrix
 from repro.transpose.one_dim import one_dim_transpose_exchange
+from repro.transpose.planner import transpose
 
 
 def message_heavy():
@@ -44,3 +50,98 @@ def test_throughput_message_heavy(benchmark):
 def test_throughput_payload_heavy(benchmark):
     hops = benchmark.pedantic(payload_heavy, rounds=2, iterations=1)
     assert hops == 4 * (1 << 20) // 2  # n * M / 2
+
+
+# -- compile-once / replay-N ----------------------------------------------------
+
+REPLAY_CASES = [
+    # (label, algorithm, machine, before layout)
+    ("spt-2^18", "spt", custom_machine(6), pt.two_dim_cyclic(9, 9, 3, 3)),
+    (
+        "exchange-2^16",
+        "exchange",
+        custom_machine(4),
+        pt.row_consecutive(8, 8, 4),
+    ),
+]
+REPLAYS = 8
+
+
+def test_compile_once_replay_many(benchmark):
+    """Replaying a cached plan must beat re-planning, for N repeats.
+
+    Direct side: N full planned transposes (planning + NumPy payload
+    movement + invariant checks).  Replay side: one capture, then N
+    payload-free replays of the compiled plan.  Both sides produce
+    identical modelled stats (asserted), so the wall-clock ratio is the
+    price of re-planning — the cost the plan cache eliminates.
+    """
+    rows = []
+    direct_total = replay_total = 0.0
+    for label, algorithm, params, before in REPLAY_CASES:
+        t0 = perf_counter()
+        direct_stats = None
+        for _ in range(REPLAYS):
+            net = CubeNetwork(params)
+            result = transpose(
+                net, synthetic_matrix(before), algorithm=algorithm
+            )
+            direct_stats = result.stats
+        direct = perf_counter() - t0
+
+        t0 = perf_counter()
+        _, plan = capture_transpose(
+            params, synthetic_matrix(before), algorithm=algorithm
+        )
+        compile_s = perf_counter() - t0
+        t0 = perf_counter()
+        replay_stats = None
+        for _ in range(REPLAYS):
+            net = CubeNetwork(params)
+            replay_plan(plan, net)
+            replay_stats = net.stats
+        replay = perf_counter() - t0
+
+        assert replay_stats == direct_stats
+        direct_total += direct
+        replay_total += replay
+        rows.append(
+            (
+                label,
+                REPLAYS,
+                direct * 1e3,
+                compile_s * 1e3,
+                replay * 1e3,
+                direct / replay,
+            )
+        )
+
+    emit_table(
+        "plan_replay",
+        f"Compile-once/replay-{REPLAYS}: wall-clock of direct planned runs "
+        "vs plan replay",
+        [
+            "case",
+            "runs",
+            "direct (ms)",
+            "compile (ms)",
+            "replay (ms)",
+            "speedup",
+        ],
+        rows,
+        notes="Modelled TransferStats are identical on both sides; the "
+        "speedup is pure planning/payload overhead removed by the cache.",
+    )
+    # The point of the subsystem: replaying N cached schedules is
+    # measurably cheaper than planning N times.
+    assert replay_total < direct_total
+
+    def replay_side():
+        for _, algorithm, params, before in REPLAY_CASES:
+            _, plan = capture_transpose(
+                params, synthetic_matrix(before), algorithm=algorithm
+            )
+            for _ in range(REPLAYS):
+                replay_plan(plan, CubeNetwork(params))
+
+    benchmark.pedantic(replay_side, rounds=1, iterations=1)

@@ -42,20 +42,42 @@ from repro.machine.engine import CubeNetwork
 from repro.machine.params import MachineParams, PortModel
 from repro.machine.presets import connection_machine, custom_machine, intel_ipsc
 from repro.transpose.exchange import BufferPolicy, convert_layout
-from repro.transpose.planner import TransposeResult, default_after_layout, transpose
+from repro.transpose.planner import (
+    TransposeResult,
+    default_after_layout,
+    select_algorithm,
+    transpose,
+)
 
 __version__ = "1.0.0"
 
+from repro.plans import (  # noqa: E402  (needs __version__ for provenance)
+    BatchRequest,
+    CompiledPlan,
+    PlanCache,
+    RecordingNetwork,
+    capture_transpose,
+    plan_key,
+    replay_degraded,
+    replay_plan,
+    run_batch,
+)
+
 __all__ = [
+    "BatchRequest",
     "BufferPolicy",
     "CommClass",
+    "CompiledPlan",
     "CubeNetwork",
     "DistributedMatrix",
     "Layout",
     "MachineParams",
+    "PlanCache",
     "PortModel",
     "ProcField",
+    "RecordingNetwork",
     "TransposeResult",
+    "capture_transpose",
     "classify_transpose",
     "column_consecutive",
     "column_cyclic",
@@ -65,8 +87,13 @@ __all__ = [
     "custom_machine",
     "default_after_layout",
     "intel_ipsc",
+    "plan_key",
+    "replay_degraded",
+    "replay_plan",
     "row_consecutive",
     "row_cyclic",
+    "run_batch",
+    "select_algorithm",
     "transpose",
     "two_dim_consecutive",
     "two_dim_cyclic",

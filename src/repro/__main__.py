@@ -5,12 +5,20 @@ Commands
 ``advise``    rank the paper's algorithms for a machine/problem size
               (the §9 decision procedure);
 ``run``       execute one simulated transpose and print the cost report;
-``machines``  show the calibrated machine presets.
+``machines``  show the calibrated machine presets;
+``plan``      compile a transpose into a :class:`CompiledPlan` document;
+``replay``    execute a compiled plan on a fresh (optionally faulted)
+              network without re-planning;
+``batch``     serve many transpose requests through the plan cache.
+
+``advise``, ``run``, ``machines``, ``replay`` and ``batch`` accept
+``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -34,61 +42,78 @@ def _machine(args):
 
 
 def cmd_advise(args) -> int:
-    from repro.analysis.report import format_report
+    from repro.analysis.report import format_report, report_data
 
-    print(format_report(_machine(args), args.elements))
+    if args.json:
+        print(json.dumps(report_data(_machine(args), args.elements), indent=2))
+    else:
+        print(format_report(_machine(args), args.elements))
     return 0
+
+
+def _resolve_problem(args):
+    """CLI-side wrapper: bad problem parameters exit with status 2."""
+    from repro.plans.batch import resolve_problem
+
+    try:
+        return resolve_problem(args.n, args.elements, args.layout)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
 
 
 def cmd_run(args) -> int:
     from repro import CubeNetwork, DistributedMatrix, transpose
-    from repro.layout import partition as pt
     from repro.machine.faults import FaultError, FaultPlan, RoutingStalledError
 
-    bits = args.elements.bit_length() - 1
-    if 1 << bits != args.elements:
-        print("element count must be a power of two", file=sys.stderr)
+    resolved = _resolve_problem(args)
+    if resolved is None:
         return 2
-    p = bits // 2
-    q = bits - p
-    n = args.n
-    if args.layout == "2d":
-        if n % 2:
-            print("2d layout needs an even cube dimension", file=sys.stderr)
-            return 2
-        layout = pt.two_dim_cyclic(p, q, n // 2, n // 2)
-    elif args.layout == "1d-rows":
-        layout = pt.row_consecutive(p, q, n)
-    else:
-        layout = pt.column_cyclic(p, q, n)
+    layout, after = resolved
 
     faults = None
     if args.faults:
         try:
-            faults = FaultPlan.from_spec(n, args.faults)
+            faults = FaultPlan.from_spec(args.n, args.faults)
         except ValueError as exc:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
             return 2
 
     rng = np.random.default_rng(0)
-    A = rng.standard_normal((1 << p, 1 << q))
+    A = rng.standard_normal((1 << layout.p, 1 << layout.q))
     net = CubeNetwork(_machine(args), faults=faults)
     try:
         result = transpose(
             net,
             DistributedMatrix.from_global(A, layout),
-            pt.two_dim_cyclic(q, p, n // 2, n // 2)
-            if args.layout == "2d" and p != q
-            else None
-            if p == q
-            else _mirror(layout),
+            after,
             algorithm=args.algorithm,
         )
     except (FaultError, RoutingStalledError) as exc:
         print(f"transpose failed under faults: {exc}", file=sys.stderr)
         return 1
     ok = result.verify_against(A)
-    print(f"matrix:     {1 << p} x {1 << q} ({args.elements} elements)")
+    if args.json:
+        doc = {
+            "rows": 1 << layout.p,
+            "cols": 1 << layout.q,
+            "elements": args.elements,
+            "layout": layout.describe(),
+            "machine": net.params.name,
+            "port_model": net.params.port_model.value,
+            "algorithm": result.algorithm,
+            "comm_class": result.comm_class.value,
+            "requested": result.requested,
+            "degraded": result.degraded,
+            "fallbacks": list(result.fallbacks),
+            "recovery_overhead": result.recovery_overhead,
+            "faults": None if faults is None else faults.describe(),
+            "verified": ok,
+            "stats": result.stats.as_dict(),
+        }
+        print(json.dumps(doc, indent=2))
+        return 0 if ok else 1
+    print(f"matrix:     {1 << layout.p} x {1 << layout.q} ({args.elements} elements)")
     print(f"layout:     {layout.describe()}")
     print(f"machine:    {net.params.name} ({net.params.port_model.value})")
     print(f"algorithm:  {result.algorithm} ({result.comm_class.value})")
@@ -105,28 +130,136 @@ def cmd_run(args) -> int:
     return 0 if ok else 1
 
 
-def _mirror(layout):
-    """Same-family layout for the transposed (rectangular) matrix."""
-    from repro.layout import partition as pt
-
-    name = layout.name
-    p, q, n = layout.q, layout.p, layout.n
-    if name.startswith("row-consecutive"):
-        return pt.row_consecutive(p, q, n)
-    if name.startswith("col-cyclic"):
-        return pt.column_cyclic(p, q, n)
-    raise ValueError(f"no mirror for layout {name}")
-
-
 def cmd_machines(args) -> int:
     from repro.machine.presets import connection_machine, intel_ipsc
 
-    for m in (intel_ipsc(args.n), connection_machine(args.n)):
+    presets = (intel_ipsc(args.n), connection_machine(args.n))
+    if args.json:
+        from repro.plans.ir import MachineSpec
+
+        print(
+            json.dumps(
+                [MachineSpec.from_params(m).as_dict() for m in presets],
+                indent=2,
+            )
+        )
+        return 0
+    for m in presets:
         print(
             f"{m.name}: tau={m.tau * 1e6:.0f} us, t_c={m.t_c * 1e6:.2f} us/el, "
             f"B_m={m.packet_capacity} el, t_copy={m.t_copy * 1e6:.1f} us/el, "
             f"{m.port_model.value}, pipelined={m.pipelined}"
         )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.plans import capture_transpose, plan_key, synthetic_matrix
+    from repro.plans.cache import PlanCache
+
+    resolved = _resolve_problem(args)
+    if resolved is None:
+        return 2
+    before, after = resolved
+    params = _machine(args)
+    _, plan = capture_transpose(
+        params, synthetic_matrix(before), after, algorithm=args.algorithm
+    )
+    if args.cache_dir:
+        key = plan_key(params, before, after, plan.algorithm)
+        PlanCache(path=args.cache_dir).put(key, plan)
+        print(f"cached {plan.describe()}", file=sys.stderr)
+        print(key)
+    elif args.out:
+        with open(args.out, "w") as fh:
+            fh.write(plan.dumps(indent=2))
+        print(
+            f"wrote {args.out}: {plan.describe()} "
+            f"(fingerprint {plan.fingerprint[:16]})",
+            file=sys.stderr,
+        )
+    else:
+        print(plan.dumps(indent=2))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro import CubeNetwork
+    from repro.machine.faults import FaultError, FaultPlan, RoutingStalledError
+    from repro.plans.ir import CompiledPlan, PlanError
+    from repro.plans.replay import PlanReplayError, replay_plan
+
+    try:
+        with open(args.plan) as fh:
+            plan = CompiledPlan.loads(fh.read())
+    except (OSError, PlanError) as exc:
+        print(f"cannot load plan: {exc}", file=sys.stderr)
+        return 2
+
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultPlan.from_spec(plan.machine.n, args.faults)
+        except ValueError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+
+    network = CubeNetwork(plan.machine.to_params(), faults=faults)
+    try:
+        replay_plan(plan, network)
+    except PlanReplayError as exc:
+        print(f"replay rejected: {exc}", file=sys.stderr)
+        return 2
+    except (FaultError, RoutingStalledError) as exc:
+        print(f"replay failed under faults: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        doc = {
+            "plan": plan.describe(),
+            "algorithm": plan.algorithm,
+            "fingerprint": plan.fingerprint,
+            "faults": None if faults is None else faults.describe(),
+            "stats": network.stats.as_dict(),
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(f"plan:       {plan.describe()}")
+    if faults is not None:
+        print(f"faults:     {faults.describe()}")
+    print(f"model time: {network.stats.summary()}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    from repro.plans.batch import BatchRequest, run_batch
+    from repro.plans.cache import PlanCache
+
+    try:
+        with open(args.requests) as fh:
+            docs = json.load(fh)
+        if not isinstance(docs, list):
+            raise ValueError("requests file must hold a JSON array")
+        requests = [BatchRequest.from_dict(d) for d in docs]
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"cannot load requests: {exc}", file=sys.stderr)
+        return 2
+
+    cache = PlanCache(capacity=args.cache_size, path=args.cache_dir)
+    reports = [run_batch(requests, cache=cache) for _ in range(args.repeat)]
+    if args.json:
+        doc = {
+            "runs": [r.as_dict() for r in reports],
+            "cache": cache.counters(),
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    for i, report in enumerate(reports, 1):
+        print(f"run {i}: {report.summary()}")
+    c = cache.counters()
+    print(
+        f"cache: {c['hits']} hit(s), {c['misses']} miss(es), "
+        f"{c['evictions']} eviction(s), {c['resident']} resident"
+    )
     return 0
 
 
@@ -148,18 +281,30 @@ def build_parser() -> argparse.ArgumentParser:
             "--elements", type=int, default=1 << 16, help="matrix elements (power of 2)"
         )
 
+    def json_flag(p):
+        p.add_argument(
+            "--json", action="store_true", help="machine-readable JSON output"
+        )
+
+    def problem(p):
+        p.add_argument(
+            "--layout", choices=["2d", "1d-rows", "1d-cols"], default="2d"
+        )
+        p.add_argument(
+            "--algorithm",
+            default="auto",
+            help="strategy name (default auto; e.g. spt, dpt, mpt, router)",
+        )
+
     pa = sub.add_parser("advise", help="rank algorithms analytically (§9)")
     common(pa)
+    json_flag(pa)
     pa.set_defaults(fn=cmd_advise)
 
     pr = sub.add_parser("run", help="run one simulated transpose")
     common(pr)
-    pr.add_argument("--layout", choices=["2d", "1d-rows", "1d-cols"], default="2d")
-    pr.add_argument(
-        "--algorithm",
-        default="auto",
-        help="strategy name (default auto; e.g. spt, dpt, mpt, router)",
-    )
+    problem(pr)
+    json_flag(pr)
     pr.add_argument(
         "--faults",
         default=None,
@@ -172,7 +317,57 @@ def build_parser() -> argparse.ArgumentParser:
 
     pm = sub.add_parser("machines", help="show machine presets")
     pm.add_argument("-n", type=int, default=6)
+    json_flag(pm)
     pm.set_defaults(fn=cmd_machines)
+
+    pp = sub.add_parser(
+        "plan", help="compile a transpose schedule without executing payloads"
+    )
+    common(pp)
+    problem(pp)
+    pp.add_argument("--out", default=None, metavar="FILE", help="write plan JSON here")
+    pp.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="store the plan content-addressed in this directory "
+        "(prints the key)",
+    )
+    pp.set_defaults(fn=cmd_plan)
+
+    py = sub.add_parser("replay", help="execute a compiled plan")
+    py.add_argument("plan", help="plan JSON file (from `repro plan --out`)")
+    py.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="replay on a faulted network (see FaultPlan.from_spec)",
+    )
+    json_flag(py)
+    py.set_defaults(fn=cmd_replay)
+
+    pb = sub.add_parser(
+        "batch", help="serve many transpose requests through the plan cache"
+    )
+    pb.add_argument(
+        "requests",
+        help="JSON file: array of request objects "
+        '(e.g. [{"elements": 4096, "n": 4}])',
+    )
+    pb.add_argument(
+        "--cache-dir", default=None, metavar="DIR", help="on-disk plan store"
+    )
+    pb.add_argument(
+        "--cache-size", type=int, default=128, help="in-memory LRU capacity"
+    )
+    pb.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the request set this many times (later runs hit the cache)",
+    )
+    json_flag(pb)
+    pb.set_defaults(fn=cmd_batch)
     return parser
 
 

@@ -15,7 +15,12 @@ from repro.analysis import models as md
 from repro.analysis.bounds import transpose_lower_bound
 from repro.machine.params import MachineParams, PortModel
 
-__all__ = ["AlgorithmEstimate", "estimate_transpose_options", "format_report"]
+__all__ = [
+    "AlgorithmEstimate",
+    "estimate_transpose_options",
+    "format_report",
+    "report_data",
+]
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,58 @@ def estimate_transpose_options(
     return out
 
 
+def _regime(params: MachineParams, M: int) -> tuple[float, str] | None:
+    """The §9 regime classification: ``(sqrt(M t_c/(N tau)), label)``."""
+    if params.tau <= 0:
+        return None
+    import math
+
+    hi = math.sqrt(M * params.t_c / (params.num_procs * params.tau))
+    if params.n >= hi:
+        label = "start-up bound: 1D wins by about one start-up (§9)"
+    elif params.n <= hi / math.sqrt(2):
+        label = "transfer bound: 1D wins (§9)"
+    else:
+        label = "intermediate band: near the §9 break-even"
+    return hi, label
+
+
+def report_data(params: MachineParams, M: int) -> dict:
+    """The advisor's ranking as a machine-readable document.
+
+    The same computation :func:`format_report` renders for humans,
+    shaped for ``python -m repro advise --json`` and other programmatic
+    consumers (the batch runner, services).
+    """
+    options = estimate_transpose_options(params, M)
+    regime = _regime(params, M)
+    return {
+        "elements": M,
+        "machine": {
+            "name": params.name,
+            "n": params.n,
+            "num_procs": params.num_procs,
+            "port_model": params.port_model.value,
+            "tau": params.tau,
+            "t_c": params.t_c,
+        },
+        "lower_bound": transpose_lower_bound(params, M),
+        "ranking": [
+            {
+                "rank": rank,
+                "algorithm": est.name,
+                "partitioning": est.partitioning,
+                "time": est.time,
+                "note": est.note,
+            }
+            for rank, est in enumerate(options, 1)
+        ],
+        "regime": None
+        if regime is None
+        else {"break_even": regime[0], "note": regime[1]},
+    }
+
+
 def format_report(params: MachineParams, M: int) -> str:
     """Human-readable ranking plus the lower bound and §9 regime note."""
     options = estimate_transpose_options(params, M)
@@ -117,16 +174,11 @@ def format_report(params: MachineParams, M: int) -> str:
             f"{rank:>4}  {est.name:24}  {est.partitioning:>5}  "
             f"{est.time * 1e3:12.3f}  {est.note}"
         )
-    if params.tau > 0:
-        import math
-
-        hi = math.sqrt(M * params.t_c / (params.num_procs * params.tau))
+    regime = _regime(params, M)
+    if regime is not None:
+        hi, label = regime
         lines.append("")
-        if params.n >= hi:
-            regime = "start-up bound: 1D wins by about one start-up (§9)"
-        elif params.n <= hi / math.sqrt(2):
-            regime = "transfer bound: 1D wins (§9)"
-        else:
-            regime = "intermediate band: near the §9 break-even"
-        lines.append(f"regime: n = {params.n}, sqrt(M t_c/(N tau)) = {hi:.2f} -> {regime}")
+        lines.append(
+            f"regime: n = {params.n}, sqrt(M t_c/(N tau)) = {hi:.2f} -> {label}"
+        )
     return "\n".join(lines)

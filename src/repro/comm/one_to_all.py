@@ -159,10 +159,10 @@ def _scatter_reverse_bfs(
         hops: dict[tuple[int, int], list[Hashable]] = {}
         for k in keys:
             d = depths[k]
-            l = t - (max_depth - d) + 1
-            if 1 <= l <= d:
+            lvl = t - (max_depth - d) + 1
+            if 1 <= lvl <= d:
                 path = paths[k]
-                hops.setdefault((path[l - 1], path[l]), []).append(k)
+                hops.setdefault((path[lvl - 1], path[lvl]), []).append(k)
         messages = [
             Message(src, dst, tuple(ks)) for (src, dst), ks in hops.items()
         ]
@@ -241,10 +241,10 @@ class _ReverseBfsStepper:
         hops: dict[tuple[int, int], list[Hashable]] = {}
         for k in self.keys:
             d = self.depths[k]
-            l = self.t - (self.max_depth - d) + 1
-            if 1 <= l <= d:
+            lvl = self.t - (self.max_depth - d) + 1
+            if 1 <= lvl <= d:
                 path = self.paths[k]
-                hops.setdefault((path[l - 1], path[l]), []).append(k)
+                hops.setdefault((path[lvl - 1], path[lvl]), []).append(k)
         self.t += 1
         return [Message(src, dst, tuple(ks)) for (src, dst), ks in hops.items()]
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.codes.bits import bit_count, rotate_left, rotate_right
+from repro.codes.bits import rotate_left, rotate_right
 from repro.cube.topology import dimension_of_edge, num_nodes
 
 __all__ = [

@@ -30,6 +30,9 @@ class TransferStats:
     retries: int = 0
     detour_hops: int = 0
     stall_phases: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
     link_elements: dict[tuple[int, int], int] = field(default_factory=dict)
     phase_times: list[float] = field(default_factory=list)
 
@@ -74,6 +77,17 @@ class TransferStats:
         """A routing round in which no transfer could advance."""
         self.stall_phases += 1
 
+    def record_plan_event(self, kind: str) -> None:
+        """A plan-cache lookup outcome: ``hit``, ``miss`` or ``eviction``."""
+        if kind == "hit":
+            self.plan_hits += 1
+        elif kind == "miss":
+            self.plan_misses += 1
+        elif kind == "eviction":
+            self.plan_evictions += 1
+        else:
+            raise ValueError(f"unknown plan-cache event {kind!r}")
+
     @property
     def fault_events(self) -> int:
         """Total fault encounters (link + node) observed by the engine."""
@@ -94,6 +108,9 @@ class TransferStats:
         self.retries += other.retries
         self.detour_hops += other.detour_hops
         self.stall_phases += other.stall_phases
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        self.plan_evictions += other.plan_evictions
         for link, load in other.link_elements.items():
             new = self.link_elements.get(link, 0) + load
             self.link_elements[link] = new
@@ -113,4 +130,31 @@ class TransferStats:
                 f" faults={self.fault_events} retries={self.retries} "
                 f"detours={self.detour_hops} stalls={self.stall_phases}"
             )
+        if self.plan_hits or self.plan_misses or self.plan_evictions:
+            text += (
+                f" plan_hits={self.plan_hits} plan_misses={self.plan_misses} "
+                f"plan_evictions={self.plan_evictions}"
+            )
         return text
+
+    def as_dict(self) -> dict:
+        """Machine-readable counters (JSON-safe: link keys stringified)."""
+        return {
+            "time": self.time,
+            "comm_time": self.comm_time,
+            "copy_time": self.copy_time,
+            "phases": self.phases,
+            "messages": self.messages,
+            "startups": self.startups,
+            "element_hops": self.element_hops,
+            "copied_elements": self.copied_elements,
+            "max_link_elements": self.max_link_elements,
+            "link_fault_events": self.link_fault_events,
+            "node_fault_events": self.node_fault_events,
+            "retries": self.retries,
+            "detour_hops": self.detour_hops,
+            "stall_phases": self.stall_phases,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_evictions": self.plan_evictions,
+        }

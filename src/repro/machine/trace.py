@@ -21,10 +21,10 @@ class PhaseEvent:
     """One recorded engine event."""
 
     index: int
-    kind: str  # "comm", "local" or "fault"
+    kind: str  # "comm", "local", "fault" or "cache"
     duration: float
     transfers: tuple[tuple[int, int, int], ...]  # (src, dst, elements)
-    detail: str = ""  # fault events: "link"/"node" plus the fault phase
+    detail: str = ""  # fault: "link"/"node"@phase; cache: event + key prefix
 
     @property
     def total_elements(self) -> int:
@@ -70,6 +70,18 @@ class TraceRecorder:
             )
         )
 
+    def on_cache(self, key: str, event: str) -> None:
+        """A plan-cache lookup outcome ("hit", "miss" or "eviction")."""
+        self.events.append(
+            PhaseEvent(
+                len(self.events),
+                "cache",
+                0.0,
+                (),
+                detail=f"{event}:{key[:12]}",
+            )
+        )
+
     # -- queries -------------------------------------------------------------
 
     @property
@@ -79,6 +91,10 @@ class TraceRecorder:
     @property
     def fault_events(self) -> list[PhaseEvent]:
         return [e for e in self.events if e.kind == "fault"]
+
+    @property
+    def cache_events(self) -> list[PhaseEvent]:
+        return [e for e in self.events if e.kind == "cache"]
 
     def busiest_phase(self) -> PhaseEvent:
         if not self.events:

@@ -12,7 +12,6 @@ content that belongs in the other half.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np

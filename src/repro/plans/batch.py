@@ -1,0 +1,221 @@
+"""Serve many transpose requests through the plan cache.
+
+This is the plan-once/replay-many surface: each request is resolved to a
+content address (:func:`~repro.plans.cache.plan_key`); on a miss the
+schedule is captured once from a real run, on a hit the cached
+:class:`~repro.plans.ir.CompiledPlan` replays on a fresh network with no
+planning and no payload movement.  A second batch over the same request
+set is therefore served entirely from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterable, Mapping
+
+from repro.layout.fields import Layout
+from repro.machine.engine import CubeNetwork
+from repro.machine.params import MachineParams
+from repro.plans.cache import PlanCache, plan_key
+from repro.plans.recorder import capture_transpose, synthetic_matrix
+from repro.plans.replay import replay_plan
+
+__all__ = [
+    "BatchOutcome",
+    "BatchReport",
+    "BatchRequest",
+    "resolve_problem",
+    "run_batch",
+]
+
+
+def resolve_problem(
+    n: int, elements: int, layout: str
+) -> tuple[Layout, Layout | None]:
+    """Map CLI-style problem parameters to a ``(before, after)`` pair.
+
+    Mirrors the ``run`` subcommand exactly: ``after`` is ``None`` for a
+    square matrix (planner default), the mirrored layout otherwise.
+    Raises :class:`ValueError` with the CLI's own messages on bad input.
+    """
+    from repro.layout import partition as pt
+
+    bits = elements.bit_length() - 1
+    if elements <= 0 or 1 << bits != elements:
+        raise ValueError("element count must be a power of two")
+    p = bits // 2
+    q = bits - p
+    if layout == "2d":
+        if n % 2:
+            raise ValueError("2d layout needs an even cube dimension")
+        before = pt.two_dim_cyclic(p, q, n // 2, n // 2)
+        after = (
+            None if p == q else pt.two_dim_cyclic(q, p, n // 2, n // 2)
+        )
+    elif layout == "1d-rows":
+        before = pt.row_consecutive(p, q, n)
+        after = None if p == q else pt.row_consecutive(q, p, n)
+    elif layout == "1d-cols":
+        before = pt.column_cyclic(p, q, n)
+        after = None if p == q else pt.column_cyclic(q, p, n)
+    else:
+        raise ValueError(f"unknown layout {layout!r}")
+    return before, after
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One transpose request in CLI vocabulary."""
+
+    elements: int
+    n: int = 6
+    layout: str = "2d"
+    machine: str = "ipsc"
+    algorithm: str = "auto"
+    tau: float = 1.0
+    t_c: float = 1.0
+    n_port: bool = False
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "BatchRequest":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"unknown batch request field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**d)
+
+    def machine_params(self) -> MachineParams:
+        from repro.machine.params import PortModel
+        from repro.machine.presets import (
+            connection_machine,
+            custom_machine,
+            intel_ipsc,
+        )
+
+        if self.machine == "ipsc":
+            return intel_ipsc(self.n)
+        if self.machine == "cm":
+            return connection_machine(self.n)
+        if self.machine == "custom":
+            return custom_machine(
+                self.n,
+                tau=self.tau,
+                t_c=self.t_c,
+                port_model=PortModel.N_PORT
+                if self.n_port
+                else PortModel.ONE_PORT,
+            )
+        raise ValueError(f"unknown machine {self.machine!r}")
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What happened to one request."""
+
+    index: int
+    elements: int
+    algorithm: str
+    cache_hit: bool
+    modelled_time: float
+    wall_seconds: float
+    key: str
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "elements": self.elements,
+            "algorithm": self.algorithm,
+            "cache_hit": self.cache_hit,
+            "modelled_time": self.modelled_time,
+            "wall_seconds": self.wall_seconds,
+            "key": self.key,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one :func:`run_batch` call."""
+
+    outcomes: list[BatchOutcome] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cache_hit)
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(o.wall_seconds for o in self.outcomes)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.outcomes)} request(s): {self.hits} served from "
+            f"cache, {self.misses} compiled; "
+            f"wall {self.wall_seconds * 1e3:.1f} ms"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": len(self.outcomes),
+            "hits": self.hits,
+            "misses": self.misses,
+            "wall_seconds": self.wall_seconds,
+            "outcomes": [o.as_dict() for o in self.outcomes],
+        }
+
+
+def run_batch(
+    requests: Iterable[BatchRequest],
+    *,
+    cache: PlanCache | None = None,
+) -> BatchReport:
+    """Execute every request, compiling on miss and replaying on hit.
+
+    ``auto`` algorithms are resolved through the planner's §9 selection
+    *before* keying, so an explicit request for the same strategy and an
+    ``auto`` request share one cached plan.
+    """
+    from repro.transpose.planner import default_after_layout, select_algorithm
+
+    if cache is None:
+        cache = PlanCache()
+    report = BatchReport()
+    for index, req in enumerate(requests):
+        started = perf_counter()
+        params = req.machine_params()
+        before, after = resolve_problem(req.n, req.elements, req.layout)
+        target = after if after is not None else default_after_layout(before)
+        name = req.algorithm
+        if name == "auto":
+            name = select_algorithm(before, target, params.port_model)
+        key = plan_key(params, before, target, name)
+        plan = cache.get(key)
+        hit = plan is not None
+        if hit:
+            network = CubeNetwork(params)
+            replay_plan(plan, network)
+            modelled = network.stats.time
+        else:
+            result, plan = capture_transpose(
+                params, synthetic_matrix(before), target, algorithm=name
+            )
+            cache.put(key, plan)
+            modelled = result.stats.time
+        report.outcomes.append(
+            BatchOutcome(
+                index=index,
+                elements=req.elements,
+                algorithm=plan.algorithm,
+                cache_hit=hit,
+                modelled_time=modelled,
+                wall_seconds=perf_counter() - started,
+                key=key,
+            )
+        )
+    return report

@@ -1,0 +1,207 @@
+"""Content-addressed cache of :class:`~repro.plans.ir.CompiledPlan`.
+
+Plans are keyed by a **stable hash of the inputs that determine the
+schedule** — machine constants, the layout pair, the algorithm, the
+buffer policy, the packet size and the payload dtype — never by object
+identity or insertion order.  The key is the sha256 of a canonical
+compact JSON document (sorted keys, no whitespace), so the same request
+maps to the same key across processes and sessions; display names are
+excluded because they do not affect the schedule.
+
+The cache is two-tier: a bounded in-memory LRU in front of an optional
+on-disk JSON store (one ``<key>.json`` file per plan, written
+atomically).  Hits, misses and evictions are counted locally and can be
+surfaced through :class:`~repro.machine.metrics.TransferStats` and a
+:class:`~repro.machine.trace.TraceRecorder` observer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.layout.fields import Layout
+from repro.machine.params import MachineParams
+from repro.plans.ir import (
+    PLAN_FORMAT_VERSION,
+    CompiledPlan,
+    LayoutSpec,
+    MachineSpec,
+    PlanError,
+)
+
+__all__ = ["PlanCache", "plan_key"]
+
+
+def plan_key(
+    params: MachineParams,
+    before: Layout,
+    after: Layout | None = None,
+    algorithm: str = "auto",
+    *,
+    policy=None,
+    packet_size: int | None = None,
+    dtype: str = "float64",
+) -> str:
+    """Stable content address for the plan these inputs would compile to.
+
+    ``after=None`` means the planner's default target layout; it is
+    resolved here so explicit and implicit requests for the same pair
+    share one key.
+    """
+    if after is None:
+        from repro.transpose.planner import default_after_layout
+
+        after = default_after_layout(before)
+    doc = {
+        "format": PLAN_FORMAT_VERSION,
+        "algorithm": algorithm,
+        "machine": MachineSpec.from_params(params).as_dict(with_name=False),
+        "before": LayoutSpec.from_layout(before).as_dict(with_name=False),
+        "after": LayoutSpec.from_layout(after).as_dict(with_name=False),
+        "packet_size": packet_size,
+        "policy": None
+        if policy is None
+        else [
+            policy.mode,
+            policy.min_unbuffered_run,
+            policy.charge_local_moves,
+        ],
+        "dtype": dtype,
+    }
+    text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class PlanCache:
+    """Bounded LRU of compiled plans with an optional on-disk tier.
+
+    ``stats`` (a :class:`~repro.machine.metrics.TransferStats`) and
+    ``observer`` (anything with an ``on_cache(key, event)`` method, e.g.
+    :class:`~repro.machine.trace.TraceRecorder`) are notified of every
+    ``hit`` / ``miss`` / ``eviction`` so cache behaviour shows up in the
+    same instruments as the simulated communication itself.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        path: str | os.PathLike | None = None,
+        *,
+        stats=None,
+        observer=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+        self.stats = stats
+        self.observer = observer
+        self._plans: OrderedDict[str, CompiledPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._plans or self._disk_file(key) is not None
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> CompiledPlan | None:
+        """The cached plan for ``key``, or ``None`` (counted as a miss)."""
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self._note(key, "hit")
+            return plan
+        plan = self._load_from_disk(key)
+        if plan is not None:
+            self.disk_hits += 1
+            self._admit(key, plan)
+            self._note(key, "hit")
+            return plan
+        self._note(key, "miss")
+        return None
+
+    def put(self, key: str, plan: CompiledPlan) -> None:
+        """Store ``plan`` in memory and, when configured, on disk."""
+        self._admit(key, plan)
+        self.stores += 1
+        if self.path is not None:
+            self._write_to_disk(key, plan)
+
+    def get_or_compile(self, key: str, compile_fn) -> tuple[CompiledPlan, bool]:
+        """``(plan, was_hit)`` — calls ``compile_fn()`` and stores on miss."""
+        plan = self.get(key)
+        if plan is not None:
+            return plan, True
+        plan = compile_fn()
+        self.put(key, plan)
+        return plan, False
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def counters(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "resident": len(self._plans),
+            "capacity": self.capacity,
+        }
+
+    def _admit(self, key: str, plan: CompiledPlan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            evicted, _ = self._plans.popitem(last=False)
+            self._note(evicted, "eviction")
+
+    def _note(self, key: str, event: str) -> None:
+        if event == "hit":
+            self.hits += 1
+        elif event == "miss":
+            self.misses += 1
+        elif event == "eviction":
+            self.evictions += 1
+        if self.stats is not None:
+            self.stats.record_plan_event(event)
+        if self.observer is not None:
+            on_cache = getattr(self.observer, "on_cache", None)
+            if on_cache is not None:
+                on_cache(key, event)
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _disk_file(self, key: str) -> Path | None:
+        if self.path is None:
+            return None
+        file = self.path / f"{key}.json"
+        return file if file.is_file() else None
+
+    def _load_from_disk(self, key: str) -> CompiledPlan | None:
+        file = self._disk_file(key)
+        if file is None:
+            return None
+        try:
+            return CompiledPlan.loads(file.read_text())
+        except (OSError, PlanError):
+            return None  # unreadable or corrupt entry behaves as a miss
+
+    def _write_to_disk(self, key: str, plan: CompiledPlan) -> None:
+        assert self.path is not None
+        tmp = self.path / f".{key}.tmp"
+        tmp.write_text(plan.dumps())
+        os.replace(tmp, self.path / f"{key}.json")

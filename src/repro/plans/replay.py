@@ -1,0 +1,251 @@
+"""Execute a :class:`~repro.plans.ir.CompiledPlan` on a fresh network.
+
+Replay re-performs the captured schedule with *virtual* blocks (sizes
+only): every phase, message, copy and local charge is re-executed
+through the engine, so the resulting
+:class:`~repro.machine.metrics.TransferStats` — times, phases, messages,
+start-ups, element hops, per-link loads — is identical to the original
+run's, at a fraction of the wall-clock cost (no planning, no NumPy
+payload movement).  Exclusive phases are replayed exclusively, so the
+paper's edge-disjointness lemmas are re-checked on every replay.
+
+A replay network may carry a :class:`~repro.machine.faults.FaultPlan`;
+deliveries over faulted resources raise the usual typed errors.
+:func:`replay_degraded` combines this with the PR 1 degradation ladder:
+it selects the surviving tier for a fault plan *without re-planning*,
+replays the cached plan of that tier, and only falls back to direct
+execution if a mid-replay fault aborts the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.fields import Layout
+from repro.machine.engine import CubeNetwork
+from repro.machine.faults import (
+    DisconnectedCubeError,
+    FaultError,
+    FaultPlan,
+    RoutingStalledError,
+)
+from repro.machine.message import Block, Message
+from repro.machine.metrics import TransferStats
+from repro.machine.params import MachineParams
+from repro.plans.ir import (
+    CollectOp,
+    CompiledPlan,
+    CopyOp,
+    IdleOp,
+    LocalOp,
+    PhaseOp,
+    PlaceOp,
+    RemapOp,
+)
+
+__all__ = ["DegradedReplay", "PlanReplayError", "replay_degraded", "replay_plan"]
+
+
+class PlanReplayError(RuntimeError):
+    """The plan cannot run on this network (wrong machine, corrupt ops)."""
+
+
+def replay_plan(
+    plan: CompiledPlan,
+    network: CubeNetwork,
+    *,
+    check_params: bool = True,
+    verify_sizes: bool = True,
+) -> float:
+    """Replay every op of ``plan`` on ``network``; returns modelled time.
+
+    ``check_params`` insists the network's cost model equals the plan's
+    provenance (names aside) — replaying a schedule on a machine with
+    different constants would silently produce wrong times.
+    ``verify_sizes`` cross-checks each message's element count against
+    the blocks actually present, catching corrupt or mis-bound plans.
+
+    Fault errors from a faulted network propagate untouched, exactly as
+    they would from direct execution, so callers can ladder down.
+    """
+    if check_params and not plan.machine.compatible_with(network.params):
+        raise PlanReplayError(
+            f"plan was compiled for {plan.machine.as_dict(with_name=False)} "
+            f"but the network is {network.params.name!r} "
+            f"(n={network.params.n})"
+        )
+    start_time = network.stats.time
+    mask = 0
+    for op in plan.ops:
+        if isinstance(op, PhaseOp):
+            messages = [
+                Message(m.src ^ mask, m.dst ^ mask, m.keys)
+                for m in op.messages
+            ]
+            if verify_sizes:
+                for msg, pm in zip(messages, op.messages):
+                    have = _held_elements(network, msg.src, msg.keys)
+                    if have is not None and have != pm.elements:
+                        raise PlanReplayError(
+                            f"message {msg.src}->{msg.dst} carries {have} "
+                            f"element(s) but the plan recorded {pm.elements}"
+                        )
+            network.execute_phase(messages, exclusive=op.exclusive)
+        elif isinstance(op, PlaceOp):
+            network.place(
+                op.node ^ mask, Block(op.key, virtual_size=op.size)
+            )
+        elif isinstance(op, CollectOp):
+            network.memories[op.node ^ mask].pop(op.key)
+        elif isinstance(op, CopyOp):
+            network.charge_copy({n ^ mask: c for n, c in op.per_node})
+        elif isinstance(op, LocalOp):
+            costs = (
+                op.costs
+                if isinstance(op.costs, float)
+                else {n ^ mask: c for n, c in op.costs}
+            )
+            elements = (
+                op.elements
+                if op.elements is None or isinstance(op.elements, int)
+                else {n ^ mask: c for n, c in op.elements}
+            )
+            network.execute_local(costs, elements)
+        elif isinstance(op, IdleOp):
+            network.idle_phase()
+        elif isinstance(op, RemapOp):
+            mask ^= op.mask
+        else:
+            raise PlanReplayError(f"unknown op in plan: {op!r}")
+    return network.stats.time - start_time
+
+
+def _held_elements(network: CubeNetwork, node: int, keys) -> int | None:
+    try:
+        return sum(network.memories[node].get(key).size for key in keys)
+    except KeyError:
+        return None  # let the engine raise its canonical error
+
+
+# -- fault-ladder integration ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DegradedReplay:
+    """Outcome of :func:`replay_degraded`."""
+
+    algorithm: str
+    requested: str
+    #: Tiers skipped by the proactive feasibility check, plus — if the
+    #: replay itself aborted on a fault — the tier whose replay failed.
+    skipped: tuple[str, ...]
+    stats: TransferStats
+    #: True when the cached/compiled plan replayed to completion; False
+    #: when a mid-replay fault forced a direct fault-tolerant run.
+    replayed: bool
+    #: True when the plan came out of the cache rather than a fresh capture.
+    cache_hit: bool
+
+    @property
+    def degraded(self) -> bool:
+        return self.algorithm != self.requested or bool(self.skipped)
+
+
+def replay_degraded(
+    params: MachineParams,
+    before: Layout,
+    after: Layout | None = None,
+    *,
+    faults: FaultPlan,
+    algorithm: str = "auto",
+    cache=None,
+    policy=None,
+    packet_size: int | None = None,
+) -> DegradedReplay:
+    """Serve a transpose under faults from cached plans where possible.
+
+    The PR 1 ladder (MPT -> DPT -> SPT -> router) is walked *before*
+    execution using the fault plan's link/node sets — the same proactive
+    feasibility check the planner uses — but instead of re-planning the
+    surviving tier from scratch, its :class:`CompiledPlan` is fetched
+    from ``cache`` (compiled and stored on miss) and replayed on a fresh
+    faulted network.  Only a fault that aborts the replay mid-flight
+    (possible for strategies the ladder cannot pre-check) falls back to
+    one direct fault-tolerant run.
+    """
+    from repro.plans.cache import plan_key
+    from repro.plans.recorder import capture_transpose, synthetic_matrix
+    from repro.transpose.planner import (
+        default_after_layout,
+        degrade_strategy,
+        select_algorithm,
+        transpose,
+    )
+
+    target = after if after is not None else default_after_layout(before)
+    name = algorithm
+    if name == "auto":
+        name = select_algorithm(before, target, params.port_model)
+    requested = name
+    skipped: tuple[str, ...] = ()
+    if not faults.is_empty:
+        if not faults.surviving_connected():
+            raise DisconnectedCubeError(
+                "the surviving topology is not strongly connected; no "
+                f"transpose can complete ({faults.describe()})"
+            )
+        name, skipped = degrade_strategy(name, before.n, faults)
+
+    key = plan_key(
+        params,
+        before,
+        target,
+        name,
+        policy=policy,
+        packet_size=packet_size,
+    )
+    plan = cache.get(key) if cache is not None else None
+    cache_hit = plan is not None
+    if plan is None:
+        _, plan = capture_transpose(
+            params,
+            synthetic_matrix(before),
+            target,
+            algorithm=name,
+            policy=policy,
+            packet_size=packet_size,
+        )
+        if cache is not None:
+            cache.put(key, plan)
+
+    network = CubeNetwork(params, faults=faults)
+    try:
+        replay_plan(plan, network)
+        return DegradedReplay(
+            algorithm=name,
+            requested=requested,
+            skipped=skipped,
+            stats=network.stats,
+            replayed=True,
+            cache_hit=cache_hit,
+        )
+    except (FaultError, RoutingStalledError):
+        # Reactive safety net: one direct fault-tolerant run, exactly as
+        # the planner would do when a schedule aborts mid-flight.
+        direct = CubeNetwork(params, faults=faults)
+        result = transpose(
+            direct,
+            synthetic_matrix(before),
+            after,
+            algorithm=requested,
+            policy=policy,
+            packet_size=packet_size,
+        )
+        return DegradedReplay(
+            algorithm=result.algorithm,
+            requested=requested,
+            skipped=(*skipped, name),
+            stats=direct.stats,
+            replayed=False,
+            cache_hit=cache_hit,
+        )

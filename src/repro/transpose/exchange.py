@@ -552,7 +552,6 @@ def plan_gray_local_permutations(
     s_before = strip_encoding(before)
     m, n = before.m, before.n
     L = before.local_size
-    num = before.num_procs
     p, q = before.p, before.q
     PQ = 1 << m
 

@@ -133,7 +133,6 @@ def mixed_code_transpose_combined(
     packets: list[dict] = []
     for x in range(N):
         target = int(partner[x])
-        path = [x]
         here = x
         slots: list[int | None] = []
         for d in dims_order:

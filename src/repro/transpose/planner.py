@@ -60,7 +60,9 @@ __all__ = [
     "TransposeResult",
     "check_transpose_invariants",
     "default_after_layout",
+    "degrade_strategy",
     "schedule_links",
+    "select_algorithm",
     "transpose",
 ]
 
@@ -224,6 +226,40 @@ def _degrade(
     return "router", tuple(skipped)
 
 
+def degrade_strategy(
+    name: str, n: int, plan: FaultPlan | None
+) -> tuple[str, tuple[str, ...]]:
+    """Public tier selection: ``(surviving_tier, skipped_tiers)``.
+
+    The same proactive feasibility walk :func:`transpose` performs
+    before executing, exposed so plan-replay entry points can pick the
+    tier a fault plan leaves standing *without* re-planning it.  Names
+    outside the MPT → DPT → SPT ladder (and empty fault plans) pass
+    through unchanged.
+    """
+    if plan is None or plan.is_empty or name not in _LADDER[:-1]:
+        return name, ()
+    return _degrade(name, n, plan)
+
+
+def select_algorithm(
+    before: Layout, after: Layout, port_model: PortModel | str
+) -> str:
+    """The strategy ``algorithm="auto"`` resolves to (§6.1/§6.3/§9).
+
+    Deterministic in the layout pair and port model alone, which makes
+    it usable as a cache-key ingredient: an ``auto`` request and an
+    explicit request for the resolved name address the same plan.
+    """
+    if isinstance(port_model, str):
+        port_model = PortModel(port_model)
+    n_port = port_model is PortModel.N_PORT
+    info = classify_transpose(before, after)
+    if info.comm_class in (CommClass.PAIRWISE, CommClass.LOCAL):
+        return _pick_pairwise(before, after, n_port)
+    return "block-sbnt" if n_port else "exchange"
+
+
 def _execute(
     network: CubeNetwork,
     name: str,
@@ -314,13 +350,9 @@ def transpose(
             "use repro.comm.all_to_some directly with virtual elements"
         )
 
-    n_port = network.params.port_model is PortModel.N_PORT
     name = algorithm
     if algorithm == "auto":
-        if info.comm_class in (CommClass.PAIRWISE, CommClass.LOCAL):
-            name = _pick_pairwise(before, after, n_port)
-        else:
-            name = "block-sbnt" if n_port else "exchange"
+        name = select_algorithm(before, after, network.params.port_model)
 
     requested = name
     fallbacks: tuple[str, ...] = ()

@@ -46,7 +46,6 @@ class TestCorollary5:
 
     def test_exists_full_distance_element(self):
         from repro.layout import partition as pt
-        from repro.layout.classify import dims_after_transpose
 
         p = q = 4
         n = 3

@@ -2,7 +2,7 @@
 worked example and the disjointness lemmas (Lemmas 9-14)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.codes.bits import hamming

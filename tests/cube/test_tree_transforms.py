@@ -3,7 +3,7 @@
 import pytest
 
 from repro.codes.bits import rotate_left
-from repro.cube.trees import SpanningTree, spanning_binomial_tree
+from repro.cube.trees import spanning_binomial_tree
 
 
 class TestTranslate:

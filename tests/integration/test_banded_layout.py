@@ -8,7 +8,6 @@ exercises the multi-field Layout machinery end to end.
 """
 
 import numpy as np
-import pytest
 
 from repro.layout import DistributedMatrix, Layout, ProcField
 from repro.layout.classify import classify_transpose

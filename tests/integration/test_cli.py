@@ -1,6 +1,6 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
-import pytest
+import json
 
 from repro.__main__ import main
 
@@ -174,3 +174,166 @@ class TestCli:
             == 0
         )
         assert "verified:   True" in capsys.readouterr().out
+
+    def test_machines_lists_both_presets_with_constants(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "Intel iPSC (6-cube)" in out
+        assert "Connection Machine (6-cube)" in out
+        assert "one-port" in out and "n-port" in out
+        assert "tau=" in out and "t_c=" in out
+
+    def test_advise_square_root_regime_note(self, capsys):
+        assert main(["advise", "--machine", "ipsc", "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3 lower bound" in out
+        assert "regime:" in out
+
+
+class TestCliJson:
+    def test_advise_json(self, capsys):
+        assert main(["advise", "--machine", "cm", "-n", "6", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["machine"]["port_model"] == "n-port"
+        assert doc["ranking"][0]["rank"] == 1
+        assert any(r["algorithm"] == "MPT" for r in doc["ranking"])
+        assert doc["lower_bound"] > 0
+
+    def test_run_json(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "-n",
+                    "4",
+                    "--elements",
+                    "4096",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verified"] is True
+        assert doc["algorithm"] == "spt"
+        assert doc["stats"]["phases"] > 0
+        assert doc["stats"]["time"] > 0
+
+    def test_run_json_reports_degradation(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "-n",
+                    "4",
+                    "--elements",
+                    "4096",
+                    "--faults",
+                    "links=0-1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["degraded"] is True
+        assert doc["requested"] == "spt"
+        assert doc["faults"].startswith("1 permanent")
+
+    def test_machines_json(self, capsys):
+        assert main(["machines", "-n", "5", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [m["n"] for m in doc] == [5, 5]
+        assert {m["port_model"] for m in doc} == {"one-port", "n-port"}
+
+
+class TestCliPlans:
+    def test_plan_writes_loadable_document(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "plan",
+                    "-n",
+                    "4",
+                    "--elements",
+                    "4096",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        from repro.plans import CompiledPlan
+
+        plan = CompiledPlan.loads(out.read_text())
+        assert plan.algorithm == "spt"
+        assert "wrote" in capsys.readouterr().err
+
+    def test_plan_to_stdout_is_json(self, capsys):
+        assert main(["plan", "-n", "4", "--elements", "1024"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["algorithm"] == "spt"
+
+    def test_plan_rejects_bad_elements(self, capsys):
+        assert main(["plan", "--elements", "1000"]) == 2
+        assert "power of two" in capsys.readouterr().err
+
+    def test_plan_cache_dir_prints_key(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "plan",
+                    "-n",
+                    "4",
+                    "--elements",
+                    "1024",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        key = capsys.readouterr().out.strip()
+        assert len(key) == 64
+        assert (tmp_path / f"{key}.json").is_file()
+
+    def test_replay_matches_run(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        assert (
+            main(["plan", "-n", "4", "--elements", "4096", "--out", str(out)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["replay", str(out), "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert main(["run", "-n", "4", "--elements", "4096", "--json"]) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert replayed["stats"] == direct["stats"]
+
+    def test_replay_missing_plan_fails_cleanly(self, capsys):
+        assert main(["replay", "/nonexistent/plan.json"]) == 2
+        assert "cannot load plan" in capsys.readouterr().err
+
+    def test_batch_second_run_all_hits(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(
+            json.dumps(
+                [
+                    {"elements": 4096, "n": 4},
+                    {"elements": 1024, "n": 4},
+                ]
+            )
+        )
+        assert main(["batch", str(reqs), "--repeat", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        first, second = doc["runs"]
+        assert first["misses"] == 2 and first["hits"] == 0
+        assert second["hits"] == 2 and second["misses"] == 0
+        assert doc["cache"]["hits"] == 2
+
+    def test_batch_rejects_malformed_requests(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps({"elements": 64}))
+        assert main(["batch", str(reqs)]) == 2
+        assert "cannot load requests" in capsys.readouterr().err

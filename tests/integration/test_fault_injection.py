@@ -11,7 +11,7 @@ import pytest
 
 from repro.layout import DistributedMatrix
 from repro.layout import partition as pt
-from repro.machine import Block, CubeNetwork, Message, custom_machine
+from repro.machine import CubeNetwork, Message, custom_machine
 from repro.machine.engine import LinkConflictError
 from repro.transpose.two_dim import two_dim_transpose_spt
 

@@ -15,7 +15,6 @@ from repro.layout import partition as pt
 from repro.machine import Block, CubeNetwork, Message, custom_machine
 from repro.machine.params import PortModel
 from repro.transpose import (
-    BufferPolicy,
     exchange_transpose,
     mixed_code_transpose_combined,
     two_dim_transpose_dpt,

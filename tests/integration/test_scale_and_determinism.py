@@ -6,7 +6,6 @@ cube sizes used in unit tests.
 """
 
 import numpy as np
-import pytest
 
 from repro.comm.all_to_all import (
     all_to_all_personalized_data,

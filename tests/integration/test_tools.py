@@ -2,9 +2,6 @@
 
 import importlib.util
 import os
-import sys
-
-import pytest
 
 TOOLS = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
 

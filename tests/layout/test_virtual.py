@@ -106,7 +106,6 @@ class TestRectangularTransposeViaSquaring:
 
     @pytest.mark.parametrize("p,q", [(4, 2), (2, 4), (5, 3)])
     def test_spt_on_rectangular(self, p, q):
-        side = max(p, q)
         half = 2
         A = rect_matrix(p, q)
         lay = pt.two_dim_cyclic(p, q, min(half, p), min(half, q))

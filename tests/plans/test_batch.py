@@ -1,0 +1,93 @@
+"""Tests for the batch runner: plan-once, replay-many."""
+
+import pytest
+
+from repro.layout import partition as pt
+from repro.plans import BatchRequest, PlanCache, resolve_problem, run_batch
+
+REQUESTS = [
+    BatchRequest(elements=4096, n=4),
+    BatchRequest(elements=1024, n=4),
+    BatchRequest(elements=4096, n=4, machine="cm"),
+    BatchRequest(elements=1024, n=3, layout="1d-rows"),
+]
+
+
+class TestResolveProblem:
+    def test_matches_cli_square_2d(self):
+        before, after = resolve_problem(4, 4096, "2d")
+        assert before == pt.two_dim_cyclic(6, 6, 2, 2)
+        assert after is None  # planner default for square matrices
+
+    def test_rectangular_2d_gets_mirrored_target(self):
+        before, after = resolve_problem(4, 2048, "2d")
+        assert before == pt.two_dim_cyclic(5, 6, 2, 2)
+        assert after == pt.two_dim_cyclic(6, 5, 2, 2)
+
+    def test_rectangular_1d_gets_mirrored_target(self):
+        before, after = resolve_problem(2, 2048, "1d-rows")
+        assert before == pt.row_consecutive(5, 6, 2)
+        assert after == pt.row_consecutive(6, 5, 2)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            resolve_problem(4, 1000, "2d")
+
+    def test_rejects_odd_cube_for_2d(self):
+        with pytest.raises(ValueError, match="even cube"):
+            resolve_problem(3, 1024, "2d")
+
+    def test_rejects_unknown_layout(self):
+        with pytest.raises(ValueError, match="unknown layout"):
+            resolve_problem(4, 1024, "3d")
+
+
+class TestRunBatch:
+    def test_first_run_compiles_second_run_all_hits(self):
+        cache = PlanCache()
+        first = run_batch(REQUESTS, cache=cache)
+        assert first.misses == len(REQUESTS)
+        assert first.hits == 0
+
+        second = run_batch(REQUESTS, cache=cache)
+        # The acceptance bar: a repeated request set is served entirely
+        # from cache.
+        assert second.hits == len(REQUESTS)
+        assert second.misses == 0
+        assert cache.hits == len(REQUESTS)
+
+    def test_replayed_modelled_time_matches_direct(self):
+        cache = PlanCache()
+        first = run_batch(REQUESTS, cache=cache)
+        second = run_batch(REQUESTS, cache=cache)
+        for direct, replayed in zip(first.outcomes, second.outcomes):
+            assert replayed.modelled_time == direct.modelled_time
+            assert replayed.algorithm == direct.algorithm
+            assert replayed.key == direct.key
+
+    def test_auto_and_explicit_share_a_plan(self):
+        cache = PlanCache()
+        auto = BatchRequest(elements=4096, n=4, algorithm="auto")
+        explicit = BatchRequest(elements=4096, n=4, algorithm="spt")
+        report = run_batch([auto, explicit], cache=cache)
+        assert report.outcomes[0].key == report.outcomes[1].key
+        assert report.misses == 1 and report.hits == 1
+
+    def test_disk_cache_survives_process_boundary(self, tmp_path):
+        run_batch(REQUESTS[:2], cache=PlanCache(path=tmp_path))
+        fresh = PlanCache(path=tmp_path)  # empty memory, warm disk
+        report = run_batch(REQUESTS[:2], cache=fresh)
+        assert report.hits == 2
+        assert fresh.disk_hits == 2
+
+    def test_report_shape(self):
+        report = run_batch(REQUESTS[:1], cache=PlanCache())
+        doc = report.as_dict()
+        assert doc["requests"] == 1
+        assert doc["misses"] == 1
+        assert doc["outcomes"][0]["algorithm"] == "spt"
+        assert "served from cache" in report.summary()
+
+    def test_request_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown batch request field"):
+            BatchRequest.from_dict({"elements": 64, "bogus": 1})

@@ -355,7 +355,6 @@ class TestTiming:
         after = pt.row_consecutive(q, p, n)
         _, _, net = run_transpose(before, after)
         PQ = 1 << (p + q)
-        N = 1 << n
         # Every node sends n * PQ/(2N) elements; total hops = N * that.
         assert net.stats.element_hops == n * PQ // 2
 

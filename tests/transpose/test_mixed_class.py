@@ -8,7 +8,6 @@ the block router — and they must agree.
 """
 
 import numpy as np
-import pytest
 
 from repro.layout import DistributedMatrix
 from repro.layout import partition as pt
