@@ -62,16 +62,26 @@ from repro.plans import (  # noqa: E402  (needs __version__ for provenance)
     replay_plan,
     run_batch,
 )
+from repro.obs import (  # noqa: E402
+    ChromeTraceSink,
+    Instrumentation,
+    JsonlSink,
+    MetricsRegistry,
+)
 
 __all__ = [
     "BatchRequest",
     "BufferPolicy",
+    "ChromeTraceSink",
     "CommClass",
     "CompiledPlan",
     "CubeNetwork",
     "DistributedMatrix",
+    "Instrumentation",
+    "JsonlSink",
     "Layout",
     "MachineParams",
+    "MetricsRegistry",
     "PlanCache",
     "PortModel",
     "ProcField",

@@ -82,6 +82,21 @@ def cmd_run(args) -> int:
     rng = np.random.default_rng(0)
     A = rng.standard_normal((1 << layout.p, 1 << layout.q))
     net = CubeNetwork(_machine(args), faults=faults)
+
+    recorder = trace_sink = None
+    if args.trace or args.timeline:
+        from repro.machine.trace import TraceRecorder
+        from repro.obs import ChromeTraceSink, Instrumentation
+
+        sinks = []
+        if args.trace:
+            trace_sink = ChromeTraceSink()
+            sinks.append(trace_sink)
+        if args.timeline:
+            recorder = TraceRecorder()
+            sinks.append(recorder)
+        Instrumentation(*sinks).attach(net)
+
     try:
         result = transpose(
             net,
@@ -93,6 +108,10 @@ def cmd_run(args) -> int:
         print(f"transpose failed under faults: {exc}", file=sys.stderr)
         return 1
     ok = result.verify_against(A)
+
+    if trace_sink is not None:
+        trace_sink.write(args.trace)
+        print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
     if args.json:
         doc = {
             "rows": 1 << layout.p,
@@ -127,6 +146,16 @@ def cmd_run(args) -> int:
             )
     print(f"verified:   {ok}")
     print(f"model time: {result.stats.summary()}")
+    if args.heatmap:
+        from repro.analysis.report import format_link_heatmap
+
+        print()
+        print(format_link_heatmap(result.stats, net.params.n))
+    if recorder is not None:
+        from repro.analysis.report import format_congestion_timeline
+
+        print()
+        print(format_congestion_timeline(recorder.events))
     return 0 if ok else 1
 
 
@@ -263,6 +292,57 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def cmd_baseline(args) -> int:
+    import os
+
+    from repro.obs.baseline import (
+        DEFAULT_SUITE,
+        DEFAULT_TOLERANCE,
+        check_baselines,
+        record_baselines,
+        run_scenario,
+    )
+
+    rc = 0
+    report = None
+    if args.action == "record":
+        for path in record_baselines(args.dir):
+            print(f"wrote {path}")
+    else:
+        tol = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        report = check_baselines(args.dir, rel_tol=tol)
+        print(report.describe())
+        rc = 0 if report.ok else 1
+
+    if args.trace_dir or args.bench_out:
+        from repro.obs import ChromeTraceSink, Instrumentation
+
+        if args.trace_dir:
+            os.makedirs(args.trace_dir, exist_ok=True)
+        scenarios = {}
+        for scenario in DEFAULT_SUITE:
+            sink = ChromeTraceSink()
+            counters = run_scenario(scenario, observer=Instrumentation(sink))
+            scenarios[scenario.id] = counters
+            if args.trace_dir:
+                path = os.path.join(
+                    args.trace_dir, f"{scenario.id}.trace.json"
+                )
+                sink.write(path)
+                print(f"wrote {path}", file=sys.stderr)
+        if args.bench_out:
+            doc = {
+                "suite": [s.describe() for s in DEFAULT_SUITE],
+                "counters": scenarios,
+                "check": None if report is None else report.as_dict(),
+            }
+            with open(args.bench_out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.bench_out}", file=sys.stderr)
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +392,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="reproducible fault scenario as comma-separated key=value: "
         "seed=S, link_rate=R, transient_rate=R, window=W, "
         "nodes=3+9, links=0-1+6-4 (see FaultPlan.from_spec)",
+    )
+    pr.add_argument(
+        "--heatmap",
+        action="store_true",
+        help="print the per-link ASCII utilization heatmap after the run",
+    )
+    pr.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the per-phase congestion timeline after the run",
+    )
+    pr.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (load in Perfetto / "
+        "chrome://tracing)",
     )
     pr.set_defaults(fn=cmd_run)
 
@@ -368,6 +465,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     json_flag(pb)
     pb.set_defaults(fn=cmd_batch)
+
+    pl = sub.add_parser(
+        "baseline",
+        help="record or check the pinned perf-regression suite",
+    )
+    pl.add_argument(
+        "action",
+        choices=["record", "check"],
+        help="record: snapshot counters; check: diff against snapshots",
+    )
+    pl.add_argument(
+        "--dir",
+        default="benchmarks/baselines",
+        help="baseline snapshot directory (default benchmarks/baselines)",
+    )
+    pl.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative tolerance for check (default: exact up to float "
+        "accumulation slack)",
+    )
+    pl.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="also export one Chrome trace JSON per scenario here",
+    )
+    pl.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="FILE",
+        help="write a machine-readable suite summary (e.g. BENCH_obs.json)",
+    )
+    pl.set_defaults(fn=cmd_baseline)
     return parser
 
 

@@ -18,6 +18,8 @@ from repro.machine.params import MachineParams, PortModel
 __all__ = [
     "AlgorithmEstimate",
     "estimate_transpose_options",
+    "format_congestion_timeline",
+    "format_link_heatmap",
     "format_report",
     "report_data",
 ]
@@ -156,6 +158,123 @@ def report_data(params: MachineParams, M: int) -> dict:
         if regime is None
         else {"break_even": regime[0], "note": regime[1]},
     }
+
+
+# -- observability renderers -------------------------------------------------
+#
+# ASCII views over the measured (not modelled) side of a run: the
+# per-link loads a TransferStats accumulated and the per-phase timeline
+# a TraceRecorder captured.  Both are pure string formatters so they can
+# be unit-tested without a terminal and embedded in CLI/report output.
+
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(load: int, peak: int) -> str:
+    """Map a load onto the ASCII intensity ramp (peak maps to '@')."""
+    if load <= 0 or peak <= 0:
+        return _SHADES[0]
+    idx = 1 + (load * (len(_SHADES) - 2)) // peak
+    return _SHADES[min(idx, len(_SHADES) - 1)]
+
+
+def format_link_heatmap(
+    stats, n: int | None = None, *, max_nodes: int = 64
+) -> str:
+    """Per-link utilization heatmap: nodes x dimensions, ASCII shaded.
+
+    ``stats`` is anything with a ``link_elements`` mapping of directed
+    ``(src, dst)`` pairs to element counts (a
+    :class:`~repro.machine.metrics.TransferStats`).  Row ``v``, column
+    ``d`` shades the load of the directed cube edge ``v -> v ^ 2^d``;
+    the ramp ``' .:-=+*#%@'`` is scaled so the busiest link renders
+    ``@``.  A schedule that balances load (the paper's edge-disjoint
+    exchanges) shows as a uniform field; router contention shows as hot
+    columns.
+    """
+    links: dict[tuple[int, int], int] = dict(stats.link_elements)
+    if not links:
+        return "link heatmap: no link traffic recorded"
+    if n is None:
+        n = max(max(s, d) for s, d in links).bit_length()
+    num = 1 << n
+    peak = max(links.values())
+    hot = max(links, key=links.get)
+
+    header = "node  " + " ".join(f"d{d}" for d in range(n))
+    lines = [
+        f"Per-link element load ({num} nodes x {n} dims, "
+        f"directed v -> v^2^d)",
+        header,
+    ]
+    for v in range(min(num, max_nodes)):
+        cells = " ".join(
+            f" {_shade(links.get((v, v ^ (1 << d)), 0), peak)}"
+            for d in range(n)
+        )
+        lines.append(f"{v:>4}  {cells}")
+    if num > max_nodes:
+        lines.append(f"... {num - max_nodes} more node(s)")
+    per_dim = [0] * n
+    for (s, d), load in links.items():
+        if s != d:
+            per_dim[(s ^ d).bit_length() - 1] += load
+    lines.append(
+        "dim totals: "
+        + "  ".join(f"d{d}={per_dim[d]}" for d in range(n))
+    )
+    lines.append(
+        f"peak link: {hot[0]}->{hot[1]} carrying {peak} element(s); "
+        f"scale '{_SHADES.strip() or _SHADES}' = 1..{peak}"
+    )
+    return "\n".join(lines)
+
+
+def format_congestion_timeline(
+    events, *, width: int = 40, max_phases: int = 48
+) -> str:
+    """Per-phase congestion bars from :class:`PhaseEvent` records.
+
+    Each communication or local phase gets a bar proportional to the
+    elements it moved (scaled to the busiest phase = ``width`` chars);
+    fault and cache events appear as markers so the cause of a stall is
+    visible in line with the traffic that surrounds it.
+    """
+    events = list(events)
+    if not events:
+        return "congestion timeline: no events recorded"
+    peak = max(e.total_elements for e in events)
+    lines = [
+        f"{'phase':>5}  {'kind':5}  {'elements':>9}  "
+        f"{'duration':>10}  congestion"
+    ]
+    for e in events[:max_phases]:
+        if e.kind in ("fault", "cache"):
+            lines.append(
+                f"{e.index:>5}  {e.kind:5}  {'-':>9}  {'-':>10}  "
+                f"! {e.detail}"
+            )
+            continue
+        filled = (
+            0
+            if peak == 0
+            else max(
+                1 if e.total_elements else 0,
+                (e.total_elements * width) // peak,
+            )
+        )
+        lines.append(
+            f"{e.index:>5}  {e.kind:5}  {e.total_elements:>9}  "
+            f"{e.duration:>10.4g}  {'#' * filled}"
+        )
+    if len(events) > max_phases:
+        lines.append(f"... {len(events) - max_phases} more")
+    busiest = max(events, key=lambda e: e.total_elements)
+    lines.append(
+        f"peak: phase {busiest.index} moved {busiest.total_elements} "
+        f"element(s) in {busiest.duration:.4g} s"
+    )
+    return "\n".join(lines)
 
 
 def format_report(params: MachineParams, M: int) -> str:

@@ -1,122 +1,154 @@
-"""Execution statistics collected by the simulator."""
+"""Execution statistics collected by the simulator.
+
+:class:`TransferStats` is a *typed view* over a
+:class:`~repro.obs.metrics.MetricsRegistry`: every field it exposes —
+``time``, ``startups``, ``element_hops``, per-link loads, per-phase
+durations — is backed by a named instrument in the registry, so the
+paper-style counters and any labelled metrics new subsystems add travel
+through one store.  The view exists because the engine's hot path wants
+typed, bound instruments (``self._startups.inc(k)``) and the analysis
+layer wants named fields (``stats.startups``); both resolve to the same
+series.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.metrics import Counter, MetricsRegistry
 
 __all__ = ["TransferStats"]
 
+#: Fields backed by a plain counter, in canonical (summary/merge) order.
+_COUNTER_FIELDS = (
+    "time",
+    "comm_time",
+    "copy_time",
+    "phases",
+    "messages",
+    "startups",
+    "element_hops",
+    "copied_elements",
+    "link_fault_events",
+    "node_fault_events",
+    "retries",
+    "detour_hops",
+    "stall_phases",
+    "plan_hits",
+    "plan_misses",
+    "plan_evictions",
+)
 
-@dataclass
+
 class TransferStats:
     """Accumulated costs of a simulated run.
 
     ``time`` is the modelled wall-clock time; the remaining counters
     support the paper's style of analysis (number of start-ups, element
-    transfers, communication phases, link utilization).
+    transfers, communication phases, link utilization).  All counters
+    live in :attr:`registry`; the attributes here are typed accessors.
     """
 
-    time: float = 0.0
-    comm_time: float = 0.0
-    copy_time: float = 0.0
-    phases: int = 0
-    messages: int = 0
-    startups: int = 0
-    element_hops: int = 0
-    copied_elements: int = 0
-    max_link_elements: int = 0
-    link_fault_events: int = 0
-    node_fault_events: int = 0
-    retries: int = 0
-    detour_hops: int = 0
-    stall_phases: int = 0
-    plan_hits: int = 0
-    plan_misses: int = 0
-    plan_evictions: int = 0
-    link_elements: dict[tuple[int, int], int] = field(default_factory=dict)
-    phase_times: list[float] = field(default_factory=list)
+    __slots__ = ("registry", "_c", "_links", "_max_link", "_phase_hist")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self.registry = reg
+        self._c = {name: reg.counter(name) for name in _COUNTER_FIELDS}
+        self._max_link = reg.gauge("max_link_elements")
+        self._phase_hist = reg.histogram("phase_times")
+        #: (src, dst) -> bound link-load counter; the registry holds the
+        #: same instruments labelled ``link_elements{src=..,dst=..}``.
+        self._links: dict[tuple[int, int], Counter] = {}
+
+    # -- recording (the engine's hot path) ----------------------------------
 
     def record_phase(self, duration: float) -> None:
-        self.phases += 1
-        self.phase_times.append(duration)
-        self.time += duration
-        self.comm_time += duration
+        self._c["phases"].value += 1
+        self._phase_hist.observe(duration)
+        self._c["time"].value += duration
+        self._c["comm_time"].value += duration
 
     def record_message(
         self, src: int, dst: int, elements: int, packets: int
     ) -> None:
-        self.messages += 1
-        self.startups += packets
-        self.element_hops += elements
-        load = self.link_elements.get((src, dst), 0) + elements
-        self.link_elements[(src, dst)] = load
-        if load > self.max_link_elements:
-            self.max_link_elements = load
+        c = self._c
+        c["messages"].value += 1
+        c["startups"].value += packets
+        c["element_hops"].value += elements
+        link = self._links.get((src, dst))
+        if link is None:
+            link = self.registry.counter("link_elements", src=src, dst=dst)
+            self._links[(src, dst)] = link
+        link.value += elements
+        self._max_link.update_max(link.value)
 
     def record_copy(self, elements: int, duration: float) -> None:
-        self.copied_elements += elements
-        self.copy_time += duration
-        self.time += duration
+        self._c["copied_elements"].value += elements
+        self._c["copy_time"].value += duration
+        self._c["time"].value += duration
 
     def record_fault(self, *, node: bool) -> None:
         """A delivery hit a faulted node (``node=True``) or link."""
-        if node:
-            self.node_fault_events += 1
-        else:
-            self.link_fault_events += 1
+        field = "node_fault_events" if node else "link_fault_events"
+        self._c[field].value += 1
 
     def record_retry(self) -> None:
         """A routed transfer waited a round for a transient fault to heal."""
-        self.retries += 1
+        self._c["retries"].value += 1
 
     def record_detour(self) -> None:
         """A routed transfer misrouted one hop around a faulted resource."""
-        self.detour_hops += 1
+        self._c["detour_hops"].value += 1
 
     def record_stall(self) -> None:
         """A routing round in which no transfer could advance."""
-        self.stall_phases += 1
+        self._c["stall_phases"].value += 1
 
     def record_plan_event(self, kind: str) -> None:
         """A plan-cache lookup outcome: ``hit``, ``miss`` or ``eviction``."""
-        if kind == "hit":
-            self.plan_hits += 1
-        elif kind == "miss":
-            self.plan_misses += 1
-        elif kind == "eviction":
-            self.plan_evictions += 1
-        else:
+        if kind not in ("hit", "miss", "eviction"):
             raise ValueError(f"unknown plan-cache event {kind!r}")
+        self._c[f"plan_{kind}s" if kind != "miss" else "plan_misses"].value += 1
+
+    # -- typed accessors ----------------------------------------------------
+
+    @property
+    def max_link_elements(self) -> int:
+        return self._max_link.value
+
+    @max_link_elements.setter
+    def max_link_elements(self, value: int) -> None:
+        self._max_link.set(value)
+
+    @property
+    def link_elements(self) -> dict[tuple[int, int], int]:
+        """Per-directed-link element loads (a fresh dict each access)."""
+        return {link: c.value for link, c in self._links.items()}
+
+    @property
+    def phase_times(self) -> list[float]:
+        """Per-phase durations, in execution order (the live list)."""
+        return self._phase_hist.values
 
     @property
     def fault_events(self) -> int:
         """Total fault encounters (link + node) observed by the engine."""
         return self.link_fault_events + self.node_fault_events
 
+    # -- composition ---------------------------------------------------------
+
     def merge(self, other: "TransferStats") -> None:
         """Fold another stats object into this one (sequential composition)."""
-        self.time += other.time
-        self.comm_time += other.comm_time
-        self.copy_time += other.copy_time
-        self.phases += other.phases
-        self.messages += other.messages
-        self.startups += other.startups
-        self.element_hops += other.element_hops
-        self.copied_elements += other.copied_elements
-        self.link_fault_events += other.link_fault_events
-        self.node_fault_events += other.node_fault_events
-        self.retries += other.retries
-        self.detour_hops += other.detour_hops
-        self.stall_phases += other.stall_phases
-        self.plan_hits += other.plan_hits
-        self.plan_misses += other.plan_misses
-        self.plan_evictions += other.plan_evictions
-        for link, load in other.link_elements.items():
-            new = self.link_elements.get(link, 0) + load
-            self.link_elements[link] = new
-            if new > self.max_link_elements:
-                self.max_link_elements = new
-        self.phase_times.extend(other.phase_times)
+        for name in _COUNTER_FIELDS:
+            self._c[name].value += other._c[name].value
+        for (src, dst), counter in other._links.items():
+            link = self._links.get((src, dst))
+            if link is None:
+                link = self.registry.counter("link_elements", src=src, dst=dst)
+                self._links[(src, dst)] = link
+            link.value += counter.value
+            self._max_link.update_max(link.value)
+        for duration in other.phase_times:
+            self._phase_hist.observe(duration)
 
     def summary(self) -> str:
         text = (
@@ -139,22 +171,52 @@ class TransferStats:
 
     def as_dict(self) -> dict:
         """Machine-readable counters (JSON-safe: link keys stringified)."""
-        return {
-            "time": self.time,
-            "comm_time": self.comm_time,
-            "copy_time": self.copy_time,
-            "phases": self.phases,
-            "messages": self.messages,
-            "startups": self.startups,
-            "element_hops": self.element_hops,
-            "copied_elements": self.copied_elements,
-            "max_link_elements": self.max_link_elements,
-            "link_fault_events": self.link_fault_events,
-            "node_fault_events": self.node_fault_events,
-            "retries": self.retries,
-            "detour_hops": self.detour_hops,
-            "stall_phases": self.stall_phases,
-            "plan_hits": self.plan_hits,
-            "plan_misses": self.plan_misses,
-            "plan_evictions": self.plan_evictions,
+        doc = {name: self._c[name].value for name in _COUNTER_FIELDS}
+        doc["max_link_elements"] = self.max_link_elements
+        doc["link_elements"] = {
+            f"{src}->{dst}": c.value
+            for (src, dst), c in sorted(self._links.items())
         }
+        doc["phase_times"] = list(self.phase_times)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TransferStats":
+        """Rebuild stats from :meth:`as_dict` output (JSON round-trip)."""
+        stats = cls()
+        for name in _COUNTER_FIELDS:
+            stats._c[name].value = doc.get(name, 0)
+        stats._max_link.set(doc.get("max_link_elements", 0))
+        for key, load in doc.get("link_elements", {}).items():
+            src_text, _, dst_text = key.partition("->")
+            src, dst = int(src_text), int(dst_text)
+            counter = stats.registry.counter("link_elements", src=src, dst=dst)
+            counter.value = load
+            stats._links[(src, dst)] = counter
+        for duration in doc.get("phase_times", ()):
+            stats._phase_hist.observe(duration)
+        return stats
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransferStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return f"TransferStats({self.summary()})"
+
+
+def _counter_property(name: str) -> property:
+    def fget(self):
+        return self._c[name].value
+
+    def fset(self, value):
+        self._c[name].value = value
+
+    fget.__name__ = fset.__name__ = name
+    return property(fget, fset)
+
+
+for _name in _COUNTER_FIELDS:
+    setattr(TransferStats, _name, _counter_property(_name))
+del _name

@@ -36,6 +36,7 @@ from repro.machine.faults import (
 )
 from repro.machine.message import Message
 from repro.machine.params import PortModel
+from repro.obs.instrumentation import instrumentation_of
 
 __all__ = ["route_messages", "RoutedTransfer", "RoutingStalledError"]
 
@@ -142,76 +143,89 @@ def route_messages(
                     )
         pending.append(_Pending(t))
 
+    stats = network.stats
+    pre_retries = stats.retries
+    pre_detours = stats.detour_hops
+    pre_stalls = stats.stall_phases
     rounds = 0
-    while pending:
-        if max_rounds is not None and rounds >= max_rounds:
-            raise RoutingStalledError(
-                f"round cap {max_rounds} reached with "
-                f"{len(pending)} transfer(s) undelivered; first stuck: "
-                + pending[0].describe()
-            )
-        phase_now = network.stats.phases
-        used_links: set[tuple[int, int]] = set()
-        busy_send: set[int] = set()
-        busy_recv: set[int] = set()
-        phase: list[Message] = []
-        movers: list[tuple[_Pending, int]] = []
-        waiting_on_fault = False
-        for tr in pending:
-            nxt = _next_hop(tr, n, plan, phase_now, ascending,
-                            detour_budget, retry_limit)
-            if nxt is None:
-                waiting_on_fault = True
-                continue
-            cur = tr.cur
-            if (cur, nxt) in used_links:
-                continue
-            if one_port:
-                if cur in busy_send or nxt in busy_recv:
-                    continue
-                if half_duplex and (cur in busy_recv or nxt in busy_send):
-                    continue
-            used_links.add((cur, nxt))
-            busy_send.add(cur)
-            busy_recv.add(nxt)
-            phase.append(Message(cur, nxt, tr.keys))
-            movers.append((tr, nxt))
-
-        if phase:
-            network.execute_phase(phase)
-        else:
-            if plan is None:  # cannot happen: first pending always advances
+    with instrumentation_of(network).span(
+        "route", category="routing", transfers=len(pending)
+    ) as route_span:
+        while pending:
+            if max_rounds is not None and rounds >= max_rounds:
                 raise RoutingStalledError(
-                    "router deadlock: no transfer can advance"
+                    f"round cap {max_rounds} reached with "
+                    f"{len(pending)} transfer(s) undelivered; first stuck: "
+                    + pending[0].describe()
                 )
-            if phase_now > plan.last_transient_phase():
-                raise RoutingStalledError(
-                    "routing stalled: every remaining fault is permanent "
-                    f"and none of {len(pending)} transfer(s) can advance; "
-                    + "; ".join(tr.describe() for tr in pending[:4])
-                )
-            # Stall round: let the clock tick so transient faults heal.
-            network.idle_phase()
-            network.stats.record_stall()
-        rounds += 1
-
-        moved = set()
-        for tr, nxt in movers:
-            if hamming(nxt, tr.dst) > hamming(tr.cur, tr.dst):
-                network.stats.record_detour()
-            tr.prev = tr.cur
-            tr.cur = nxt
-            tr.hops += 1
-            tr.blocked = 0
-            moved.add(id(tr))
-        if waiting_on_fault:
+            phase_now = network.stats.phases
+            used_links: set[tuple[int, int]] = set()
+            busy_send: set[int] = set()
+            busy_recv: set[int] = set()
+            phase: list[Message] = []
+            movers: list[tuple[_Pending, int]] = []
+            waiting_on_fault = False
             for tr in pending:
-                if id(tr) not in moved and _is_fault_blocked(
-                    tr, n, plan, phase_now, ascending
-                ):
-                    tr.blocked += 1
-                    network.stats.record_retry()
-        pending = [tr for tr in pending if tr.cur != tr.dst]
+                nxt = _next_hop(tr, n, plan, phase_now, ascending,
+                                detour_budget, retry_limit)
+                if nxt is None:
+                    waiting_on_fault = True
+                    continue
+                cur = tr.cur
+                if (cur, nxt) in used_links:
+                    continue
+                if one_port:
+                    if cur in busy_send or nxt in busy_recv:
+                        continue
+                    if half_duplex and (cur in busy_recv or nxt in busy_send):
+                        continue
+                used_links.add((cur, nxt))
+                busy_send.add(cur)
+                busy_recv.add(nxt)
+                phase.append(Message(cur, nxt, tr.keys))
+                movers.append((tr, nxt))
+
+            if phase:
+                network.execute_phase(phase)
+            else:
+                if plan is None:  # cannot happen: first pending always advances
+                    raise RoutingStalledError(
+                        "router deadlock: no transfer can advance"
+                    )
+                if phase_now > plan.last_transient_phase():
+                    raise RoutingStalledError(
+                        "routing stalled: every remaining fault is permanent "
+                        f"and none of {len(pending)} transfer(s) can advance; "
+                        + "; ".join(tr.describe() for tr in pending[:4])
+                    )
+                # Stall round: let the clock tick so transient faults heal.
+                network.idle_phase()
+                network.stats.record_stall()
+            rounds += 1
+
+            moved = set()
+            for tr, nxt in movers:
+                if hamming(nxt, tr.dst) > hamming(tr.cur, tr.dst):
+                    network.stats.record_detour()
+                tr.prev = tr.cur
+                tr.cur = nxt
+                tr.hops += 1
+                tr.blocked = 0
+                moved.add(id(tr))
+            if waiting_on_fault:
+                for tr in pending:
+                    if id(tr) not in moved and _is_fault_blocked(
+                        tr, n, plan, phase_now, ascending
+                    ):
+                        tr.blocked += 1
+                        network.stats.record_retry()
+            pending = [tr for tr in pending if tr.cur != tr.dst]
+        route_span.annotate(
+            rounds=rounds,
+            retries=stats.retries - pre_retries,
+            detours=stats.detour_hops - pre_detours,
+            stalls=stats.stall_phases - pre_stalls,
+        )
     return rounds
 
 

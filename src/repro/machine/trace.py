@@ -5,6 +5,10 @@ Attach a :class:`TraceRecorder` to a :class:`~repro.machine.engine.CubeNetwork`
 local charge is logged with its messages, sizes and duration.  The
 renderer prints a per-phase timeline — which dimension carried what,
 when — the view one needs when a schedule's cost surprises.
+
+The recorder also works as a sink under an
+:class:`~repro.obs.instrumentation.Instrumentation` hub, which forwards
+the same engine events while additionally building spans and metrics.
 """
 
 from __future__ import annotations
@@ -18,23 +22,41 @@ __all__ = ["PhaseEvent", "TraceRecorder"]
 
 @dataclass(frozen=True)
 class PhaseEvent:
-    """One recorded engine event."""
+    """One recorded engine event.
+
+    ``transfers`` holds real cube-edge movements only; purely local
+    events (kind ``"local"``) carry an empty transfer tuple and report
+    their touched element count through ``elements`` instead — no
+    synthetic self-loop entries.
+    """
 
     index: int
     kind: str  # "comm", "local", "fault" or "cache"
     duration: float
     transfers: tuple[tuple[int, int, int], ...]  # (src, dst, elements)
     detail: str = ""  # fault: "link"/"node"@phase; cache: event + key prefix
+    elements: int = 0  # local events: elements touched off-network
 
     @property
     def total_elements(self) -> int:
-        return sum(t[2] for t in self.transfers)
+        return self.elements + sum(t[2] for t in self.transfers)
 
     @property
     def dimensions(self) -> tuple[int, ...]:
-        """Cube dimensions active in this phase, sorted."""
+        """Cube dimensions active in this phase, sorted.
+
+        Guarded against degenerate entries: a transfer must cross a real
+        cube edge to contribute, so local events (no transfers) yield
+        ``()`` instead of tripping ``dimension_of_edge`` on a self-loop.
+        """
         return tuple(
-            sorted({dimension_of_edge(s, d) for s, d, _ in self.transfers})
+            sorted(
+                {
+                    dimension_of_edge(s, d)
+                    for s, d, _ in self.transfers
+                    if s != d
+                }
+            )
         )
 
 
@@ -55,7 +77,9 @@ class TraceRecorder:
 
     def on_local(self, elements: int, duration: float) -> None:
         self.events.append(
-            PhaseEvent(len(self.events), "local", duration, ((0, 0, elements),))
+            PhaseEvent(
+                len(self.events), "local", duration, (), elements=elements
+            )
         )
 
     def on_fault(self, src: int, dst: int, phase: int, kind: str) -> None:
@@ -110,8 +134,24 @@ class TraceRecorder:
                 hist[dim] = hist.get(dim, 0) + size
         return hist
 
+    def totals(self) -> dict[str, dict]:
+        """Per-kind aggregates over *all* events (truncation-proof)."""
+        out: dict[str, dict] = {}
+        for e in self.events:
+            agg = out.setdefault(
+                e.kind, {"events": 0, "elements": 0, "duration": 0.0}
+            )
+            agg["events"] += 1
+            agg["elements"] += e.total_elements
+            agg["duration"] += e.duration
+        return out
+
     def render(self, *, max_phases: int = 40) -> str:
-        """A fixed-width per-phase timeline."""
+        """A fixed-width per-phase timeline with whole-run totals.
+
+        The footer sums every recorded event, so a truncated timeline
+        (``... N more``) still summarizes the complete run.
+        """
         lines = [
             f"{'phase':>5}  {'kind':5}  {'dims':>12}  {'msgs':>5}  "
             f"{'elements':>9}  {'duration':>10}"
@@ -125,4 +165,11 @@ class TraceRecorder:
             )
         if len(self.events) > max_phases:
             lines.append(f"... {len(self.events) - max_phases} more")
+        totals = self.totals()
+        summary = "  ".join(
+            f"{kind}: {agg['events']} event(s), {agg['elements']} elements, "
+            f"{agg['duration']:.4g} s"
+            for kind, agg in sorted(totals.items())
+        )
+        lines.append(f"total  {summary}" if summary else "total  (no events)")
         return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Observability: span tracing, labelled metrics, exporters, baselines.
+
+The telemetry layer of the simulator (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — the labelled counter/gauge/histogram
+  registry that :class:`~repro.machine.metrics.TransferStats` is a typed
+  view over;
+* :mod:`repro.obs.spans` — hierarchical spans and instant events on the
+  model-time axis;
+* :mod:`repro.obs.instrumentation` — the hub that multiplexes engine,
+  router, planner, plan-cache and replay emissions to any number of
+  sinks (zero cost when unattached);
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and JSONL exporters;
+* :mod:`repro.obs.baseline` — the perf-regression gate behind
+  ``python -m repro baseline record|check``.
+"""
+
+from repro.obs.export import ChromeTraceSink, JsonlSink
+from repro.obs.instrumentation import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    NullInstrumentation,
+    instrumentation_of,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Event, Span
+
+__all__ = [
+    "ChromeTraceSink",
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTATION",
+    "NullInstrumentation",
+    "Span",
+    "instrumentation_of",
+]

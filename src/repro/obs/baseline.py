@@ -1,0 +1,320 @@
+"""Performance-regression gate over the simulator's deterministic counters.
+
+Every quantity the engine reports — modelled time, start-ups, element
+hops, per-link peak load — is a pure function of (machine, layout,
+algorithm, fault spec), so a baseline is exact: two runs of the same
+scenario on the same code produce bit-identical counters, and any drift
+is a real behavioural change (a cost-model edit, a schedule change, a
+lost exclusivity guarantee), never noise.  That makes a tolerance of
+zero meaningful; the default keeps a hair of relative slack only for
+float time accumulation order.
+
+``python -m repro baseline record`` snapshots the pinned suite into
+``benchmarks/baselines/*.json``; ``baseline check`` re-runs it and fails
+with a per-counter diff on any breach.  CI runs the check on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "BaselineReport",
+    "BaselineScenario",
+    "CounterDiff",
+    "DEFAULT_SUITE",
+    "DEFAULT_TOLERANCE",
+    "check_baselines",
+    "record_baselines",
+    "run_scenario",
+]
+
+#: Relative slack for float counters; integer counters are compared
+#: exactly whenever the baseline value is integral.
+DEFAULT_TOLERANCE = 1e-9
+
+#: Counters excluded from the gate: structured (non-scalar) views.
+_NON_SCALAR = ("link_elements", "phase_times")
+
+
+@dataclass(frozen=True)
+class BaselineScenario:
+    """One pinned benchmark point.
+
+    ``faults`` is a :meth:`~repro.machine.faults.FaultPlan.from_spec`
+    string (seeded specs are deterministic); ``cached`` routes the run
+    through :func:`~repro.plans.replay.replay_degraded` with a plan
+    cache, exercising capture + replay instead of direct execution.
+    """
+
+    id: str
+    machine: str  # "ipsc" or "cm"
+    n: int
+    elements: int
+    layout: str = "2d"
+    algorithm: str = "auto"
+    faults: str | None = None
+    cached: bool = False
+
+    def describe(self) -> dict:
+        return {
+            "id": self.id,
+            "machine": self.machine,
+            "n": self.n,
+            "elements": self.elements,
+            "layout": self.layout,
+            "algorithm": self.algorithm,
+            "faults": self.faults,
+            "cached": self.cached,
+        }
+
+
+#: The pinned suite: one point per paper regime plus the fault-ladder
+#: and plan-cache paths.  Keep this list append-only — renaming or
+#: re-parameterising an entry orphans its baseline file.
+DEFAULT_SUITE: tuple[BaselineScenario, ...] = (
+    BaselineScenario("cm_mpt_n4", "cm", 4, 1 << 8, algorithm="mpt"),
+    BaselineScenario("cm_dpt_n4", "cm", 4, 1 << 8, algorithm="dpt"),
+    BaselineScenario("cm_spt_n6", "cm", 6, 1 << 12, algorithm="spt"),
+    BaselineScenario("ipsc_exchange_n4", "ipsc", 4, 1 << 10,
+                     layout="1d-rows", algorithm="exchange"),
+    BaselineScenario("ipsc_router_n4", "ipsc", 4, 1 << 8,
+                     algorithm="router"),
+    BaselineScenario("cm_faulted_ladder_n4", "cm", 4, 1 << 8,
+                     algorithm="mpt", faults="links=0-1+2-3,seed=3"),
+    BaselineScenario("cm_cached_replay_n4", "cm", 4, 1 << 8,
+                     algorithm="mpt", cached=True),
+    BaselineScenario("cm_faulted_cached_n4", "cm", 4, 1 << 8,
+                     algorithm="mpt", faults="links=0-1,seed=5",
+                     cached=True),
+)
+
+
+def _params_for(scenario: BaselineScenario, perturb=None):
+    from repro.machine.presets import connection_machine, intel_ipsc
+
+    factory = {"ipsc": intel_ipsc, "cm": connection_machine}[scenario.machine]
+    params = factory(scenario.n)
+    if perturb is not None:
+        params = perturb(params)
+    return params
+
+
+def run_scenario(
+    scenario: BaselineScenario,
+    *,
+    perturb: Callable | None = None,
+    observer=None,
+) -> dict:
+    """Execute one scenario and return its scalar counters.
+
+    ``perturb`` maps :class:`~repro.machine.params.MachineParams` to a
+    modified copy before the run — the hook the gate's own tests use to
+    prove a cost-model change trips the check.  ``observer`` (an
+    :class:`~repro.obs.instrumentation.Instrumentation` hub) is attached
+    to every network the scenario creates, so a baseline run can double
+    as a trace-export run.
+    """
+    from repro.machine.engine import CubeNetwork
+    from repro.machine.faults import FaultPlan
+    from repro.plans.batch import resolve_problem
+    from repro.plans.cache import PlanCache
+    from repro.plans.recorder import synthetic_matrix
+    from repro.plans.replay import replay_degraded
+    from repro.transpose.planner import transpose
+
+    params = _params_for(scenario, perturb)
+    before, after = resolve_problem(
+        scenario.n, scenario.elements, scenario.layout
+    )
+    faults = (
+        FaultPlan.from_spec(scenario.n, scenario.faults)
+        if scenario.faults
+        else None
+    )
+
+    if scenario.cached:
+        cache = PlanCache()
+        outcome = replay_degraded(
+            params,
+            before,
+            after,
+            faults=faults
+            if faults is not None
+            else FaultPlan.from_spec(scenario.n, "seed=0"),
+            algorithm=scenario.algorithm,
+            cache=cache,
+            observer=observer,
+        )
+        stats, algorithm = outcome.stats, outcome.algorithm
+    else:
+        network = CubeNetwork(params, faults=faults)
+        if observer is not None:
+            network.observer = observer
+        result = transpose(
+            network,
+            synthetic_matrix(before),
+            after,
+            algorithm=scenario.algorithm,
+        )
+        stats, algorithm = result.stats, result.algorithm
+
+    counters = {
+        k: v
+        for k, v in stats.as_dict().items()
+        if k not in _NON_SCALAR
+    }
+    counters["algorithm_tier"] = algorithm
+    return counters
+
+
+@dataclass(frozen=True)
+class CounterDiff:
+    """One counter whose value left the baseline's tolerance band."""
+
+    scenario: str
+    counter: str
+    baseline: float | str
+    current: float | str
+
+    @property
+    def relative(self) -> float | None:
+        if isinstance(self.baseline, str) or isinstance(self.current, str):
+            return None
+        denom = max(abs(self.baseline), 1e-300)
+        return (self.current - self.baseline) / denom
+
+    def describe(self) -> str:
+        rel = self.relative
+        drift = "" if rel is None else f" ({rel:+.3%})"
+        return (
+            f"{self.scenario}.{self.counter}: baseline "
+            f"{self.baseline!r} -> current {self.current!r}{drift}"
+        )
+
+
+@dataclass
+class BaselineReport:
+    """Outcome of a :func:`check_baselines` pass."""
+
+    checked: int = 0
+    missing: list[str] = field(default_factory=list)
+    diffs: list[CounterDiff] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing and not self.diffs
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"baseline check passed: {self.checked} scenario(s) clean"
+        lines = [
+            f"baseline check FAILED: {len(self.diffs)} counter breach(es), "
+            f"{len(self.missing)} missing baseline(s) "
+            f"across {self.checked} scenario(s)"
+        ]
+        lines += [f"  {d.describe()}" for d in self.diffs]
+        lines += [
+            f"  {sid}: no baseline recorded (run `repro baseline record`)"
+            for sid in self.missing
+        ]
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked": self.checked,
+            "missing": list(self.missing),
+            "diffs": [
+                {
+                    "scenario": d.scenario,
+                    "counter": d.counter,
+                    "baseline": d.baseline,
+                    "current": d.current,
+                    "relative": d.relative,
+                }
+                for d in self.diffs
+            ],
+        }
+
+
+def _baseline_path(directory: str, scenario_id: str) -> str:
+    return os.path.join(directory, f"{scenario_id}.json")
+
+
+def record_baselines(
+    directory: str,
+    suite: tuple[BaselineScenario, ...] = DEFAULT_SUITE,
+    *,
+    perturb: Callable | None = None,
+) -> list[str]:
+    """Run the suite and write one baseline document per scenario."""
+    from repro import __version__
+
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for scenario in suite:
+        doc = {
+            "scenario": scenario.describe(),
+            "counters": run_scenario(scenario, perturb=perturb),
+            "code_version": __version__,
+        }
+        path = _baseline_path(directory, scenario.id)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(path)
+    return written
+
+
+def _within(baseline, current, rel_tol: float) -> bool:
+    if isinstance(baseline, str) or isinstance(current, str):
+        return baseline == current
+    if baseline == current:
+        return True
+    return abs(current - baseline) <= rel_tol * max(abs(baseline), 1e-300)
+
+
+def check_baselines(
+    directory: str,
+    suite: tuple[BaselineScenario, ...] = DEFAULT_SUITE,
+    *,
+    rel_tol: float = DEFAULT_TOLERANCE,
+    perturb: Callable | None = None,
+) -> BaselineReport:
+    """Re-run the suite and diff every counter against its baseline.
+
+    A counter passes when it matches exactly or within ``rel_tol``
+    relative tolerance; counters present on only one side are breaches
+    (a renamed counter is a behavioural change too).
+    """
+    report = BaselineReport()
+    for scenario in suite:
+        path = _baseline_path(directory, scenario.id)
+        if not os.path.exists(path):
+            report.missing.append(scenario.id)
+            continue
+        with open(path) as fh:
+            recorded = json.load(fh)["counters"]
+        current = run_scenario(scenario, perturb=perturb)
+        report.checked += 1
+        for counter in sorted(set(recorded) | set(current)):
+            if counter not in recorded:
+                report.diffs.append(
+                    CounterDiff(scenario.id, counter, "<absent>",
+                                current[counter])
+                )
+            elif counter not in current:
+                report.diffs.append(
+                    CounterDiff(scenario.id, counter, recorded[counter],
+                                "<absent>")
+                )
+            elif not _within(recorded[counter], current[counter], rel_tol):
+                report.diffs.append(
+                    CounterDiff(scenario.id, counter, recorded[counter],
+                                current[counter])
+                )
+    return report

@@ -1,0 +1,172 @@
+"""Telemetry exporters: Chrome trace-event JSON and JSONL event logs.
+
+:class:`ChromeTraceSink` collects the spans and instant events an
+:class:`~repro.obs.instrumentation.Instrumentation` hub emits and
+renders them as Chrome trace-event JSON — load the file in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing`` and the run appears as
+nested bars on the model-time axis: the ``run`` span on top, the
+``algorithm`` span under it, each engine ``phase`` as a leaf.
+
+:class:`JsonlSink` streams every closed span, instant event and raw
+phase as one JSON object per line — the grep-able flight recorder.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.spans import Event, Span
+
+__all__ = ["ChromeTraceSink", "JsonlSink"]
+
+#: Model seconds -> trace microseconds (the unit Chrome tooling expects).
+_US = 1e6
+
+
+class ChromeTraceSink:
+    """Collects spans/events and renders Chrome trace-event JSON."""
+
+    def __init__(self, *, pid: int = 0, tid: int = 0) -> None:
+        self.pid = pid
+        self.tid = tid
+        self.spans: list[Span] = []
+        self.events: list[Event] = []
+
+    # -- hub hooks -----------------------------------------------------------
+
+    def on_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def on_event(self, event: Event) -> None:
+        self.events.append(event)
+
+    # -- rendering -----------------------------------------------------------
+
+    def trace_events(self) -> list[dict]:
+        """The trace as a list of Chrome trace-event dicts.
+
+        Complete (``"X"``) events on one thread nest by containment, so
+        they are ordered by start time with longer (outer) spans first
+        at equal starts; at equal extents the opener (lower span id, the
+        parent) wins.
+        """
+        out: list[dict] = [
+            {
+                "ph": "M",
+                "pid": self.pid,
+                "tid": self.tid,
+                "name": "process_name",
+                "args": {"name": "repro model time"},
+            }
+        ]
+        for span in sorted(
+            self.spans,
+            key=lambda s: (s.start, -(s.end - s.start), s.span_id),
+        ):
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": self.pid,
+                    "tid": self.tid,
+                    "name": span.name,
+                    "cat": span.category,
+                    "ts": span.start * _US,
+                    "dur": (span.end - span.start) * _US,
+                    "args": {
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        **span.attrs,
+                    },
+                }
+            )
+        for event in self.events:
+            out.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": self.pid,
+                    "tid": self.tid,
+                    "name": event.name,
+                    "cat": event.category,
+                    "ts": event.time * _US,
+                    "args": dict(event.attrs),
+                }
+            )
+        return out
+
+    def document(self) -> dict:
+        return {"traceEvents": self.trace_events(), "displayTimeUnit": "ms"}
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.document(), indent=indent)
+
+    def write(self, path: str | os.PathLike) -> Path:
+        """Write the trace document to ``path`` (returns the path)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json(indent=1))
+        return target
+
+
+class JsonlSink:
+    """Streams telemetry as JSON Lines.
+
+    ``target`` is a path (opened lazily, closed by :meth:`close` /
+    context exit) or any object with a ``write`` method; with no target
+    the lines accumulate in :attr:`lines` — convenient in tests.
+    """
+
+    def __init__(self, target=None, *, raw_phases: bool = False) -> None:
+        self.lines: list[str] = []
+        self.raw_phases = raw_phases
+        self._fh = None
+        self._owns = False
+        if target is None:
+            pass
+        elif hasattr(target, "write"):
+            self._fh = target
+        else:
+            self._fh = open(target, "w")
+            self._owns = True
+
+    def _emit(self, doc: dict) -> None:
+        line = json.dumps(doc, sort_keys=True)
+        if self._fh is not None:
+            self._fh.write(line + "\n")
+        else:
+            self.lines.append(line)
+
+    # -- hub hooks -----------------------------------------------------------
+
+    def on_span(self, span: Span) -> None:
+        self._emit({"type": "span", **span.as_dict()})
+
+    def on_event(self, event: Event) -> None:
+        self._emit({"type": "event", **event.as_dict()})
+
+    def on_phase(self, transfers, duration) -> None:
+        if self.raw_phases:
+            self._emit(
+                {
+                    "type": "phase",
+                    "messages": len(transfers),
+                    "elements": sum(t[2] for t in transfers),
+                    "duration": duration,
+                }
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is not None and self._owns:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,208 @@
+"""A labelled metrics registry: counters, gauges and histograms.
+
+The registry is the single store every subsystem writes its counters
+into.  An *instrument* is identified by a name plus a frozen label set
+(``counter("faults", kind="link")`` and ``counter("faults", kind="node")``
+are two series of one family), mirroring the Prometheus/OpenMetrics data
+model the observability docs describe.  Instruments are memoized: asking
+for the same ``(name, labels)`` twice returns the same object, so hot
+paths bind an instrument once and call ``inc``/``observe`` on it with no
+per-event allocation or lookup beyond a dict hit.
+
+:class:`~repro.machine.metrics.TransferStats` is a typed view over one
+of these registries — every field it exposes is backed by an instrument
+here — so new subsystems add instruments instead of growing hand-merged
+dataclass fields, and everything shows up uniformly in
+``registry.as_dict()`` / ``registry.collect()``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_labels",
+]
+
+
+def format_labels(labels: tuple[tuple[str, object], ...]) -> str:
+    """Render a frozen label set as ``{k=v,...}`` (empty string if none)."""
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class Counter:
+    """A monotonically increasing numeric series (floats or ints)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, object], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def sample(self):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{format_labels(self.labels)}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (set freely; ``update_max`` keeps the peak)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, object], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def update_max(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+    def sample(self):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{format_labels(self.labels)}={self.value})"
+
+
+class Histogram:
+    """A series of observations with count/sum/min/max and the raw values.
+
+    The simulator's runs are small enough that keeping the raw
+    observations is cheaper than getting bucket boundaries wrong; the
+    per-phase durations view (``TransferStats.phase_times``) is exactly
+    this list.
+    """
+
+    __slots__ = ("name", "labels", "values", "total")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, object], ...]):
+        self.name = name
+        self.labels = labels
+        self.values: list = []
+        self.total = 0.0
+
+    def observe(self, value) -> None:
+        self.values.append(value)
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def sample(self) -> dict:
+        return {
+            "count": len(self.values),
+            "sum": self.total,
+            "min": min(self.values) if self.values else 0,
+            "max": max(self.values) if self.values else 0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}{format_labels(self.labels)} "
+            f"count={len(self.values)} sum={self.total})"
+        )
+
+
+class MetricsRegistry:
+    """Memoizing factory and store for labelled instruments.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the existing instrument afterwards; a name maps to exactly one
+    instrument kind (mixing kinds under one name raises).
+    """
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, tuple], object] = {}
+
+    # -- instrument factories ----------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def _get(self, cls, name: str, labels: dict):
+        key = (name, tuple(sorted(labels.items())))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, key[1])
+            self._instruments[key] = inst
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"requested {cls.kind}"
+            )
+        return inst
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key[0] == name for key in self._instruments)
+
+    def collect(self) -> Iterator[tuple[str, dict, str, object]]:
+        """Yield ``(name, labels_dict, kind, sample)`` for every series."""
+        for (name, labels), inst in sorted(
+            self._instruments.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+        ):
+            yield name, dict(labels), inst.kind, inst.sample()
+
+    def family(self, name: str) -> list:
+        """Every instrument registered under ``name`` (any label set)."""
+        return [
+            inst for (n, _), inst in self._instruments.items() if n == name
+        ]
+
+    def as_dict(self) -> dict:
+        """JSON-safe dump: ``name{labels}`` -> sample, grouped by kind."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, labels, kind, sample in self.collect():
+            series = name + format_labels(tuple(sorted(labels.items())))
+            out[kind + "s"][series] = sample
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges keep the max,
+        histograms concatenate observations."""
+        for (name, labels), inst in other._instruments.items():
+            mine = self._get(type(inst), name, dict(labels))
+            if isinstance(inst, Counter):
+                mine.inc(inst.value)
+            elif isinstance(inst, Gauge):
+                mine.update_max(inst.value)
+            else:
+                for v in inst.values:
+                    mine.observe(v)

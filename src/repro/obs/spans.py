@@ -1,0 +1,83 @@
+"""Hierarchical spans and instant events on the model-time axis.
+
+A :class:`Span` is one named interval of a run — the whole planned
+transpose (category ``run``), one algorithm execution (``algorithm``),
+one exchange sequence or pipelined tree level (``exchange`` /
+``tree-level``), one routing invocation (``routing``), or a single
+engine phase (``phase``).  Spans carry a parent id, so exporters can
+reconstruct the tree; times are *model* seconds (the simulator's clock),
+not wall-clock.
+
+Spans are created through
+:class:`~repro.obs.instrumentation.Instrumentation` and closed by its
+context-manager protocol; an :class:`Event` marks an instant (a fault
+encounter, a plan-cache outcome) at the hub's current clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "Span"]
+
+
+@dataclass
+class Span:
+    """One named interval on the model-time axis (see module docstring)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def annotate(self, **attrs) -> None:
+        """Attach or overwrite attributes on the span."""
+        self.attrs.update(attrs)
+
+    def count(self, key: str, amount: int = 1) -> None:
+        """Increment a numeric annotation (e.g. ``faults`` seen inside)."""
+        self.attrs[key] = self.attrs.get(key, 0) + amount
+
+    def as_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True)
+class Event:
+    """An instant occurrence at one point of model time."""
+
+    name: str
+    category: str
+    time: float
+    span_id: int | None
+    attrs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "time": self.time,
+            "span_id": self.span_id,
+            "attrs": dict(self.attrs),
+        }

@@ -250,6 +250,7 @@ def capture_transpose(
     algorithm: str = "auto",
     policy=None,
     packet_size: int | None = None,
+    observer=None,
 ):
     """Run one planned transpose on a clean machine and capture its plan.
 
@@ -257,13 +258,17 @@ def capture_transpose(
     verified outcome (real data moved, invariants checked); the plan is
     the payload-free schedule that reproduces the result's
     :class:`~repro.machine.metrics.TransferStats` under
-    :func:`repro.plans.replay.replay_plan`.
+    :func:`repro.plans.replay.replay_plan`.  ``observer`` (e.g. an
+    :class:`~repro.obs.instrumentation.Instrumentation` hub) is installed
+    on the recording network, so even a planning run is fully traced.
     """
     from repro.transpose.planner import default_after_layout, transpose
 
     before = dm.layout
     target = after if after is not None else default_after_layout(before)
     network = RecordingNetwork(params)
+    if observer is not None:
+        network.observer = observer
     result = transpose(
         network,
         dm,

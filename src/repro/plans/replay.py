@@ -32,6 +32,11 @@ from repro.machine.faults import (
 from repro.machine.message import Block, Message
 from repro.machine.metrics import TransferStats
 from repro.machine.params import MachineParams
+from repro.obs.instrumentation import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    instrumentation_of,
+)
 from repro.plans.ir import (
     CollectOp,
     CompiledPlan,
@@ -76,6 +81,20 @@ def replay_plan(
         )
     start_time = network.stats.time
     mask = 0
+    with instrumentation_of(network).span(
+        "replay",
+        category="algorithm",
+        algorithm=plan.algorithm,
+        ops=len(plan.ops),
+        fingerprint=plan.fingerprint[:12],
+    ):
+        _replay_ops(plan, network, mask, verify_sizes)
+    return network.stats.time - start_time
+
+
+def _replay_ops(
+    plan: CompiledPlan, network: CubeNetwork, mask: int, verify_sizes: bool
+) -> None:
     for op in plan.ops:
         if isinstance(op, PhaseOp):
             messages = [
@@ -117,7 +136,6 @@ def replay_plan(
             mask ^= op.mask
         else:
             raise PlanReplayError(f"unknown op in plan: {op!r}")
-    return network.stats.time - start_time
 
 
 def _held_elements(network: CubeNetwork, node: int, keys) -> int | None:
@@ -161,6 +179,7 @@ def replay_degraded(
     cache=None,
     policy=None,
     packet_size: int | None = None,
+    observer=None,
 ) -> DegradedReplay:
     """Serve a transpose under faults from cached plans where possible.
 
@@ -172,14 +191,18 @@ def replay_degraded(
     faulted network.  Only a fault that aborts the replay mid-flight
     (possible for strategies the ladder cannot pre-check) falls back to
     one direct fault-tolerant run.
+
+    ``observer`` is installed on every network this call creates (the
+    replay network and, if needed, the direct-fallback network); pass an
+    :class:`~repro.obs.instrumentation.Instrumentation` hub to get a
+    ``serve`` span annotated with tier selection, cache outcome and
+    fault counters, with the replay/transpose spans nested inside.
     """
     from repro.plans.cache import plan_key
-    from repro.plans.recorder import capture_transpose, synthetic_matrix
     from repro.transpose.planner import (
         default_after_layout,
         degrade_strategy,
         select_algorithm,
-        transpose,
     )
 
     target = after if after is not None else default_after_layout(before)
@@ -204,48 +227,87 @@ def replay_degraded(
         policy=policy,
         packet_size=packet_size,
     )
-    plan = cache.get(key) if cache is not None else None
-    cache_hit = plan is not None
-    if plan is None:
-        _, plan = capture_transpose(
-            params,
-            synthetic_matrix(before),
-            target,
-            algorithm=name,
-            policy=policy,
-            packet_size=packet_size,
-        )
-        if cache is not None:
-            cache.put(key, plan)
-
-    network = CubeNetwork(params, faults=faults)
+    instr = (
+        observer
+        if isinstance(observer, Instrumentation)
+        else NULL_INSTRUMENTATION
+    )
+    borrowed_cache = (
+        cache is not None
+        and instr is not NULL_INSTRUMENTATION
+        and getattr(cache, "observer", None) is None
+    )
+    if borrowed_cache:
+        cache.observer = instr
     try:
-        replay_plan(plan, network)
-        return DegradedReplay(
-            algorithm=name,
-            requested=requested,
-            skipped=skipped,
-            stats=network.stats,
-            replayed=True,
-            cache_hit=cache_hit,
+        return _serve(
+            instr, cache, key, params, before, target, after, faults,
+            name, requested, skipped, policy, packet_size, observer,
         )
-    except (FaultError, RoutingStalledError):
-        # Reactive safety net: one direct fault-tolerant run, exactly as
-        # the planner would do when a schedule aborts mid-flight.
-        direct = CubeNetwork(params, faults=faults)
-        result = transpose(
-            direct,
-            synthetic_matrix(before),
-            after,
-            algorithm=requested,
-            policy=policy,
-            packet_size=packet_size,
-        )
-        return DegradedReplay(
-            algorithm=result.algorithm,
-            requested=requested,
-            skipped=(*skipped, name),
-            stats=direct.stats,
-            replayed=False,
-            cache_hit=cache_hit,
-        )
+    finally:
+        if borrowed_cache:
+            cache.observer = None
+
+
+def _serve(
+    instr, cache, key, params, before, target, after, faults,
+    name, requested, skipped, policy, packet_size, observer,
+) -> DegradedReplay:
+    from repro.plans.recorder import capture_transpose, synthetic_matrix
+    from repro.transpose.planner import transpose
+
+    with instr.span(
+        "serve", category="run", requested=requested, tier=name,
+        skipped=list(skipped), faults=faults.describe(),
+    ) as serve_span:
+        plan = cache.get(key) if cache is not None else None
+        cache_hit = plan is not None
+        serve_span.annotate(cache_hit=cache_hit)
+        if plan is None:
+            _, plan = capture_transpose(
+                params,
+                synthetic_matrix(before),
+                target,
+                algorithm=name,
+                policy=policy,
+                packet_size=packet_size,
+            )
+            if cache is not None:
+                cache.put(key, plan)
+
+        network = CubeNetwork(params, faults=faults)
+        if observer is not None:
+            network.observer = observer
+        try:
+            replay_plan(plan, network)
+            return DegradedReplay(
+                algorithm=name,
+                requested=requested,
+                skipped=skipped,
+                stats=network.stats,
+                replayed=True,
+                cache_hit=cache_hit,
+            )
+        except (FaultError, RoutingStalledError):
+            # Reactive safety net: one direct fault-tolerant run, exactly as
+            # the planner would do when a schedule aborts mid-flight.
+            serve_span.annotate(replay_aborted=name)
+            direct = CubeNetwork(params, faults=faults)
+            if observer is not None:
+                direct.observer = observer
+            result = transpose(
+                direct,
+                synthetic_matrix(before),
+                after,
+                algorithm=requested,
+                policy=policy,
+                packet_size=packet_size,
+            )
+            return DegradedReplay(
+                algorithm=result.algorithm,
+                requested=requested,
+                skipped=(*skipped, name),
+                stats=direct.stats,
+                replayed=False,
+                cache_hit=cache_hit,
+            )

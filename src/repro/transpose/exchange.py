@@ -37,6 +37,7 @@ from repro.layout.fields import Layout
 from repro.layout.matrix import DistributedMatrix
 from repro.machine.engine import CubeNetwork
 from repro.machine.message import Block, Message
+from repro.obs.instrumentation import instrumentation_of
 
 __all__ = [
     "BufferPolicy",
@@ -130,17 +131,31 @@ class ExchangeExecutor:
         in_proc = layout.proc_dim_set
         g_proc, f_proc = g in in_proc, f in in_proc
         if g_proc and f_proc:
-            self._step_proc_proc(g, f)
+            kind, execute = "proc-proc", lambda: self._step_proc_proc(g, f)
         elif g_proc or f_proc:
             proc_dim, vp_dim = (g, f) if g_proc else (f, g)
-            self._step_proc_vp(proc_dim, vp_dim)
+            kind = "proc-vp"
+            execute = lambda: self._step_proc_vp(proc_dim, vp_dim)  # noqa: E731
         else:
-            self._step_local(g, f)
+            kind, execute = "local", lambda: self._step_local(g, f)
+        with instrumentation_of(self.network).span(
+            f"exchange({g},{f})",
+            category="exchange",
+            g=g,
+            f=f,
+            kind=kind,
+            step=self._step_counter,
+        ):
+            execute()
         self._step_counter += 1
 
     def run(self, pairs: Iterable[tuple[int, int]]) -> None:
-        for g, f in pairs:
-            self.step(g, f)
+        pairs = list(pairs)
+        with instrumentation_of(self.network).span(
+            "exchange-sequence", category="sequence", steps=len(pairs)
+        ):
+            for g, f in pairs:
+                self.step(g, f)
 
     def finish(self, after: Layout) -> DistributedMatrix:
         """Reinterpret the final data under the target layout.

@@ -45,6 +45,7 @@ from repro.machine.faults import (
 )
 from repro.machine.metrics import TransferStats
 from repro.machine.params import PortModel
+from repro.obs.instrumentation import instrumentation_of
 from repro.transpose.exchange import BufferPolicy, exchange_transpose
 from repro.transpose.fallback import routed_universal_transpose
 from repro.transpose.mixed import mixed_code_transpose_combined
@@ -371,35 +372,72 @@ def transpose(
     original = dm.to_global()
     baseline_elements = network.total_elements()
     pre_keys = [frozenset(mem.keys()) for mem in network.memories]
-    try:
-        out = _execute(network, name, dm, after, policy, packet_size)
-    except (FaultError, RoutingStalledError):
-        if plan is None or not degrade:
-            raise
-        # Reactive safety net: clear in-flight blocks, rerun on the
-        # terminal fault-tolerant tier.  At most one retry by design.
-        for mem, keys in zip(network.memories, pre_keys):
-            for key in list(mem.keys()):
-                if key not in keys:
-                    mem.pop(key)
-        fallbacks = (*fallbacks, name)
-        terminal = (
-            "router"
-            if name in _LADDER and info.comm_class
-            in (CommClass.PAIRWISE, CommClass.LOCAL)
-            else "routed-universal"
+    instr = instrumentation_of(network)
+    stats = network.stats
+    pre_faults = stats.fault_events
+    pre_retries = stats.retries
+    pre_detours = stats.detour_hops
+    with instr.span(
+        "transpose",
+        category="run",
+        requested=requested,
+        comm_class=info.comm_class.value,
+    ) as run_span:
+        if fallbacks:
+            run_span.annotate(skipped=list(fallbacks))
+            instr.event(
+                "degrade",
+                "planner",
+                requested=requested,
+                tier=name,
+                skipped=list(fallbacks),
+            )
+        try:
+            with instr.span(name, category="algorithm", algorithm=name):
+                out = _execute(network, name, dm, after, policy, packet_size)
+        except (FaultError, RoutingStalledError):
+            if plan is None or not degrade:
+                raise
+            # Reactive safety net: clear in-flight blocks, rerun on the
+            # terminal fault-tolerant tier.  At most one retry by design.
+            for mem, keys in zip(network.memories, pre_keys):
+                for key in list(mem.keys()):
+                    if key not in keys:
+                        mem.pop(key)
+            fallbacks = (*fallbacks, name)
+            terminal = (
+                "router"
+                if name in _LADDER and info.comm_class
+                in (CommClass.PAIRWISE, CommClass.LOCAL)
+                else "routed-universal"
+            )
+            name = terminal
+            instr.event(
+                "degrade", "planner", requested=requested, tier=name,
+                reactive=True,
+            )
+            with instr.span(
+                name, category="algorithm", algorithm=name,
+                reactive_retry=True,
+            ):
+                out = _execute(network, name, dm, after, policy, packet_size)
+
+        check_transpose_invariants(
+            network, original, out, baseline_elements=baseline_elements
         )
-        name = terminal
-        out = _execute(network, name, dm, after, policy, packet_size)
 
-    check_transpose_invariants(
-        network, original, out, baseline_elements=baseline_elements
-    )
-
-    overhead = 0.0
-    if name != requested:
-        overhead = network.stats.time - _clean_run_time(
-            network, requested, dm, after, policy, packet_size
+        overhead = 0.0
+        if name != requested:
+            overhead = network.stats.time - _clean_run_time(
+                network, requested, dm, after, policy, packet_size
+            )
+        run_span.annotate(
+            algorithm=name,
+            fallbacks=list(fallbacks),
+            recovery_overhead=overhead,
+            faults=stats.fault_events - pre_faults,
+            retries=stats.retries - pre_retries,
+            detours=stats.detour_hops - pre_detours,
         )
     return TransposeResult(
         out,

@@ -39,6 +39,7 @@ from repro.layout.matrix import DistributedMatrix
 from repro.machine.engine import CubeNetwork
 from repro.machine.message import Block, Message
 from repro.machine.routing import RoutedTransfer, route_messages
+from repro.obs.instrumentation import instrumentation_of
 
 __all__ = [
     "pairwise_maps",
@@ -259,21 +260,28 @@ def two_dim_transpose_mpt(
             pk["src"],
             Block(("mpt", pk["src"], pk["seq"]), data=arrival[(pk["src"], pk["seq"])][0]),
         )
-    for cycle in range(max_cycle):
-        phase: list[Message] = []
-        for pk in packets:
-            if pk["size"] == 0:
-                continue
-            hop = cycle - pk["inject"]
-            if 0 <= hop < len(pk["path"]) - 1:
-                phase.append(
-                    Message(
-                        pk["path"][hop],
-                        pk["path"][hop + 1],
-                        (("mpt", pk["src"], pk["seq"]),),
+    with instrumentation_of(network).span(
+        "mpt-pipeline",
+        category="tree-level",
+        cycles=max_cycle,
+        packets=len(packets),
+        rounds=rounds,
+    ):
+        for cycle in range(max_cycle):
+            phase: list[Message] = []
+            for pk in packets:
+                if pk["size"] == 0:
+                    continue
+                hop = cycle - pk["inject"]
+                if 0 <= hop < len(pk["path"]) - 1:
+                    phase.append(
+                        Message(
+                            pk["path"][hop],
+                            pk["path"][hop + 1],
+                            (("mpt", pk["src"], pk["seq"]),),
+                        )
                     )
-                )
-        network.execute_phase(phase, exclusive=True)
+            network.execute_phase(phase, exclusive=True)
 
     received = np.empty_like(dm.local_data)
     for y in range(N):
@@ -373,19 +381,25 @@ def _run_pipelined(
     max_cycle = max(
         (pk["inject"] + len(pk["slots"]) for pk in packets), default=0
     )
-    for cycle in range(max_cycle):
-        phase = []
-        movers = []
-        for pk in packets:
-            s = cycle - pk["inject"]
-            if 0 <= s < len(pk["slots"]) and pk["slots"][s] is not None:
-                src = pk["at"]
-                dst = src ^ (1 << pk["slots"][s])
-                phase.append(Message(src, dst, (pk["key"],)))
-                movers.append((pk, dst))
-        network.execute_phase(phase, exclusive=True)
-        for pk, dst in movers:
-            pk["at"] = dst
+    with instrumentation_of(network).span(
+        "packet-pipeline",
+        category="tree-level",
+        cycles=max_cycle,
+        packets=len(packets),
+    ):
+        for cycle in range(max_cycle):
+            phase = []
+            movers = []
+            for pk in packets:
+                s = cycle - pk["inject"]
+                if 0 <= s < len(pk["slots"]) and pk["slots"][s] is not None:
+                    src = pk["at"]
+                    dst = src ^ (1 << pk["slots"][s])
+                    phase.append(Message(src, dst, (pk["key"],)))
+                    movers.append((pk, dst))
+            network.execute_phase(phase, exclusive=True)
+            for pk, dst in movers:
+                pk["at"] = dst
 
     received = np.empty_like(local_data)
     by_dest: dict[int, list[dict]] = {}

@@ -74,7 +74,9 @@ class TestTraceRecorder:
         assert rec.busiest_phase().index == 1
         text = rec.render()
         assert "phase" in text
-        assert len(text.splitlines()) == 3
+        # header + two events + totals footer
+        assert len(text.splitlines()) == 4
+        assert text.splitlines()[-1].startswith("total")
 
     def test_busiest_requires_events(self):
         with pytest.raises(ValueError):
@@ -91,3 +93,22 @@ class TestTraceRecorder:
             net.execute_phase([Message(1, 0, (("y", i),))])
         text = rec.render(max_phases=4)
         assert "more" in text
+        # The footer still accounts for every event past the truncation.
+        footer = text.splitlines()[-1]
+        assert footer.startswith("total")
+        assert f"{len(rec.events)} event(s)" in footer
+        assert f"{sum(e.total_elements for e in rec.events)} elements" in footer
+
+    def test_local_events_have_no_synthetic_transfers(self):
+        """on_local must not fabricate (0, 0, n) self-loop transfers."""
+        net = CubeNetwork(custom_machine(2, t_copy=1.0))
+        rec = TraceRecorder()
+        net.observer = rec
+        net.charge_copy({0: 7})
+        (event,) = rec.events
+        assert event.kind == "local"
+        assert event.transfers == ()
+        assert event.elements == 7
+        assert event.total_elements == 7
+        assert event.dimensions == ()  # no dimension_of_edge(0, 0) blow-up
+        assert rec.dimension_histogram() == {}

@@ -1,0 +1,96 @@
+"""The perf-regression gate: record, clean check, perturbed failure."""
+
+import dataclasses
+import json
+
+from repro.obs.baseline import (
+    BaselineScenario,
+    check_baselines,
+    record_baselines,
+    run_scenario,
+)
+
+# A small suite so the gate's own tests stay fast; it still covers the
+# direct, faulted and plan-cached execution paths.
+SUITE = (
+    BaselineScenario("t_mpt", "cm", 4, 1 << 8, algorithm="mpt"),
+    BaselineScenario("t_faulted", "cm", 4, 1 << 8, algorithm="mpt",
+                     faults="links=0-1,seed=5"),
+    BaselineScenario("t_cached", "cm", 4, 1 << 8, algorithm="mpt",
+                     cached=True),
+)
+
+
+class TestRunScenario:
+    def test_counters_are_deterministic(self):
+        a = run_scenario(SUITE[0])
+        b = run_scenario(SUITE[0])
+        assert a == b
+        assert a["algorithm_tier"] == "mpt"
+        assert a["element_hops"] > 0
+
+    def test_faulted_scenario_reports_degraded_tier(self):
+        counters = run_scenario(SUITE[1])
+        assert counters["algorithm_tier"] != "mpt"
+
+    def test_scalar_counters_only(self):
+        counters = run_scenario(SUITE[0])
+        assert "link_elements" not in counters
+        assert "phase_times" not in counters
+
+
+class TestGate:
+    def test_record_then_check_passes_clean(self, tmp_path):
+        written = record_baselines(str(tmp_path), SUITE)
+        assert len(written) == len(SUITE)
+        for path in written:
+            with open(path) as fh:
+                doc = json.load(fh)
+            assert set(doc) == {"scenario", "counters", "code_version"}
+        report = check_baselines(str(tmp_path), SUITE)
+        assert report.ok
+        assert report.checked == len(SUITE)
+        assert "passed" in report.describe()
+
+    def test_missing_baseline_fails(self, tmp_path):
+        report = check_baselines(str(tmp_path), SUITE[:1])
+        assert not report.ok
+        assert report.missing == ["t_mpt"]
+        assert "no baseline recorded" in report.describe()
+
+    def test_cost_model_perturbation_fails_with_counter_diff(self, tmp_path):
+        """A deliberate cost-model change must trip the gate and name the
+        counters that moved."""
+        record_baselines(str(tmp_path), SUITE)
+
+        def slower_startups(params):
+            return dataclasses.replace(params, tau=params.tau * 1.01)
+
+        report = check_baselines(str(tmp_path), SUITE, perturb=slower_startups)
+        assert not report.ok
+        breached = {(d.scenario, d.counter) for d in report.diffs}
+        assert ("t_mpt", "time") in breached
+        assert ("t_mpt", "comm_time") in breached
+        # Structural counters are untouched by a pure cost change.
+        assert not any(c == "element_hops" for _, c in breached)
+        text = report.describe()
+        assert "FAILED" in text
+        time_diff = next(
+            d for d in report.diffs
+            if d.scenario == "t_mpt" and d.counter == "time"
+        )
+        assert 0 < time_diff.relative <= 0.011
+        assert "->" in time_diff.describe()
+
+    def test_schedule_change_is_also_caught(self, tmp_path):
+        """Renamed/retiered outcomes breach via the string counter."""
+        record_baselines(str(tmp_path), SUITE[:1])
+        changed = (dataclasses.replace(SUITE[0], algorithm="dpt"),)
+        report = check_baselines(str(tmp_path), changed)
+        assert not report.ok
+        assert any(d.counter == "algorithm_tier" for d in report.diffs)
+
+    def test_report_as_dict_is_json_safe(self, tmp_path):
+        record_baselines(str(tmp_path), SUITE[:1])
+        report = check_baselines(str(tmp_path), SUITE[:1])
+        json.dumps(report.as_dict())

@@ -1,0 +1,92 @@
+"""Exporters: Chrome trace-event JSON structure and JSONL streaming."""
+
+import json
+
+from repro.obs import ChromeTraceSink, Instrumentation, JsonlSink
+
+
+def _run_hub(*sinks) -> Instrumentation:
+    hub = Instrumentation(*sinks)
+    with hub.span("transpose", category="run"):
+        with hub.span("mpt", category="algorithm"):
+            hub.on_phase([(0, 1, 8), (2, 3, 8)], 0.5)
+            hub.on_phase([(1, 0, 8)], 0.25)
+        hub.event("degrade", "planner", tier="mpt")
+    return hub
+
+
+class TestChromeTraceSink:
+    def test_document_shape(self):
+        sink = ChromeTraceSink()
+        _run_hub(sink)
+        doc = sink.document()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # process metadata first
+        kinds = {e["ph"] for e in events}
+        assert kinds == {"M", "X", "i"}
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_spans_sorted_for_containment_nesting(self):
+        sink = ChromeTraceSink()
+        _run_hub(sink)
+        xs = [e for e in sink.trace_events() if e["ph"] == "X"]
+        # At equal start, outer (longer) spans come first: run, algorithm,
+        # then the two phase leaves in time order.
+        assert [e["name"] for e in xs] == [
+            "transpose", "mpt", "phase", "phase",
+        ]
+        run, algo, p1, p2 = xs
+        assert run["ts"] == 0.0
+        assert run["dur"] >= algo["dur"] >= p1["dur"]
+        assert p2["ts"] == 0.5 * 1e6  # model seconds -> microseconds
+        assert p1["args"]["messages"] == 2
+        assert p1["args"]["elements"] == 16
+
+    def test_instant_events_carry_attrs(self):
+        sink = ChromeTraceSink()
+        _run_hub(sink)
+        instants = [e for e in sink.trace_events() if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "degrade"
+        assert instants[0]["args"]["tier"] == "mpt"
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        sink = ChromeTraceSink()
+        _run_hub(sink)
+        target = tmp_path / "deep" / "nested" / "trace.json"
+        sink.write(target)
+        loaded = json.loads(target.read_text())
+        assert loaded["traceEvents"]
+
+
+class TestJsonlSink:
+    def test_in_memory_lines(self):
+        sink = JsonlSink()
+        _run_hub(sink)
+        docs = [json.loads(line) for line in sink.lines]
+        types = [d["type"] for d in docs]
+        # Phase leaves close before the algorithm span, which closes
+        # before the run span; the instant event lands in between.
+        assert types.count("span") == 4
+        assert types.count("event") == 1
+        assert docs[-1]["name"] == "transpose"
+
+    def test_raw_phase_stream(self):
+        sink = JsonlSink(raw_phases=True)
+        _run_hub(sink)
+        phases = [
+            json.loads(line)
+            for line in sink.lines
+            if json.loads(line)["type"] == "phase"
+        ]
+        assert [p["elements"] for p in phases] == [16, 8]
+
+    def test_file_target(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlSink(path) as sink:
+            _run_hub(sink)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)
