@@ -68,10 +68,19 @@ from repro.obs import (  # noqa: E402
     JsonlSink,
     MetricsRegistry,
 )
+from repro.recovery import (  # noqa: E402
+    CheckpointManager,
+    RecoveryPolicy,
+    RecoveryReport,
+    execute_with_recovery,
+    plan_surgery,
+    run_chaos,
+)
 
 __all__ = [
     "BatchRequest",
     "BufferPolicy",
+    "CheckpointManager",
     "ChromeTraceSink",
     "CommClass",
     "CompiledPlan",
@@ -86,6 +95,8 @@ __all__ = [
     "PortModel",
     "ProcField",
     "RecordingNetwork",
+    "RecoveryPolicy",
+    "RecoveryReport",
     "TransposeResult",
     "capture_transpose",
     "classify_transpose",
@@ -96,13 +107,16 @@ __all__ = [
     "convert_layout",
     "custom_machine",
     "default_after_layout",
+    "execute_with_recovery",
     "intel_ipsc",
     "plan_key",
+    "plan_surgery",
     "replay_degraded",
     "replay_plan",
     "row_consecutive",
     "row_cyclic",
     "run_batch",
+    "run_chaos",
     "select_algorithm",
     "transpose",
     "two_dim_consecutive",

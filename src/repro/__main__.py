@@ -8,11 +8,15 @@ Commands
 ``machines``  show the calibrated machine presets;
 ``plan``      compile a transpose into a :class:`CompiledPlan` document;
 ``replay``    execute a compiled plan on a fresh (optionally faulted)
-              network without re-planning;
-``batch``     serve many transpose requests through the plan cache.
+              network without re-planning — ``--recover`` resumes from
+              checkpoints instead of restarting on faults;
+``batch``     serve many transpose requests through the plan cache;
+``chaos``     soak seeded random fault plans through live runs and
+              recovery replays, verifying every outcome;
+``baseline``  record or check the pinned perf-regression suite.
 
-``advise``, ``run``, ``machines``, ``replay`` and ``batch`` accept
-``--json`` for machine-readable output.
+``advise``, ``run``, ``machines``, ``replay``, ``batch`` and ``chaos``
+accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -51,6 +55,19 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def _stats_recovery_block(stats, *, resolved: str) -> dict:
+    """The ``recovery`` JSON block for runs accounted through TransferStats."""
+    return {
+        "resolved": resolved,
+        "fault_encounters": stats.fault_events,
+        "checkpoints": stats.checkpoints,
+        "rollbacks": stats.rollbacks,
+        "replayed_phases": stats.replayed_phases,
+        "wasted_elements": stats.wasted_elements,
+        "backoff_phases": stats.stall_phases,
+    }
+
+
 def _resolve_problem(args):
     """CLI-side wrapper: bad problem parameters exit with status 2."""
     from repro.plans.batch import resolve_problem
@@ -82,6 +99,10 @@ def cmd_run(args) -> int:
     rng = np.random.default_rng(0)
     A = rng.standard_normal((1 << layout.p, 1 << layout.q))
     net = CubeNetwork(_machine(args), faults=faults)
+    if args.checkpoint_every:
+        from repro.recovery import CheckpointManager
+
+        net.checkpoints = CheckpointManager(every=args.checkpoint_every)
 
     recorder = trace_sink = None
     if args.trace or args.timeline:
@@ -128,6 +149,10 @@ def cmd_run(args) -> int:
             "recovery_overhead": result.recovery_overhead,
             "faults": None if faults is None else faults.describe(),
             "verified": ok,
+            "recovery": _stats_recovery_block(
+                result.stats,
+                resolved="ladder" if result.fallbacks else "clean",
+            ),
             "stats": result.stats.as_dict(),
         }
         print(json.dumps(doc, indent=2))
@@ -143,6 +168,13 @@ def cmd_run(args) -> int:
                 f"degraded:   {result.requested} -> {result.algorithm} "
                 f"(skipped {', '.join(result.fallbacks)}); recovery "
                 f"overhead {result.recovery_overhead * 1e3:.3f} ms"
+            )
+        if result.stats.rollbacks or result.stats.checkpoints:
+            print(
+                f"recovery:   {result.stats.checkpoints} checkpoint(s), "
+                f"{result.stats.rollbacks} rollback(s), "
+                f"{result.stats.replayed_phases} replayed phase(s), "
+                f"{result.stats.wasted_elements} wasted element(s)"
             )
     print(f"verified:   {ok}")
     print(f"model time: {result.stats.summary()}")
@@ -233,30 +265,89 @@ def cmd_replay(args) -> int:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
             return 2
 
+    recovery_doc = None
+    verified = None
     network = CubeNetwork(plan.machine.to_params(), faults=faults)
-    try:
-        replay_plan(plan, network)
-    except PlanReplayError as exc:
-        print(f"replay rejected: {exc}", file=sys.stderr)
-        return 2
-    except (FaultError, RoutingStalledError) as exc:
-        print(f"replay failed under faults: {exc}", file=sys.stderr)
-        return 1
+    if args.recover is not None:
+        from repro.recovery import (
+            RecoveryFailedError,
+            RecoveryPolicy,
+            execute_with_recovery,
+        )
+
+        try:
+            policy = RecoveryPolicy.from_spec(args.recover)
+            if args.checkpoint_every:
+                policy = policy.with_(checkpoint_every=args.checkpoint_every)
+        except ValueError as exc:
+            print(f"bad --recover spec: {exc}", file=sys.stderr)
+            return 2
+        try:
+            outcome = execute_with_recovery(plan, network, policy=policy)
+        except PlanReplayError as exc:
+            print(f"replay rejected: {exc}", file=sys.stderr)
+            return 2
+        except RecoveryFailedError as exc:
+            print(f"recovery failed: {exc}", file=sys.stderr)
+            recovery_doc = exc.report.as_dict()
+            if args.json:
+                doc = {
+                    "plan": plan.describe(),
+                    "algorithm": plan.algorithm,
+                    "fingerprint": plan.fingerprint,
+                    "faults": None if faults is None else faults.describe(),
+                    "recovery": recovery_doc,
+                    "verified": False,
+                    "stats": network.stats.as_dict(),
+                }
+                print(json.dumps(doc, indent=2))
+            return 1
+        recovery_doc = outcome.report.as_dict()
+        verified = outcome.verified
+    else:
+        checkpoints = None
+        if args.checkpoint_every:
+            from repro.recovery import CheckpointManager
+
+            checkpoints = CheckpointManager(every=args.checkpoint_every)
+        try:
+            replay_plan(plan, network, checkpoints=checkpoints)
+        except PlanReplayError as exc:
+            print(f"replay rejected: {exc}", file=sys.stderr)
+            return 2
+        except (FaultError, RoutingStalledError) as exc:
+            print(f"replay failed under faults: {exc}", file=sys.stderr)
+            return 1
+        if faults is not None or args.checkpoint_every:
+            recovery_doc = _stats_recovery_block(
+                network.stats, resolved="clean"
+            )
     if args.json:
         doc = {
             "plan": plan.describe(),
             "algorithm": plan.algorithm,
             "fingerprint": plan.fingerprint,
             "faults": None if faults is None else faults.describe(),
+            "recovery": recovery_doc,
+            "verified": verified,
             "stats": network.stats.as_dict(),
         }
         print(json.dumps(doc, indent=2))
-        return 0
+        return 0 if verified is not False else 1
     print(f"plan:       {plan.describe()}")
     if faults is not None:
         print(f"faults:     {faults.describe()}")
+    if recovery_doc is not None and args.recover is not None:
+        print(
+            f"recovery:   resolved={recovery_doc['resolved']}, "
+            f"{recovery_doc['fault_encounters']} fault(s), "
+            f"{recovery_doc['checkpoints_taken']} checkpoint(s), "
+            f"{recovery_doc['rollbacks']} rollback(s), "
+            f"{recovery_doc['replayed_phases']} replayed phase(s)"
+        )
+        print(f"verified:   {verified}")
     print(f"model time: {network.stats.summary()}")
-    return 0
+    return 0 if verified is not False else 1
 
 
 def cmd_batch(args) -> int:
@@ -273,8 +364,21 @@ def cmd_batch(args) -> int:
         print(f"cannot load requests: {exc}", file=sys.stderr)
         return 2
 
+    recovery = None
+    if args.recover is not None:
+        from repro.recovery import RecoveryPolicy
+
+        try:
+            recovery = RecoveryPolicy.from_spec(args.recover)
+        except ValueError as exc:
+            print(f"bad --recover spec: {exc}", file=sys.stderr)
+            return 2
+
     cache = PlanCache(capacity=args.cache_size, path=args.cache_dir)
-    reports = [run_batch(requests, cache=cache) for _ in range(args.repeat)]
+    reports = [
+        run_batch(requests, cache=cache, recovery=recovery)
+        for _ in range(args.repeat)
+    ]
     if args.json:
         doc = {
             "runs": [r.as_dict() for r in reports],
@@ -290,6 +394,59 @@ def cmd_batch(args) -> int:
         f"{c['evictions']} eviction(s), {c['resident']} resident"
     )
     return 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.recovery import RecoveryPolicy, run_chaos
+
+    try:
+        policy = RecoveryPolicy.from_spec(args.recover or "")
+    except ValueError as exc:
+        print(f"bad --recover spec: {exc}", file=sys.stderr)
+        return 2
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    progress = None
+    if args.verbose:
+
+        def progress(trial):
+            print(
+                f"seed={trial.seed:>3} mode={trial.mode:<6} "
+                f"{trial.outcome}"
+                + (
+                    f" ({trial.resolved})"
+                    if trial.outcome == "verified"
+                    else ""
+                ),
+                file=sys.stderr,
+            )
+
+    try:
+        report = run_chaos(
+            n=args.n,
+            elements=args.elements,
+            layout=args.layout,
+            algorithm=args.algorithm,
+            seeds=args.seeds,
+            modes=modes,
+            link_rate=args.link_rate,
+            transient_rate=args.transient_rate,
+            window=args.window,
+            policy=policy,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_baseline(args) -> int:
@@ -410,6 +567,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace-event JSON (load in Perfetto / "
         "chrome://tracing)",
     )
+    pr.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="snapshot node memories every K phases (0 = off); the "
+        "run's recovery accounting lands in the --json output",
+    )
     pr.set_defaults(fn=cmd_run)
 
     pm = sub.add_parser("machines", help="show machine presets")
@@ -440,6 +605,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="replay on a faulted network (see FaultPlan.from_spec)",
     )
+    py.add_argument(
+        "--recover",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="SPEC",
+        help="resume-based execution: checkpoint, back off transient "
+        "faults, surgically rewrite around permanent ones; optional "
+        "policy spec, e.g. every=4,surgery=off "
+        "(see RecoveryPolicy.from_spec)",
+    )
+    py.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="checkpoint cadence in phases (with --recover overrides "
+        "the policy; alone just attaches snapshotting to the replay)",
+    )
     json_flag(py)
     py.set_defaults(fn=cmd_replay)
 
@@ -463,8 +647,75 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run the request set this many times (later runs hit the cache)",
     )
+    pb.add_argument(
+        "--recover",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="SPEC",
+        help="serve faulted requests resume-based instead of through "
+        "the restart ladder (optional RecoveryPolicy.from_spec string)",
+    )
     json_flag(pb)
     pb.set_defaults(fn=cmd_batch)
+
+    pc = sub.add_parser(
+        "chaos",
+        help="soak seeded random fault plans through recovery, "
+        "verifying every outcome",
+    )
+    pc.add_argument("-n", type=int, default=4, help="cube dimension")
+    pc.add_argument(
+        "--elements", type=int, default=256, help="matrix elements (power of 2)"
+    )
+    pc.add_argument(
+        "--layout", choices=["2d", "1d-rows", "1d-cols"], default="2d"
+    )
+    pc.add_argument("--algorithm", default="auto")
+    pc.add_argument(
+        "--seeds", type=int, default=50, help="fault-plan seeds 0..N-1"
+    )
+    pc.add_argument(
+        "--modes",
+        default="replay,cached,live",
+        help="comma-separated subset of replay, cached, live",
+    )
+    pc.add_argument(
+        "--link-rate",
+        dest="link_rate",
+        type=float,
+        default=0.03,
+        help="permanent per-directed-link failure probability",
+    )
+    pc.add_argument(
+        "--transient-rate",
+        dest="transient_rate",
+        type=float,
+        default=0.10,
+        help="transient per-link failure probability",
+    )
+    pc.add_argument(
+        "--window", type=int, default=32, help="transient phase window"
+    )
+    pc.add_argument(
+        "--recover",
+        default=None,
+        metavar="SPEC",
+        help="recovery policy spec (RecoveryPolicy.from_spec)",
+    )
+    pc.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the full JSON recovery report here (CI artifact)",
+    )
+    pc.add_argument(
+        "--verbose",
+        action="store_true",
+        help="stream one line per finished trial to stderr",
+    )
+    json_flag(pc)
+    pc.set_defaults(fn=cmd_chaos)
 
     pl = sub.add_parser(
         "baseline",

@@ -74,6 +74,10 @@ class CubeNetwork:
         #: ``on_fault(src, dst, phase, kind)`` hooks — see
         #: :class:`repro.machine.trace.TraceRecorder`.
         self.observer = None
+        #: Optional :class:`repro.recovery.checkpoint.CheckpointManager`;
+        #: when set, every completed communication phase offers it a
+        #: consistent snapshot boundary via ``phase_completed(self)``.
+        self.checkpoints = None
 
     # -- state ------------------------------------------------------------
 
@@ -213,6 +217,8 @@ class CubeNetwork:
                 [(msg.src, msg.dst, elements) for msg, elements, _, _ in costed],
                 duration,
             )
+        if self.checkpoints is not None:
+            self.checkpoints.phase_completed(self)
         return duration
 
     def _notice_fault(
@@ -235,6 +241,8 @@ class CubeNetwork:
         self.stats.record_phase(0.0)
         if self.observer is not None:
             self.observer.on_phase([], 0.0)
+        if self.checkpoints is not None:
+            self.checkpoints.phase_completed(self)
         return 0.0
 
     def execute_local(
@@ -285,6 +293,32 @@ class CubeNetwork:
         if self.observer is not None and duration:
             self.observer.on_local(total, duration)
         return duration
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_memories(self) -> list[dict[Hashable, Block]]:
+        """Copy-on-write snapshots of every node memory, node-ordered.
+
+        Cheap by construction: blocks are immutable in transit, so each
+        snapshot is a shallow key-map copy (see
+        :meth:`repro.machine.memory.NodeMemory.snapshot`).
+        """
+        return [mem.snapshot() for mem in self.memories]
+
+    def restore_memories(self, snapshots: list[dict[Hashable, Block]]) -> None:
+        """Reset every node memory to a :meth:`snapshot_memories` state.
+
+        Only the memories roll back; the accumulated
+        :class:`~repro.machine.metrics.TransferStats` keep counting — a
+        recovery pays for the phases it wastes, it does not un-spend them.
+        """
+        if len(snapshots) != len(self.memories):
+            raise ValueError(
+                f"snapshot covers {len(snapshots)} node(s) but the machine "
+                f"has {len(self.memories)}"
+            )
+        for mem, snap in zip(self.memories, snapshots):
+            mem.restore(snap)
 
     # -- verification helpers ----------------------------------------------
 

@@ -305,14 +305,17 @@ class FaultPlan:
         window: int = 64,
         node_failures: tuple[int, ...] = (),
         extra_links: tuple[tuple[int, int], ...] = (),
+        extra_transient: tuple[tuple[int, int, int, int], ...] = (),
     ) -> "FaultPlan":
         """A seeded random plan: reproducible fault scenarios.
 
         Each of the ``N * n`` directed links fails permanently with
         probability ``link_rate``, else transiently with probability
         ``transient_rate`` (a random sub-interval of ``[0, window)``
-        phases).  ``node_failures`` kills whole nodes permanently, and
-        ``extra_links`` adds explicit permanent directed-link faults.
+        phases).  ``node_failures`` kills whole nodes permanently,
+        ``extra_links`` adds explicit permanent directed-link faults, and
+        ``extra_transient`` adds explicit transient link faults as
+        ``(src, dst, start, end)`` windows.
         """
         if not 0.0 <= link_rate <= 1.0 or not 0.0 <= transient_rate <= 1.0:
             raise ValueError("fault rates must lie in [0, 1]")
@@ -331,6 +334,8 @@ class FaultPlan:
                     links.append(LinkFault(x, y, start, start + span))
         for src, dst in extra_links:
             links.append(LinkFault(src, dst))
+        for src, dst, start, end in extra_transient:
+            links.append(LinkFault(src, dst, start, end))
         nodes = tuple(NodeFault(x) for x in node_failures)
         return cls(n, tuple(links), nodes, seed=seed)
 
@@ -345,16 +350,101 @@ class FaultPlan:
         * ``transient_rate``  — transient per-link failure rate;
         * ``window``          — transient phase window (default 64);
         * ``nodes``           — ``+``-separated dead node list, e.g. ``3+9``;
-        * ``links``           — ``+``-separated directed links ``src-dst``.
+        * ``links``           — ``+``-separated directed links ``src-dst``;
+        * ``tlinks``          — ``+``-separated transient directed links
+          ``src-dst@start-end`` (faulted during phases ``[start, end)``).
 
-        Example: ``seed=7,link_rate=0.02,nodes=5,links=0-1+6-4``.
+        Example: ``seed=7,link_rate=0.02,nodes=5,links=0-1+6-4`` or
+        ``tlinks=0-1@3-9`` for a link dead only during phases 3..8.
+
+        Malformed tokens raise :class:`ValueError` naming the offending
+        token: a bad separator, an out-of-range node id (the cube has
+        nodes ``0 .. 2**n - 1``) or a non-numeric rate all fail here
+        rather than as a cryptic downstream error.
         """
+        limit = 1 << n
+
+        def parse_int(value: str, key: str, token: str | None = None) -> int:
+            try:
+                return int(value)
+            except ValueError:
+                where = (
+                    f"{key} token {token!r}"
+                    if token is not None
+                    else f"{key}={value!r}"
+                )
+                raise ValueError(
+                    f"fault spec {where}: {value!r} is not an integer"
+                ) from None
+
+        def parse_rate(value: str, key: str) -> float:
+            try:
+                rate = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"fault spec {key}={value!r}: {value!r} is not a number"
+                ) from None
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"fault spec {key}={value!r}: rate must lie in [0, 1]"
+                )
+            return rate
+
+        def parse_node(text: str, key: str, token: str | None = None) -> int:
+            token = text if token is None else token
+            node = parse_int(text, key, token)
+            if not 0 <= node < limit:
+                raise ValueError(
+                    f"fault spec {key} token {token!r}: node {node} is "
+                    f"outside the {n}-cube (valid ids are 0..{limit - 1})"
+                )
+            return node
+
+        def parse_link(
+            text: str, key: str, token: str | None = None
+        ) -> tuple[int, int]:
+            token = text if token is None else token
+            src_text, sep, dst_text = text.partition("-")
+            if not sep or not src_text or not dst_text:
+                raise ValueError(
+                    f"fault spec {key} token {token!r} is not of the form "
+                    "src-dst"
+                )
+            return (
+                parse_node(src_text, key, token),
+                parse_node(dst_text, key, token),
+            )
+
+        def parse_tlink(token: str) -> tuple[int, int, int, int]:
+            link_text, sep, window_text = token.partition("@")
+            if not sep or not window_text:
+                raise ValueError(
+                    f"fault spec tlinks token {token!r} is not of the form "
+                    "src-dst@start-end"
+                )
+            src, dst = parse_link(link_text, "tlinks", token)
+            start_text, sep, end_text = window_text.partition("-")
+            if not sep or not start_text or not end_text:
+                raise ValueError(
+                    f"fault spec tlinks token {token!r}: window "
+                    f"{window_text!r} is not of the form start-end"
+                )
+            start = parse_int(start_text, "tlinks", token)
+            end = parse_int(end_text, "tlinks", token)
+            if start < 0 or end <= start:
+                raise ValueError(
+                    f"fault spec tlinks token {token!r}: window must satisfy "
+                    "0 <= start < end"
+                )
+            return src, dst, start, end
+
         seed = 0
         link_rate = 0.0
         transient_rate = 0.0
         window = 64
         nodes: tuple[int, ...] = ()
         links: tuple[tuple[int, int], ...] = ()
+        tlinks: tuple[tuple[int, int, int, int], ...] = ()
         for item in spec.split(","):
             item = item.strip()
             if not item:
@@ -367,27 +457,30 @@ class FaultPlan:
             key = key.strip()
             value = value.strip()
             if key == "seed":
-                seed = int(value)
+                seed = parse_int(value, "seed")
             elif key == "link_rate":
-                link_rate = float(value)
+                link_rate = parse_rate(value, "link_rate")
             elif key == "transient_rate":
-                transient_rate = float(value)
+                transient_rate = parse_rate(value, "transient_rate")
             elif key == "window":
-                window = int(value)
+                window = parse_int(value, "window")
             elif key == "nodes":
-                nodes = tuple(int(v) for v in value.split("+") if v)
+                nodes = tuple(
+                    parse_node(v, "nodes") for v in value.split("+") if v
+                )
             elif key == "links":
-                pairs = []
-                for chunk in value.split("+"):
-                    if not chunk:
-                        continue
-                    src, _, dst = chunk.partition("-")
-                    pairs.append((int(src), int(dst)))
-                links = tuple(pairs)
+                links = tuple(
+                    parse_link(v, "links") for v in value.split("+") if v
+                )
+            elif key == "tlinks":
+                tlinks = tuple(
+                    parse_tlink(v) for v in value.split("+") if v
+                )
             else:
                 raise ValueError(
                     f"unknown fault spec key {key!r}; expected seed, "
-                    "link_rate, transient_rate, window, nodes or links"
+                    "link_rate, transient_rate, window, nodes, links or "
+                    "tlinks"
                 )
         return cls.random(
             n,
@@ -397,4 +490,5 @@ class FaultPlan:
             window=window,
             node_failures=nodes,
             extra_links=links,
+            extra_transient=tlinks,
         )

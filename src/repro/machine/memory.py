@@ -69,3 +69,18 @@ class NodeMemory:
 
     def clear(self) -> None:
         self._blocks.clear()
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> dict[Hashable, Block]:
+        """A copy-on-write snapshot of the store.
+
+        Blocks are immutable once created (the engine moves them whole,
+        never mutates them in place), so a shallow copy of the key map is
+        a complete, aliasing-safe snapshot — O(blocks), no payload copy.
+        """
+        return dict(self._blocks)
+
+    def restore(self, snapshot: dict[Hashable, Block]) -> None:
+        """Reset the store to a :meth:`snapshot`, preserving its order."""
+        self._blocks = dict(snapshot)

@@ -35,6 +35,10 @@ _COUNTER_FIELDS = (
     "plan_hits",
     "plan_misses",
     "plan_evictions",
+    "checkpoints",
+    "rollbacks",
+    "replayed_phases",
+    "wasted_elements",
 )
 
 
@@ -103,6 +107,24 @@ class TransferStats:
         """A routing round in which no transfer could advance."""
         self._c["stall_phases"].value += 1
 
+    def record_checkpoint(self) -> None:
+        """A consistent snapshot of the node memories was retained."""
+        self._c["checkpoints"].value += 1
+
+    def record_rollback(self, replayed_phases: int = 0) -> None:
+        """Execution rolled back to a checkpoint; ``replayed_phases`` is
+        the number of communication phases the resume must re-execute."""
+        if replayed_phases < 0:
+            raise ValueError("cannot replay a negative number of phases")
+        self._c["rollbacks"].value += 1
+        self._c["replayed_phases"].value += replayed_phases
+
+    def record_wasted(self, elements: int) -> None:
+        """Element-hops whose work was discarded by a rollback or restart."""
+        if elements < 0:
+            raise ValueError("cannot waste a negative number of elements")
+        self._c["wasted_elements"].value += elements
+
     def record_plan_event(self, kind: str) -> None:
         """A plan-cache lookup outcome: ``hit``, ``miss`` or ``eviction``."""
         if kind not in ("hit", "miss", "eviction"):
@@ -166,6 +188,12 @@ class TransferStats:
             text += (
                 f" plan_hits={self.plan_hits} plan_misses={self.plan_misses} "
                 f"plan_evictions={self.plan_evictions}"
+            )
+        if self.checkpoints or self.rollbacks:
+            text += (
+                f" checkpoints={self.checkpoints} rollbacks={self.rollbacks} "
+                f"replayed_phases={self.replayed_phases} "
+                f"wasted_elements={self.wasted_elements}"
             )
         return text
 

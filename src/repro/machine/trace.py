@@ -31,7 +31,7 @@ class PhaseEvent:
     """
 
     index: int
-    kind: str  # "comm", "local", "fault" or "cache"
+    kind: str  # "comm", "local", "fault", "cache" or "recovery"
     duration: float
     transfers: tuple[tuple[int, int, int], ...]  # (src, dst, elements)
     detail: str = ""  # fault: "link"/"node"@phase; cache: event + key prefix
@@ -106,6 +106,20 @@ class TraceRecorder:
             )
         )
 
+    def on_recovery(self, action: str, attrs: dict) -> None:
+        """A recovery action ("backoff", "surgery" or "ladder")."""
+        detail = action
+        extra = ",".join(
+            f"{k}={attrs[k]}"
+            for k in ("phase", "wait", "strategy", "tier")
+            if k in attrs
+        )
+        if extra:
+            detail = f"{action}:{extra}"
+        self.events.append(
+            PhaseEvent(len(self.events), "recovery", 0.0, (), detail=detail)
+        )
+
     # -- queries -------------------------------------------------------------
 
     @property
@@ -119,6 +133,10 @@ class TraceRecorder:
     @property
     def cache_events(self) -> list[PhaseEvent]:
         return [e for e in self.events if e.kind == "cache"]
+
+    @property
+    def recovery_events(self) -> list[PhaseEvent]:
+        return [e for e in self.events if e.kind == "recovery"]
 
     def busiest_phase(self) -> PhaseEvent:
         if not self.events:

@@ -47,7 +47,10 @@ class BaselineScenario:
     ``faults`` is a :meth:`~repro.machine.faults.FaultPlan.from_spec`
     string (seeded specs are deterministic); ``cached`` routes the run
     through :func:`~repro.plans.replay.replay_degraded` with a plan
-    cache, exercising capture + replay instead of direct execution.
+    cache, exercising capture + replay instead of direct execution;
+    ``recovery`` (a :meth:`~repro.recovery.policy.RecoveryPolicy.from_spec`
+    string) serves the scenario resume-based — checkpoints, rollbacks
+    and plan surgery are then part of the pinned counters.
     """
 
     id: str
@@ -58,6 +61,7 @@ class BaselineScenario:
     algorithm: str = "auto"
     faults: str | None = None
     cached: bool = False
+    recovery: str | None = None
 
     def describe(self) -> dict:
         return {
@@ -69,6 +73,7 @@ class BaselineScenario:
             "algorithm": self.algorithm,
             "faults": self.faults,
             "cached": self.cached,
+            "recovery": self.recovery,
         }
 
 
@@ -90,6 +95,12 @@ DEFAULT_SUITE: tuple[BaselineScenario, ...] = (
     BaselineScenario("cm_faulted_cached_n4", "cm", 4, 1 << 8,
                      algorithm="mpt", faults="links=0-1,seed=5",
                      cached=True),
+    BaselineScenario("cm_recovery_transient_n4", "cm", 4, 1 << 8,
+                     algorithm="mpt", faults="tlinks=0-1@1-3",
+                     cached=True, recovery="every=2"),
+    BaselineScenario("cm_recovery_surgery_n4", "cm", 4, 1 << 8,
+                     algorithm="mpt", faults="links=0-1",
+                     cached=True, recovery="every=2"),
 )
 
 
@@ -137,6 +148,11 @@ def run_scenario(
     )
 
     if scenario.cached:
+        recovery = None
+        if scenario.recovery is not None:
+            from repro.recovery import RecoveryPolicy
+
+            recovery = RecoveryPolicy.from_spec(scenario.recovery)
         cache = PlanCache()
         outcome = replay_degraded(
             params,
@@ -148,8 +164,13 @@ def run_scenario(
             algorithm=scenario.algorithm,
             cache=cache,
             observer=observer,
+            recovery=recovery,
         )
         stats, algorithm = outcome.stats, outcome.algorithm
+        if outcome.recovery is not None:
+            resolved = outcome.recovery.resolved
+        else:
+            resolved = None
     else:
         network = CubeNetwork(params, faults=faults)
         if observer is not None:
@@ -161,6 +182,7 @@ def run_scenario(
             algorithm=scenario.algorithm,
         )
         stats, algorithm = result.stats, result.algorithm
+        resolved = None
 
     counters = {
         k: v
@@ -168,6 +190,8 @@ def run_scenario(
         if k not in _NON_SCALAR
     }
     counters["algorithm_tier"] = algorithm
+    if resolved is not None:
+        counters["resolved"] = resolved
     return counters
 
 

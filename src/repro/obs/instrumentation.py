@@ -40,6 +40,7 @@ _SINK_HOOKS = (
     "on_local",
     "on_fault",
     "on_cache",
+    "on_recovery",
     "on_span",
     "on_event",
 )
@@ -77,6 +78,9 @@ class NullInstrumentation:
         return _NULL_SPAN
 
     def event(self, name, category="event", **attrs):
+        pass
+
+    def recovery(self, action, **attrs):
         pass
 
     def current_span(self):
@@ -284,6 +288,21 @@ class Instrumentation:
         )
         for fn in self._hooks["on_fault"]:
             fn(src, dst, phase, kind)
+
+    def recovery(self, action: str, **attrs) -> None:
+        """Record one recovery action (backoff / surgery / ladder).
+
+        Increments ``recovery_actions{action=...}``, stamps a
+        ``recoveries`` count on every open span, lands an instant
+        ``recovery`` event on the model timeline (visible in Chrome
+        traces), and dispatches to sinks defining ``on_recovery``.
+        """
+        self.metrics.counter("recovery_actions", action=action).inc()
+        for span in self._stack:
+            span.count("recoveries")
+        self.event("recovery", "recovery", action=action, **attrs)
+        for fn in self._hooks["on_recovery"]:
+            fn(action, attrs)
 
     def on_cache(self, key: str, event: str) -> None:
         self.metrics.counter("plan_cache_events", event=event).inc()

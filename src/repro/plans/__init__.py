@@ -43,6 +43,12 @@ from repro.plans.replay import (
     replay_degraded,
     replay_plan,
 )
+from repro.plans.symbolic import (
+    SymbolicError,
+    SymbolicState,
+    holdings_to_symbolic,
+    simulate_ops,
+)
 
 __all__ = [
     "PLAN_FORMAT_VERSION",
@@ -66,12 +72,16 @@ __all__ = [
     "PlanReplayError",
     "RecordingNetwork",
     "RemapOp",
+    "SymbolicError",
+    "SymbolicState",
     "canonical_key",
     "capture_transpose",
+    "holdings_to_symbolic",
     "plan_key",
     "replay_degraded",
     "replay_plan",
     "resolve_problem",
     "run_batch",
+    "simulate_ops",
     "synthetic_matrix",
 ]

@@ -76,6 +76,9 @@ class BatchRequest:
     tau: float = 1.0
     t_c: float = 1.0
     n_port: bool = False
+    #: Optional fault scenario (``FaultPlan.from_spec`` syntax); faulted
+    #: requests are served through :func:`repro.plans.replay.replay_degraded`.
+    faults: str | None = None
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "BatchRequest":
@@ -122,6 +125,11 @@ class BatchOutcome:
     modelled_time: float
     wall_seconds: float
     key: str
+    #: How a faulted request completed (``clean`` for fault-free ones).
+    resolved: str = "clean"
+    #: Recovery accounting (``RecoveryReport.as_dict()``) when the
+    #: request was served resume-based; None otherwise.
+    recovery: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -132,6 +140,8 @@ class BatchOutcome:
             "modelled_time": self.modelled_time,
             "wall_seconds": self.wall_seconds,
             "key": self.key,
+            "resolved": self.resolved,
+            "recovery": self.recovery,
         }
 
 
@@ -154,11 +164,44 @@ class BatchReport:
         return sum(o.wall_seconds for o in self.outcomes)
 
     def summary(self) -> str:
-        return (
+        base = (
             f"{len(self.outcomes)} request(s): {self.hits} served from "
             f"cache, {self.misses} compiled; "
             f"wall {self.wall_seconds * 1e3:.1f} ms"
         )
+        rec = self.recovery_summary()
+        if rec["faulted_requests"]:
+            base += (
+                f"; {rec['faulted_requests']} faulted "
+                f"({rec['recovered']} recovered, {rec['ladders']} laddered)"
+            )
+        return base
+
+    def recovery_summary(self) -> dict:
+        """Aggregate recovery accounting over every faulted request."""
+        faulted = [o for o in self.outcomes if o.resolved != "clean"]
+        reports = [o.recovery for o in self.outcomes if o.recovery]
+        return {
+            "faulted_requests": len(faulted),
+            "recovered": sum(1 for r in reports if r.get("recovered")),
+            "ladders": sum(1 for o in faulted if o.resolved == "ladder"),
+            "fault_encounters": sum(
+                r.get("fault_encounters", 0) for r in reports
+            ),
+            "checkpoints_taken": sum(
+                r.get("checkpoints_taken", 0) for r in reports
+            ),
+            "rollbacks": sum(r.get("rollbacks", 0) for r in reports),
+            "replayed_phases": sum(
+                r.get("replayed_phases", 0) for r in reports
+            ),
+            "backoff_phases": sum(
+                r.get("backoff_phases", 0) for r in reports
+            ),
+            "wasted_elements": sum(
+                r.get("wasted_elements", 0) for r in reports
+            ),
+        }
 
     def as_dict(self) -> dict:
         return {
@@ -166,6 +209,7 @@ class BatchReport:
             "hits": self.hits,
             "misses": self.misses,
             "wall_seconds": self.wall_seconds,
+            "recovery": self.recovery_summary(),
             "outcomes": [o.as_dict() for o in self.outcomes],
         }
 
@@ -174,12 +218,19 @@ def run_batch(
     requests: Iterable[BatchRequest],
     *,
     cache: PlanCache | None = None,
+    recovery=None,
 ) -> BatchReport:
     """Execute every request, compiling on miss and replaying on hit.
 
     ``auto`` algorithms are resolved through the planner's §9 selection
     *before* keying, so an explicit request for the same strategy and an
     ``auto`` request share one cached plan.
+
+    A request carrying a ``faults`` spec is served through
+    :func:`repro.plans.replay.replay_degraded` against the same cache;
+    ``recovery`` (a :class:`~repro.recovery.policy.RecoveryPolicy`)
+    switches those requests to resume-based serving, and each outcome
+    then carries the recovery accounting.
     """
     from repro.transpose.planner import default_after_layout, select_algorithm
 
@@ -195,6 +246,40 @@ def run_batch(
         if name == "auto":
             name = select_algorithm(before, target, params.port_model)
         key = plan_key(params, before, target, name)
+        if req.faults:
+            from repro.machine.faults import FaultPlan
+            from repro.plans.replay import replay_degraded
+
+            served = replay_degraded(
+                params,
+                before,
+                target,
+                faults=FaultPlan.from_spec(req.n, req.faults),
+                algorithm=name,
+                cache=cache,
+                recovery=recovery,
+            )
+            rec = served.recovery
+            report.outcomes.append(
+                BatchOutcome(
+                    index=index,
+                    elements=req.elements,
+                    algorithm=served.algorithm,
+                    cache_hit=served.cache_hit,
+                    modelled_time=served.stats.time,
+                    wall_seconds=perf_counter() - started,
+                    key=key,
+                    resolved=(
+                        rec.resolved
+                        if rec is not None
+                        else ("ladder" if not served.replayed else "degraded")
+                        if served.degraded
+                        else "clean"
+                    ),
+                    recovery=None if rec is None else rec.as_dict(),
+                )
+            )
+            continue
         plan = cache.get(key)
         hit = plan is not None
         if hit:

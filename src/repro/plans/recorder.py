@@ -58,11 +58,12 @@ class _RecordingMemory:
     """Proxy over :class:`~repro.machine.memory.NodeMemory` that records
     the algorithm's explicit pops and puts as plan ops."""
 
-    __slots__ = ("_mem", "_ops")
+    __slots__ = ("_mem", "_ops", "_payloads")
 
-    def __init__(self, mem, ops: list) -> None:
+    def __init__(self, mem, ops: list, payloads: dict | None = None) -> None:
         self._mem = mem
         self._ops = ops
+        self._payloads = payloads
 
     # -- recorded mutations ------------------------------------------------
 
@@ -73,15 +74,18 @@ class _RecordingMemory:
 
     def put(self, block: Block) -> None:
         self._mem.put(block)
-        self._ops.append(
-            PlaceOp(self._mem.node, block.size, canonical_key(block.key))
-        )
+        key = canonical_key(block.key)
+        self._ops.append(PlaceOp(self._mem.node, block.size, key))
+        if self._payloads is not None and block.data is not None:
+            self._payloads.setdefault(key, []).append(block.data)
 
     def replace(self, block: Block) -> None:
         self._mem.replace(block)
         key = canonical_key(block.key)
         self._ops.append(CollectOp(self._mem.node, key))
         self._ops.append(PlaceOp(self._mem.node, block.size, key))
+        if self._payloads is not None and block.data is not None:
+            self._payloads.setdefault(key, []).append(block.data)
 
     def clear(self) -> None:
         for key in self._mem.keys():
@@ -123,18 +127,36 @@ class RecordingNetwork(CubeNetwork):
     contains work that did not happen.
     """
 
-    def __init__(self, params: MachineParams, *, faults=None) -> None:
+    def __init__(
+        self,
+        params: MachineParams,
+        *,
+        faults=None,
+        record_payloads: bool = False,
+    ) -> None:
         super().__init__(params, faults=faults)
         self.ops: list = []
+        #: Optional payload ledger: canonical key -> the real arrays each
+        #: successive placement of that key carried, in placement order.
+        #: The recovery executor (:mod:`repro.recovery.executor`) binds
+        #: these back to :class:`~repro.plans.ir.PlaceOp`s to replay a
+        #: plan with real data, enabling bit-identical verification of a
+        #: recovered run against the fault-free original.
+        self.payloads: dict[Hashable, list] | None = (
+            {} if record_payloads else None
+        )
 
     # -- interception ------------------------------------------------------
 
     def memory(self, node: int) -> _RecordingMemory:
-        return _RecordingMemory(super().memory(node), self.ops)
+        return _RecordingMemory(super().memory(node), self.ops, self.payloads)
 
     def place(self, node: int, block: Block) -> None:
         super().place(node, block)
-        self.ops.append(PlaceOp(node, block.size, canonical_key(block.key)))
+        key = canonical_key(block.key)
+        self.ops.append(PlaceOp(node, block.size, key))
+        if self.payloads is not None and block.data is not None:
+            self.payloads.setdefault(key, []).append(block.data)
 
     def execute_phase(
         self, messages: Sequence[Message], *, exclusive: bool = False

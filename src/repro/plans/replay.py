@@ -61,6 +61,7 @@ def replay_plan(
     *,
     check_params: bool = True,
     verify_sizes: bool = True,
+    checkpoints=None,
 ) -> float:
     """Replay every op of ``plan`` on ``network``; returns modelled time.
 
@@ -69,6 +70,13 @@ def replay_plan(
     different constants would silently produce wrong times.
     ``verify_sizes`` cross-checks each message's element count against
     the blocks actually present, catching corrupt or mis-bound plans.
+
+    ``checkpoints`` optionally attaches a
+    :class:`~repro.recovery.checkpoint.CheckpointManager` to the network
+    for the duration of the replay: the engine then snapshots node
+    memories on the manager's phase cadence, giving even a plain replay
+    rollback points (the resume path itself lives in
+    :func:`repro.recovery.executor.execute_with_recovery`).
 
     Fault errors from a faulted network propagate untouched, exactly as
     they would from direct execution, so callers can ladder down.
@@ -81,14 +89,20 @@ def replay_plan(
         )
     start_time = network.stats.time
     mask = 0
-    with instrumentation_of(network).span(
-        "replay",
-        category="algorithm",
-        algorithm=plan.algorithm,
-        ops=len(plan.ops),
-        fingerprint=plan.fingerprint[:12],
-    ):
-        _replay_ops(plan, network, mask, verify_sizes)
+    if checkpoints is not None:
+        network.checkpoints = checkpoints
+    try:
+        with instrumentation_of(network).span(
+            "replay",
+            category="algorithm",
+            algorithm=plan.algorithm,
+            ops=len(plan.ops),
+            fingerprint=plan.fingerprint[:12],
+        ):
+            _replay_ops(plan, network, mask, verify_sizes)
+    finally:
+        if checkpoints is not None:
+            network.checkpoints = None
     return network.stats.time - start_time
 
 
@@ -163,6 +177,11 @@ class DegradedReplay:
     replayed: bool
     #: True when the plan came out of the cache rather than a fresh capture.
     cache_hit: bool
+    #: Recovery accounting when serving with ``recovery=`` (else None).
+    recovery: object | None = None
+    #: Resume-mode final-state verification verdict (None when the run
+    #: was not served through the recovery executor).
+    verified: bool | None = None
 
     @property
     def degraded(self) -> bool:
@@ -180,6 +199,7 @@ def replay_degraded(
     policy=None,
     packet_size: int | None = None,
     observer=None,
+    recovery=None,
 ) -> DegradedReplay:
     """Serve a transpose under faults from cached plans where possible.
 
@@ -191,6 +211,16 @@ def replay_degraded(
     faulted network.  Only a fault that aborts the replay mid-flight
     (possible for strategies the ladder cannot pre-check) falls back to
     one direct fault-tolerant run.
+
+    ``recovery`` (a :class:`~repro.recovery.policy.RecoveryPolicy`)
+    switches the serve from restart-based to *resume-based*: proactive
+    tier degradation is skipped entirely — the requested tier's plan is
+    executed under :func:`repro.recovery.executor.execute_with_recovery`,
+    which backs off transient faults and rewrites the remaining schedule
+    around permanent ones.  The ladder is taken only when recovery
+    itself gives up or its final-state verification fails; the returned
+    :class:`DegradedReplay` then carries the recovery report with
+    ``resolved="ladder"``.
 
     ``observer`` is installed on every network this call creates (the
     replay network and, if needed, the direct-fallback network); pass an
@@ -217,7 +247,8 @@ def replay_degraded(
                 "the surviving topology is not strongly connected; no "
                 f"transpose can complete ({faults.describe()})"
             )
-        name, skipped = degrade_strategy(name, before.n, faults)
+        if recovery is None:
+            name, skipped = degrade_strategy(name, before.n, faults)
 
     key = plan_key(
         params,
@@ -243,6 +274,7 @@ def replay_degraded(
         return _serve(
             instr, cache, key, params, before, target, after, faults,
             name, requested, skipped, policy, packet_size, observer,
+            recovery,
         )
     finally:
         if borrowed_cache:
@@ -252,6 +284,7 @@ def replay_degraded(
 def _serve(
     instr, cache, key, params, before, target, after, faults,
     name, requested, skipped, policy, packet_size, observer,
+    recovery=None,
 ) -> DegradedReplay:
     from repro.plans.recorder import capture_transpose, synthetic_matrix
     from repro.transpose.planner import transpose
@@ -259,6 +292,7 @@ def _serve(
     with instr.span(
         "serve", category="run", requested=requested, tier=name,
         skipped=list(skipped), faults=faults.describe(),
+        mode="resume" if recovery is not None else "restart",
     ) as serve_span:
         plan = cache.get(key) if cache is not None else None
         cache_hit = plan is not None
@@ -274,6 +308,13 @@ def _serve(
             )
             if cache is not None:
                 cache.put(key, plan)
+
+        if recovery is not None:
+            return _serve_with_recovery(
+                instr, serve_span, plan, params, before, after, faults,
+                name, requested, policy, packet_size, observer, recovery,
+                cache_hit,
+            )
 
         network = CubeNetwork(params, faults=faults)
         if observer is not None:
@@ -311,3 +352,68 @@ def _serve(
                 replayed=False,
                 cache_hit=cache_hit,
             )
+
+
+def _serve_with_recovery(
+    instr, serve_span, plan, params, before, after, faults,
+    name, requested, policy, packet_size, observer, recovery, cache_hit,
+) -> DegradedReplay:
+    """Resume-based serve: recover in place, ladder only as last resort."""
+    from repro.plans.recorder import synthetic_matrix
+    from repro.recovery.executor import (
+        RecoveryFailedError,
+        execute_with_recovery,
+    )
+    from repro.transpose.planner import transpose
+
+    network = CubeNetwork(params, faults=faults)
+    if observer is not None:
+        network.observer = observer
+    report = None
+    try:
+        outcome = execute_with_recovery(plan, network, policy=recovery)
+        report = outcome.report
+        serve_span.annotate(
+            resolved=report.resolved, verified=outcome.verified
+        )
+        if outcome.verified:
+            return DegradedReplay(
+                algorithm=name,
+                requested=requested,
+                skipped=(),
+                stats=network.stats,
+                replayed=True,
+                cache_hit=cache_hit,
+                recovery=report,
+                verified=True,
+            )
+    except (RecoveryFailedError, FaultError, RoutingStalledError) as exc:
+        report = getattr(exc, "report", report)
+        serve_span.annotate(recovery_failed=type(exc).__name__)
+    # Last resort: the restart ladder, on a fresh network (the recovery
+    # attempt may have left partial state behind).
+    if report is not None:
+        report.resolved = "ladder"
+    if instr.enabled:
+        instr.recovery("ladder", tier=name, aborted=name)
+    direct = CubeNetwork(params, faults=faults)
+    if observer is not None:
+        direct.observer = observer
+    result = transpose(
+        direct,
+        synthetic_matrix(before),
+        after,
+        algorithm=requested,
+        policy=policy,
+        packet_size=packet_size,
+    )
+    return DegradedReplay(
+        algorithm=result.algorithm,
+        requested=requested,
+        skipped=(name,),
+        stats=direct.stats,
+        replayed=False,
+        cache_hit=cache_hit,
+        recovery=report,
+        verified=False,
+    )

@@ -1,0 +1,199 @@
+"""Symbolic, payload-free execution of plan operations.
+
+Plan surgery (:mod:`repro.recovery.surgery`) must prove a rewritten op
+suffix is equivalent to the original one *before* committing real blocks
+to it.  This module provides that proof engine: it runs a sequence of
+:class:`~repro.plans.ir.PlanOp` over an abstract machine state that
+tracks only *which node holds which key* — no payloads, no costs — and
+raises on anything that would be an execution error on the real engine
+(moving a block a node does not hold, crossing a non-edge or a forbidden
+link, duplicating a key).
+
+The abstraction is sound because plans are payload-free by construction:
+a :class:`~repro.plans.ir.PhaseOp` names blocks by key, and the engine's
+per-phase semantics (pop everything, then put everything) depend only on
+the key→node map.  It requires *globally unique* block keys — the same
+invariant :class:`~repro.machine.memory.NodeMemory` enforces per node is
+demanded cube-wide here, and every schedule the planner emits satisfies
+it (keys embed their origin block coordinates).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.cube.topology import is_edge
+from repro.plans.ir import (
+    CollectOp,
+    CopyOp,
+    IdleOp,
+    LocalOp,
+    PhaseOp,
+    PlaceOp,
+    PlanOp,
+    RemapOp,
+)
+
+__all__ = ["SymbolicError", "SymbolicState", "simulate_ops"]
+
+
+class SymbolicError(RuntimeError):
+    """Symbolic execution found an inconsistency in an op sequence."""
+
+
+class SymbolicState:
+    """Abstract machine state: who holds what, and what was collected."""
+
+    __slots__ = ("residual", "collected")
+
+    def __init__(
+        self,
+        residual: Mapping[Hashable, int] | None = None,
+        collected: Mapping[Hashable, int] | None = None,
+    ) -> None:
+        #: key -> physical node currently holding it.
+        self.residual: dict[Hashable, int] = dict(residual or {})
+        #: key -> physical node it was collected (popped) at.
+        self.collected: dict[Hashable, int] = dict(collected or {})
+
+    def as_pair(self) -> tuple[dict, dict]:
+        return dict(self.residual), dict(self.collected)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymbolicState):
+            return NotImplemented
+        return (
+            self.residual == other.residual
+            and self.collected == other.collected
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolicState({len(self.residual)} resident, "
+            f"{len(self.collected)} collected)"
+        )
+
+
+def holdings_to_symbolic(
+    holdings: Mapping[int, Iterable[Hashable]],
+) -> dict[Hashable, int]:
+    """Invert a node→keys map into the key→node map symbolic ops use.
+
+    Raises :class:`SymbolicError` when two nodes hold the same key — the
+    global-uniqueness precondition of the whole abstraction.
+    """
+    flat: dict[Hashable, int] = {}
+    for node, keys in holdings.items():
+        for key in keys:
+            if key in flat:
+                raise SymbolicError(
+                    f"block key {key!r} held by both node {flat[key]} and "
+                    f"node {node}; symbolic execution requires globally "
+                    "unique keys"
+                )
+            flat[key] = node
+    return flat
+
+
+def simulate_ops(
+    ops: Sequence[PlanOp],
+    holdings: Mapping[Hashable, int],
+    *,
+    n: int,
+    mask: int = 0,
+    forbidden_links: frozenset[tuple[int, int]] | set = frozenset(),
+    forbidden_nodes: frozenset[int] | set = frozenset(),
+) -> SymbolicState:
+    """Run ``ops`` symbolically from ``holdings`` (key → physical node).
+
+    ``mask`` is the XOR relabeling in force when the sequence starts
+    (plan node ids map to physical ids as ``id ^ mask``); ``RemapOp``
+    updates it exactly as the replay executor does.  ``forbidden_links``
+    and ``forbidden_nodes`` model permanently dead resources: any message
+    crossing one raises — this is how surgery proves a rewritten suffix
+    avoids every dead link.
+
+    Returns the final :class:`SymbolicState`.  Cost-free ops
+    (``CopyOp``/``LocalOp``/``IdleOp``) are ignored; they cannot change
+    who holds what.
+    """
+    state = SymbolicState(residual=holdings)
+    residual = state.residual
+    for op in ops:
+        if isinstance(op, PhaseOp):
+            moved: list[tuple[Hashable, int]] = []
+            for m in op.messages:
+                src = m.src ^ mask
+                dst = m.dst ^ mask
+                if not is_edge(src, dst):
+                    raise SymbolicError(
+                        f"message {src}->{dst} does not cross a cube edge"
+                    )
+                if (src, dst) in forbidden_links:
+                    raise SymbolicError(
+                        f"message crosses forbidden link {src}->{dst}"
+                    )
+                if src in forbidden_nodes or dst in forbidden_nodes:
+                    raise SymbolicError(
+                        f"message {src}->{dst} touches a forbidden node"
+                    )
+                for key in m.keys:
+                    holder = residual.get(key)
+                    if holder is None:
+                        raise SymbolicError(
+                            f"message {src}->{dst} sends key {key!r} that "
+                            "no node holds"
+                        )
+                    if holder != src:
+                        raise SymbolicError(
+                            f"message {src}->{dst} sends key {key!r} held "
+                            f"by node {holder}, not the source"
+                        )
+                    moved.append((key, dst))
+            # Pop-all-then-put, as the engine does; a key sent twice in
+            # one phase would have been caught by the holder check above
+            # only if both sends named the same source, so re-check.
+            seen: set[Hashable] = set()
+            for key, dst in moved:
+                if key in seen:
+                    raise SymbolicError(
+                        f"key {key!r} is carried by two messages of one "
+                        "phase"
+                    )
+                seen.add(key)
+            for key, dst in moved:
+                residual[key] = dst
+        elif isinstance(op, PlaceOp):
+            node = op.node ^ mask
+            if node in forbidden_nodes:
+                raise SymbolicError(
+                    f"place of key {op.key!r} targets forbidden node {node}"
+                )
+            if op.key in residual:
+                raise SymbolicError(
+                    f"place of key {op.key!r} at node {node} duplicates a "
+                    f"resident block at node {residual[op.key]}"
+                )
+            residual[op.key] = node
+        elif isinstance(op, CollectOp):
+            node = op.node ^ mask
+            holder = residual.get(op.key)
+            if holder is None:
+                raise SymbolicError(
+                    f"collect of key {op.key!r} at node {node}: no node "
+                    "holds it"
+                )
+            if holder != node:
+                raise SymbolicError(
+                    f"collect of key {op.key!r} at node {node}: it is at "
+                    f"node {holder}"
+                )
+            del residual[op.key]
+            state.collected[op.key] = node
+        elif isinstance(op, RemapOp):
+            mask ^= op.mask
+        elif isinstance(op, (CopyOp, LocalOp, IdleOp)):
+            pass
+        else:
+            raise SymbolicError(f"unknown plan op {op!r}")
+    return state

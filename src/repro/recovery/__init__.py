@@ -1,0 +1,57 @@
+"""Checkpointed execution and mid-run recovery.
+
+This package turns fault handling from *restart-based* (the PR 1
+degradation ladder re-plans from scratch when a schedule aborts) into
+*resume-based*:
+
+* :mod:`repro.recovery.checkpoint` — phase-granular copy-on-write
+  snapshots of the node memories, taken on a configurable cadence with
+  a bounded retention window;
+* :mod:`repro.recovery.policy` — the knobs: cadence, retention,
+  rollback and backoff budgets, surgery strategy gates;
+* :mod:`repro.recovery.surgery` — rewriting the *remaining* ops of a
+  compiled plan around permanently dead links (per-message detour
+  expansion, or XOR relabeling of the surviving schedule), validated
+  symbolically before use;
+* :mod:`repro.recovery.executor` — the resume loop itself: run,
+  checkpoint, catch the typed fault, back off transients / repair
+  permanents, roll back, continue — with full accounting;
+* :mod:`repro.recovery.chaos` — the soak harness sweeping seeded
+  random fault plans through live runs, recovery replays and cached
+  serves, holding every outcome to the transpose invariant.
+"""
+
+from repro.recovery.chaos import ChaosReport, ChaosTrial, run_chaos
+from repro.recovery.checkpoint import Checkpoint, CheckpointManager
+from repro.recovery.executor import (
+    RecoveryFailedError,
+    RecoveryOutcome,
+    RecoveryReport,
+    execute_with_recovery,
+    outcomes_equivalent,
+)
+from repro.recovery.policy import RecoveryPolicy
+from repro.recovery.surgery import (
+    SurgeryError,
+    SurgeryResult,
+    physicalize,
+    plan_surgery,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosTrial",
+    "Checkpoint",
+    "CheckpointManager",
+    "RecoveryFailedError",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "SurgeryError",
+    "SurgeryResult",
+    "execute_with_recovery",
+    "outcomes_equivalent",
+    "physicalize",
+    "plan_surgery",
+    "run_chaos",
+]

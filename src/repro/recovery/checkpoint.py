@@ -1,0 +1,163 @@
+"""Phase-granular checkpoints of the simulated machine.
+
+The engine's pre-pop fault check (see ``docs/fault_model.md`` §2) means
+an aborted phase leaves every node memory untouched — so the boundary
+*between* communication phases is always a consistent cut.  A
+:class:`Checkpoint` captures that cut: copy-on-write snapshots of every
+node memory (blocks are immutable in transit, so a snapshot is a shallow
+key-map copy per node) plus the executor cursor state needed to resume a
+:class:`~repro.plans.ir.CompiledPlan` from it.
+
+:class:`CheckpointManager` owns cadence and retention.  It serves two
+modes:
+
+* **executor mode** — the recovery executor calls :meth:`take` /
+  :meth:`maybe_take` at op boundaries with its full cursor state, and
+  :meth:`rollback` to restore the newest snapshot;
+* **live mode** — attached as ``network.checkpoints``, the engine calls
+  :meth:`phase_completed` after every phase, snapshotting on cadence.
+  Live runs cannot resume (the control flow is Python code, not a
+  plan), but the snapshots price checkpoint overhead honestly and feed
+  the ``checkpoints`` counter the baseline gate watches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["Checkpoint", "CheckpointManager"]
+
+
+@dataclass
+class Checkpoint:
+    """One consistent snapshot: machine memories + executor cursor."""
+
+    #: Index of the next plan op to execute when resuming from here.
+    cursor: int
+    #: XOR relabeling in force at the snapshot (RemapOps folded so far).
+    mask: int
+    #: Engine phase index at snapshot time (for reporting only; the
+    #: phase clock never rolls back — faults stay keyed to real time).
+    phase_index: int
+    #: Modelled time at snapshot time (for reporting only).
+    time: float
+    #: Per-node shallow copies of the block stores, node-ordered.
+    memories: list[dict]
+    #: Payload-ledger consumption counts (real-data replay only).
+    consumed: dict[Hashable, int] = field(default_factory=dict)
+    #: Blocks collected (popped out) before the snapshot: key -> (node, block).
+    collected: dict[Hashable, tuple] = field(default_factory=dict)
+
+    @property
+    def resident_elements(self) -> int:
+        return sum(
+            block.size for mem in self.memories for block in mem.values()
+        )
+
+
+class CheckpointManager:
+    """Takes, retains and restores :class:`Checkpoint` objects.
+
+    ``every`` is the cadence in communication phases; ``retain`` bounds
+    the snapshot deque (oldest dropped first).  Each snapshot increments
+    the network's ``checkpoints`` counter, so checkpoint overhead is
+    visible to the baseline gate.
+    """
+
+    def __init__(self, *, every: int = 8, retain: int = 4) -> None:
+        if every < 1:
+            raise ValueError("checkpoint cadence must be at least 1 phase")
+        if retain < 1:
+            raise ValueError("at least one checkpoint must be retained")
+        self.every = every
+        self.retain = retain
+        self._snapshots: deque[Checkpoint] = deque(maxlen=retain)
+        self._phases_since = 0
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        return self._snapshots[-1] if self._snapshots else None
+
+    # -- executor mode ------------------------------------------------------
+
+    def take(
+        self,
+        network,
+        *,
+        cursor: int = 0,
+        mask: int = 0,
+        consumed: dict | None = None,
+        collected: dict | None = None,
+    ) -> Checkpoint:
+        """Snapshot unconditionally and reset the cadence counter."""
+        ckpt = Checkpoint(
+            cursor=cursor,
+            mask=mask,
+            phase_index=network.phase_index,
+            time=network.stats.time,
+            memories=network.snapshot_memories(),
+            consumed=dict(consumed or {}),
+            collected=dict(collected or {}),
+        )
+        self._snapshots.append(ckpt)
+        self._phases_since = 0
+        network.stats.record_checkpoint()
+        return ckpt
+
+    def maybe_take(
+        self,
+        network,
+        *,
+        cursor: int,
+        mask: int = 0,
+        consumed: dict | None = None,
+        collected: dict | None = None,
+    ) -> Checkpoint | None:
+        """Count one completed phase; snapshot when the cadence is due."""
+        self._phases_since += 1
+        if self._phases_since < self.every:
+            return None
+        return self.take(
+            network,
+            cursor=cursor,
+            mask=mask,
+            consumed=consumed,
+            collected=collected,
+        )
+
+    def rollback(self, network) -> Checkpoint:
+        """Restore the newest snapshot's memories; returns the checkpoint.
+
+        The checkpoint stays retained (the same snapshot can absorb
+        several faults); stats accounting is the caller's job — it knows
+        how many phases the resume will replay.
+        """
+        ckpt = self.latest
+        if ckpt is None:
+            raise RuntimeError("no checkpoint retained; cannot roll back")
+        network.restore_memories(ckpt.memories)
+        self._phases_since = 0
+        return ckpt
+
+    def reset(self) -> None:
+        """Drop every snapshot (plan surgery invalidates old cursors)."""
+        self._snapshots.clear()
+        self._phases_since = 0
+
+    # -- live mode (engine hook) --------------------------------------------
+
+    def phase_completed(self, network) -> None:
+        """Engine hook: called after every completed phase.
+
+        Snapshots on cadence with no cursor state — live algorithms are
+        Python control flow, so these snapshots support telemetry and
+        wasted-work accounting, not mid-plan resume.
+        """
+        self.maybe_take(network, cursor=network.phase_index)

@@ -1,0 +1,108 @@
+"""Recovery policy: the knobs of checkpoint-and-resume execution.
+
+A :class:`RecoveryPolicy` bundles every tunable of the recovery executor
+(:mod:`repro.recovery.executor`): checkpoint cadence and retention,
+rollback and backoff budgets, and which repair strategies are on the
+table.  Policies are immutable so one policy object can serve a whole
+batch or chaos sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Immutable configuration of the recovery executor.
+
+    ``checkpoint_every`` trades snapshot overhead against replay length:
+    a fault costs at most ``checkpoint_every - 1`` replayed phases plus
+    the aborted one (see ``docs/recovery.md`` for the trade-off curve).
+    ``max_checkpoints`` bounds retained snapshots (older ones are
+    dropped), ``max_rollbacks`` bounds total rollbacks per run so a
+    pathological fault plan terminates in :class:`RecoveryFailedError`
+    rather than looping, and ``max_backoff_phases`` caps how many idle
+    phases a single transient wait may insert.
+    """
+
+    checkpoint_every: int = 8
+    max_checkpoints: int = 4
+    max_rollbacks: int = 32
+    max_backoff_phases: int = 4096
+    allow_surgery: bool = True
+    allow_relabel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint cadence must be at least 1 phase")
+        if self.max_checkpoints < 1:
+            raise ValueError("at least one checkpoint must be retained")
+        if self.max_rollbacks < 0:
+            raise ValueError("rollback budget must be non-negative")
+        if self.max_backoff_phases < 0:
+            raise ValueError("backoff budget must be non-negative")
+
+    def with_(self, **changes) -> "RecoveryPolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "RecoveryPolicy":
+        """Parse a CLI recovery specification.
+
+        Comma-separated ``key=value`` items; recognised keys:
+        ``every`` (checkpoint cadence), ``retain`` (max checkpoints),
+        ``rollbacks``, ``backoff`` (max backoff phases), ``surgery`` and
+        ``relabel`` (``on``/``off``).  Example: ``every=4,surgery=off``.
+        """
+        kwargs: dict = {}
+        names = {
+            "every": "checkpoint_every",
+            "retain": "max_checkpoints",
+            "rollbacks": "max_rollbacks",
+            "backoff": "max_backoff_phases",
+            "surgery": "allow_surgery",
+            "relabel": "allow_relabel",
+        }
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(
+                    f"recovery spec item {item!r} is not of the form key=value"
+                )
+            key, value = (part.strip() for part in item.split("=", 1))
+            field = names.get(key)
+            if field is None:
+                raise ValueError(
+                    f"unknown recovery spec key {key!r}; expected "
+                    + ", ".join(sorted(names))
+                )
+            if field.startswith("allow_"):
+                if value not in ("on", "off"):
+                    raise ValueError(
+                        f"recovery spec {key}={value!r}: expected on or off"
+                    )
+                kwargs[field] = value == "on"
+            else:
+                try:
+                    kwargs[field] = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"recovery spec {key}={value!r}: {value!r} is not "
+                        "an integer"
+                    ) from None
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        return (
+            f"checkpoint every {self.checkpoint_every} phase(s), retain "
+            f"{self.max_checkpoints}, rollbacks<={self.max_rollbacks}, "
+            f"backoff<={self.max_backoff_phases}, surgery="
+            f"{'on' if self.allow_surgery else 'off'}, relabel="
+            f"{'on' if self.allow_relabel else 'off'}"
+        )

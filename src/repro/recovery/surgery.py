@@ -1,0 +1,401 @@
+"""Plan surgery: rewrite the remaining schedule around dead resources.
+
+When a *permanent* fault aborts a replayed :class:`~repro.plans.ir.CompiledPlan`,
+restarting from scratch throws away every completed phase.  Surgery
+instead rewrites only the **remaining** op suffix so it avoids the dead
+links, keeping all completed work.  Two rewrite strategies compete:
+
+**Detour expansion**
+    Each message crossing a dead link is replaced by a shortest healthy
+    multi-hop path (BFS over the surviving directed cube).  Unaffected
+    messages of the phase run unchanged (a subset of an edge-disjoint
+    phase is still edge-disjoint, so the ``exclusive`` check is kept);
+    hop ``j`` of every detoured message is merged into one follow-up
+    phase.  Cost: the extra element-hops of the longer paths.
+
+**XOR relabeling**
+    A cube automorphism ``x -> x ^ r`` maps the remaining schedule onto
+    a translate that misses the dead links entirely (COSTA-style
+    processor relabeling; the IR's ``RemapOp`` exists for exactly this).
+    Resident blocks migrate to their images (one full-exchange phase per
+    set bit of ``r``), the translated schedule runs, and blocks migrate
+    back before the original collects.  Cost: ``2 * popcount(r)`` extra
+    hops per resident element.  Requires no pending placements, all
+    collects after the last phase, and no dead nodes.
+
+Every candidate is **validated symbolically** before being returned
+(:mod:`repro.plans.symbolic`): it must produce exactly the original
+suffix's final key→node state while provably never crossing a dead link
+or touching a dead node.  The cheaper valid candidate wins; if neither
+validates, :class:`SurgeryError` tells the caller to fall back to the
+degradation ladder.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.cube.topology import dimension_of_edge
+from repro.plans.ir import (
+    CollectOp,
+    CopyOp,
+    IdleOp,
+    LocalOp,
+    PhaseOp,
+    PlaceOp,
+    PlanMessage,
+    PlanOp,
+    RemapOp,
+)
+from repro.plans.symbolic import SymbolicError, simulate_ops
+
+__all__ = ["SurgeryError", "SurgeryResult", "physicalize", "plan_surgery"]
+
+
+class SurgeryError(RuntimeError):
+    """No validated rewrite of the remaining schedule exists."""
+
+
+@dataclass(frozen=True)
+class SurgeryResult:
+    """A validated rewrite of the remaining op suffix."""
+
+    ops: tuple[PlanOp, ...]
+    strategy: str  # "detour" or "relabel"
+    #: Extra element-hops the rewrite adds over the original suffix.
+    added_element_hops: int
+    detoured_messages: int = 0
+    relabel_mask: int = 0
+
+
+def _xor_node_op(op: PlanOp, mask: int) -> PlanOp:
+    """Rewrite one op's node ids by ``id ^ mask`` (no RemapOps here)."""
+    if mask == 0 or isinstance(op, IdleOp):
+        return op
+    if isinstance(op, PhaseOp):
+        return PhaseOp(
+            tuple(
+                PlanMessage(m.src ^ mask, m.dst ^ mask, m.elements, m.keys)
+                for m in op.messages
+            ),
+            op.exclusive,
+        )
+    if isinstance(op, PlaceOp):
+        return PlaceOp(op.node ^ mask, op.size, op.key)
+    if isinstance(op, CollectOp):
+        return CollectOp(op.node ^ mask, op.key)
+    if isinstance(op, CopyOp):
+        return CopyOp(
+            tuple(sorted((n ^ mask, c) for n, c in op.per_node))
+        )
+    if isinstance(op, LocalOp):
+        costs = (
+            op.costs
+            if isinstance(op.costs, float)
+            else tuple(sorted((n ^ mask, c) for n, c in op.costs))
+        )
+        elements = (
+            op.elements
+            if op.elements is None or isinstance(op.elements, int)
+            else tuple(sorted((n ^ mask, c) for n, c in op.elements))
+        )
+        return LocalOp(costs, elements)
+    raise SurgeryError(f"cannot relabel op {op!r}")
+
+
+def physicalize(ops: Sequence[PlanOp], mask: int = 0) -> tuple[PlanOp, ...]:
+    """Fold ``RemapOp``s into explicit node ids.
+
+    Returns an equivalent op sequence with no ``RemapOp`` and every node
+    id physical — the coordinate system surgery reasons in.  ``mask`` is
+    the relabeling already in force when the sequence starts.
+    """
+    out: list[PlanOp] = []
+    for op in ops:
+        if isinstance(op, RemapOp):
+            mask ^= op.mask
+            continue
+        out.append(_xor_node_op(op, mask))
+    return tuple(out)
+
+
+def _bfs_path(
+    src: int,
+    dst: int,
+    n: int,
+    dead_links: frozenset[tuple[int, int]] | set,
+    dead_nodes: frozenset[int] | set,
+) -> list[int] | None:
+    """Shortest healthy directed path ``src -> dst`` (node list), or None."""
+    if src in dead_nodes or dst in dead_nodes:
+        return None
+    parent: dict[int, int] = {src: src}
+    frontier: deque[int] = deque((src,))
+    while frontier:
+        x = frontier.popleft()
+        if x == dst:
+            path = [x]
+            while path[-1] != src:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path
+        for d in range(n):
+            y = x ^ (1 << d)
+            if y in parent or y in dead_nodes or (x, y) in dead_links:
+                continue
+            parent[y] = x
+            frontier.append(y)
+    return None
+
+
+def _detour_candidate(
+    ops: Sequence[PlanOp],
+    *,
+    n: int,
+    dead_links: set,
+    dead_nodes: set,
+) -> SurgeryResult:
+    """Expand every dead-link message into a healthy multi-hop path."""
+    out: list[PlanOp] = []
+    added = 0
+    detoured = 0
+    for op in ops:
+        if not isinstance(op, PhaseOp):
+            if isinstance(op, (PlaceOp, CollectOp)) and (
+                op.node in dead_nodes
+            ):
+                raise SurgeryError(
+                    f"op {op!r} targets permanently dead node {op.node}; "
+                    "no rewrite can reach it"
+                )
+            out.append(op)
+            continue
+        kept: list[PlanMessage] = []
+        paths: list[tuple[PlanMessage, list[int]]] = []
+        for m in op.messages:
+            blocked = (
+                (m.src, m.dst) in dead_links
+                or m.src in dead_nodes
+                or m.dst in dead_nodes
+            )
+            if not blocked:
+                kept.append(m)
+                continue
+            path = _bfs_path(m.src, m.dst, n, dead_links, dead_nodes)
+            if path is None:
+                raise SurgeryError(
+                    f"no healthy path from {m.src} to {m.dst}; the "
+                    "surviving cube cannot carry this message"
+                )
+            paths.append((m, path))
+            added += (len(path) - 2) * m.elements
+            detoured += 1
+        if not paths:
+            out.append(op)
+            continue
+        if kept:
+            out.append(PhaseOp(tuple(kept), op.exclusive))
+        depth = max(len(path) - 1 for _, path in paths)
+        for j in range(depth):
+            hop = tuple(
+                PlanMessage(path[j], path[j + 1], m.elements, m.keys)
+                for m, path in paths
+                if j < len(path) - 1
+            )
+            out.append(PhaseOp(hop, False))
+    return SurgeryResult(
+        ops=tuple(out),
+        strategy="detour",
+        added_element_hops=added,
+        detoured_messages=detoured,
+    )
+
+
+def _migration_phases(
+    holdings: Mapping[Hashable, int],
+    mask: int,
+    sizes: Mapping[Hashable, int],
+    n: int,
+) -> tuple[list[PhaseOp], int]:
+    """Phases moving every resident block from ``x`` to ``x ^ mask``.
+
+    One full-exchange phase per set bit of ``mask``; every directed link
+    of the dimension carries at most one message, so the phases are
+    exclusive.  Returns ``(phases, element_hops)``.
+    """
+    position = dict(holdings)
+    phases: list[PhaseOp] = []
+    hops = 0
+    for d in range(n):
+        bit = 1 << d
+        if not mask & bit:
+            continue
+        by_src: dict[int, list[Hashable]] = {}
+        for key, node in position.items():
+            by_src.setdefault(node, []).append(key)
+        messages = []
+        for src, keys in sorted(by_src.items()):
+            elements = sum(sizes[k] for k in keys)
+            messages.append(
+                PlanMessage(src, src ^ bit, elements, tuple(keys))
+            )
+            hops += elements
+            for k in keys:
+                position[k] = src ^ bit
+        if messages:
+            phases.append(PhaseOp(tuple(messages), True))
+    return phases, hops
+
+
+def _relabel_candidate(
+    ops: Sequence[PlanOp],
+    *,
+    n: int,
+    dead_links: set,
+    dead_nodes: set,
+    holdings: Mapping[Hashable, int],
+    sizes: Mapping[Hashable, int],
+) -> SurgeryResult:
+    """Translate the remaining phases by a healthy cube automorphism."""
+    if dead_nodes:
+        raise SurgeryError(
+            "relabeling cannot route around dead nodes (every node is its "
+            "own image's pre-image)"
+        )
+    if any(isinstance(op, PlaceOp) for op in ops):
+        raise SurgeryError(
+            "relabeling requires no pending placements in the remaining "
+            "schedule"
+        )
+    phase_idx = [i for i, op in enumerate(ops) if isinstance(op, PhaseOp)]
+    if not phase_idx:
+        raise SurgeryError("no remaining phases to relabel")
+    collect_idx = [
+        i for i, op in enumerate(ops) if isinstance(op, CollectOp)
+    ]
+    if collect_idx and min(collect_idx) < max(phase_idx):
+        raise SurgeryError(
+            "relabeling requires every collect to follow the last phase"
+        )
+    split = max(phase_idx) + 1
+    body, tail = ops[:split], ops[split:]
+    used = {
+        (m.src, m.dst)
+        for op in body
+        if isinstance(op, PhaseOp)
+        for m in op.messages
+    }
+    dead_dims = {dimension_of_edge(a, b) for a, b in dead_links}
+
+    best: SurgeryResult | None = None
+    for r in sorted(range(1, 1 << n), key=lambda x: (bin(x).count("1"), x)):
+        if any(r & (1 << d) for d in dead_dims):
+            continue  # migration sweeps whole dimensions; they must be clean
+        if any((a ^ r, b ^ r) in dead_links for a, b in used):
+            continue
+        mig_out, hops_out = _migration_phases(holdings, r, sizes, n)
+        relabeled = [_xor_node_op(op, r) for op in body]
+        try:
+            state = simulate_ops(
+                [*mig_out, *relabeled], holdings, n=n
+            )
+        except SymbolicError as exc:
+            raise SurgeryError(
+                f"relabeling by {r:#x} does not simulate: {exc}"
+            ) from exc
+        mig_back, hops_back = _migration_phases(
+            state.residual, r, sizes, n
+        )
+        best = SurgeryResult(
+            ops=(*mig_out, *relabeled, *mig_back, *tail),
+            strategy="relabel",
+            added_element_hops=hops_out + hops_back,
+            relabel_mask=r,
+        )
+        break  # masks are popcount-ordered; the first hit is cheapest
+    if best is None:
+        raise SurgeryError(
+            "no XOR relabeling avoids the dead links (every translate of "
+            "the remaining schedule is blocked)"
+        )
+    return best
+
+
+def plan_surgery(
+    ops: Sequence[PlanOp],
+    *,
+    n: int,
+    dead_links: set,
+    dead_nodes: set,
+    holdings: Mapping[Hashable, int],
+    sizes: Mapping[Hashable, int],
+    allow_relabel: bool = True,
+) -> SurgeryResult:
+    """Rewrite the remaining op suffix to avoid every dead resource.
+
+    ``ops`` must be *physicalized* (no ``RemapOp``; see
+    :func:`physicalize`), ``holdings`` maps every resident block key to
+    its physical node at the resume point, ``sizes`` gives each key's
+    element count.  Both candidate strategies are built, symbolically
+    validated against the original suffix's final state (same residual
+    key→node map, same collected map, provably no dead-resource
+    crossing), and the cheaper valid one — by added element-hops — is
+    returned.  Raises :class:`SurgeryError` when no candidate validates.
+    """
+    for key, node in holdings.items():
+        if node in dead_nodes:
+            raise SurgeryError(
+                f"block {key!r} is resident at permanently dead node "
+                f"{node}; its data is unreachable"
+            )
+    ops = tuple(ops)
+    if any(isinstance(op, RemapOp) for op in ops):
+        raise SurgeryError("surgery requires a physicalized op sequence")
+    try:
+        reference = simulate_ops(ops, holdings, n=n)
+    except SymbolicError as exc:
+        raise SurgeryError(
+            f"the original remaining schedule does not simulate: {exc}"
+        ) from exc
+
+    candidates: list[SurgeryResult] = []
+    errors: list[str] = []
+    builders = [("detour", _detour_candidate)]
+    if allow_relabel:
+        builders.append(
+            (
+                "relabel",
+                lambda o, **kw: _relabel_candidate(
+                    o, holdings=holdings, sizes=sizes, **kw
+                ),
+            )
+        )
+    for name, build in builders:
+        try:
+            candidate = build(
+                ops, n=n, dead_links=dead_links, dead_nodes=dead_nodes
+            )
+            outcome = simulate_ops(
+                candidate.ops,
+                holdings,
+                n=n,
+                forbidden_links=dead_links,
+                forbidden_nodes=dead_nodes,
+            )
+        except (SurgeryError, SymbolicError) as exc:
+            errors.append(f"{name}: {exc}")
+            continue
+        if outcome != reference:
+            errors.append(
+                f"{name}: rewritten suffix reaches a different final state"
+            )
+            continue
+        candidates.append(candidate)
+    if not candidates:
+        raise SurgeryError(
+            "no rewrite of the remaining schedule validates: "
+            + "; ".join(errors)
+        )
+    return min(candidates, key=lambda c: c.added_element_hops)

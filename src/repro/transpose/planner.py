@@ -377,6 +377,8 @@ def transpose(
     pre_faults = stats.fault_events
     pre_retries = stats.retries
     pre_detours = stats.detour_hops
+    pre_phases = stats.phases
+    pre_hops = stats.element_hops
     with instr.span(
         "transpose",
         category="run",
@@ -400,10 +402,16 @@ def transpose(
                 raise
             # Reactive safety net: clear in-flight blocks, rerun on the
             # terminal fault-tolerant tier.  At most one retry by design.
+            # Unlike the resume-based recovery executor
+            # (repro.recovery.executor), a live restart forfeits every
+            # completed phase — account that honestly so restart and
+            # resume are comparable in the same counters.
             for mem, keys in zip(network.memories, pre_keys):
                 for key in list(mem.keys()):
                     if key not in keys:
                         mem.pop(key)
+            stats.record_rollback(stats.phases - pre_phases)
+            stats.record_wasted(stats.element_hops - pre_hops)
             fallbacks = (*fallbacks, name)
             terminal = (
                 "router"
@@ -411,12 +419,21 @@ def transpose(
                 in (CommClass.PAIRWISE, CommClass.LOCAL)
                 else "routed-universal"
             )
+            aborted = name
             name = terminal
             instr.event(
                 "degrade", "planner", requested=requested, tier=name,
                 reactive=True,
             )
+            if instr.enabled:
+                instr.recovery(
+                    "ladder", aborted=aborted, tier=name,
+                    wasted_phases=stats.phases - pre_phases,
+                )
             with instr.span(
+                "recover", category="recovery", action="ladder",
+                aborted=aborted, tier=name,
+            ), instr.span(
                 name, category="algorithm", algorithm=name,
                 reactive_retry=True,
             ):

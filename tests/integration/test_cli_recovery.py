@@ -1,0 +1,220 @@
+"""CLI recovery surface: --recover, --checkpoint-every, the chaos command."""
+
+import json
+
+from repro.__main__ import main
+
+RECOVERY_KEYS = {
+    "resolved",
+    "fault_encounters",
+    "checkpoints",
+    "rollbacks",
+    "replayed_phases",
+    "wasted_elements",
+    "backoff_phases",
+}
+
+
+def plan_file(tmp_path, capsys, *extra):
+    out = tmp_path / "plan.json"
+    assert (
+        main(
+            ["plan", "-n", "4", "--elements", "256", "--algorithm", "mpt",
+             "--out", str(out), *extra]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    return out
+
+
+class TestRunRecoveryBlock:
+    def test_run_json_always_has_recovery_block(self, capsys):
+        assert main(["run", "-n", "4", "--elements", "256", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert RECOVERY_KEYS <= set(doc["recovery"])
+        assert doc["recovery"]["resolved"] == "clean"
+        assert doc["recovery"]["rollbacks"] == 0
+
+    def test_run_checkpoint_every_prices_snapshots(self, capsys):
+        assert (
+            main(
+                ["run", "-n", "4", "--elements", "256",
+                 "--checkpoint-every", "2", "--json"]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["recovery"]["checkpoints"] > 0
+
+    def test_run_with_faults_reports_ladder(self, capsys):
+        assert (
+            main(
+                ["run", "-n", "4", "--elements", "256",
+                 "--faults", "links=0-1", "--algorithm", "mpt", "--json"]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["recovery"]["resolved"] == "ladder"
+        # The fault-aware ladder may route around the dead link without
+        # ever tripping it, so fault_encounters only has to be present.
+        assert doc["recovery"]["fault_encounters"] >= 0
+
+
+class TestReplayRecover:
+    def test_replay_recover_resumes_through_transient(
+        self, tmp_path, capsys
+    ):
+        out = plan_file(tmp_path, capsys)
+        assert (
+            main(
+                ["replay", str(out), "--faults", "tlinks=0-1@1-3",
+                 "--recover", "every=2", "--json"]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verified"] is True
+        assert doc["recovery"]["resolved"] == "resume"
+        assert doc["recovery"]["rollbacks"] >= 1
+
+    def test_replay_recover_surgery_on_permanent_fault(
+        self, tmp_path, capsys
+    ):
+        out = plan_file(tmp_path, capsys)
+        assert (
+            main(
+                ["replay", str(out), "--faults", "links=0-1",
+                 "--recover", "every=2", "--json"]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verified"] is True
+        assert doc["recovery"]["resolved"].startswith("surgery-")
+        assert doc["recovery"]["surgeries"]
+
+    def test_replay_recover_failure_exits_nonzero_with_report(
+        self, tmp_path, capsys
+    ):
+        out = plan_file(tmp_path, capsys)
+        assert (
+            main(
+                ["replay", str(out), "--faults", "links=0-1",
+                 "--recover", "every=2,surgery=off", "--json"]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert "recovery failed" in captured.err
+        doc = json.loads(captured.out)
+        assert doc["verified"] is False
+        assert doc["recovery"]["fault_encounters"] >= 1
+
+    def test_replay_rejects_bad_recover_spec(self, tmp_path, capsys):
+        out = plan_file(tmp_path, capsys)
+        assert main(["replay", str(out), "--recover", "wibble=1"]) == 2
+        assert "bad --recover spec" in capsys.readouterr().err
+
+    def test_replay_text_mode_prints_recovery_line(self, tmp_path, capsys):
+        out = plan_file(tmp_path, capsys)
+        assert (
+            main(
+                ["replay", str(out), "--faults", "tlinks=0-1@1-3",
+                 "--recover", "every=2"]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "resolved=resume" in text
+        assert "verified:   True" in text
+
+
+class TestBatchRecover:
+    def test_batch_recover_reports_aggregate_block(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(
+            json.dumps(
+                [
+                    {"elements": 256, "n": 4, "algorithm": "mpt"},
+                    {"elements": 256, "n": 4, "algorithm": "mpt",
+                     "faults": "tlinks=0-1@1-3"},
+                    {"elements": 256, "n": 4, "algorithm": "mpt",
+                     "faults": "links=0-1"},
+                ]
+            )
+        )
+        assert (
+            main(["batch", str(reqs), "--recover", "every=2", "--json"]) == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        (run,) = doc["runs"]
+        summary = run["recovery"]
+        assert summary["faulted_requests"] == 2
+        assert summary["recovered"] == 2
+        assert summary["rollbacks"] >= 2
+        resolved = [o["resolved"] for o in run["outcomes"]]
+        assert resolved[0] == "clean"
+        assert resolved[1] == "resume"
+        assert resolved[2].startswith("surgery-")
+
+    def test_batch_rejects_bad_recover_spec(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([{"elements": 256, "n": 4}]))
+        assert main(["batch", str(reqs), "--recover", "nope"]) == 2
+        assert "bad --recover spec" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_chaos_smoke_json(self, capsys):
+        assert (
+            main(
+                ["chaos", "-n", "4", "--elements", "256", "--seeds", "2",
+                 "--recover", "every=2", "--json"]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["totals"]["trials"] == 2 * 3
+        assert set(doc["outcomes"]) <= {"verified", "rejected-disconnected"}
+
+    def test_chaos_writes_report_file(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        assert (
+            main(
+                ["chaos", "-n", "4", "--elements", "256", "--seeds", "1",
+                 "--modes", "replay", "--out", str(out)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert f"wrote {out}" in captured.err
+        assert "verdict: OK" in captured.out
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+
+    def test_chaos_verbose_streams_progress(self, capsys):
+        assert (
+            main(
+                ["chaos", "-n", "4", "--elements", "256", "--seeds", "1",
+                 "--modes", "cached", "--verbose"]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "seed=  0 mode=cached" in err
+
+    def test_chaos_rejects_unknown_mode(self, capsys):
+        assert (
+            main(
+                ["chaos", "-n", "4", "--seeds", "1", "--modes", "bogus"]
+            )
+            == 2
+        )
+        assert "unknown chaos mode" in capsys.readouterr().err
+
+    def test_chaos_rejects_bad_recover_spec(self, capsys):
+        assert main(["chaos", "--recover", "every=zero"]) == 2
+        assert "bad --recover spec" in capsys.readouterr().err

@@ -1,0 +1,109 @@
+"""FaultPlan.from_spec validation: every error names the offending token."""
+
+import pytest
+
+from repro.machine.faults import FaultKind, FaultPlan
+
+
+class TestWellFormedSpecs:
+    def test_empty_spec_is_no_faults(self):
+        assert FaultPlan.from_spec(4, "").is_empty
+
+    def test_permanent_links_and_nodes(self):
+        plan = FaultPlan.from_spec(4, "links=0-1+2-3,nodes=5")
+        assert {(f.src, f.dst) for f in plan.link_faults} == {(0, 1), (2, 3)}
+        assert [f.node for f in plan.node_faults] == [5]
+        assert all(
+            f.kind is FaultKind.PERMANENT
+            for f in plan.link_faults + plan.node_faults
+        )
+
+    def test_transient_link_window(self):
+        plan = FaultPlan.from_spec(4, "tlinks=0-1@2-9")
+        (fault,) = plan.link_faults
+        assert fault.kind is FaultKind.TRANSIENT
+        assert (fault.start, fault.end) == (2, 9)
+
+    def test_seeded_random_spec_is_deterministic(self):
+        spec = "seed=3,link_rate=0.1,transient_rate=0.2,window=16"
+        a = FaultPlan.from_spec(4, spec)
+        b = FaultPlan.from_spec(4, spec)
+        assert a.link_faults == b.link_faults
+
+    def test_whitespace_is_tolerated(self):
+        plan = FaultPlan.from_spec(4, " links = 0-1 , seed = 2 ")
+        assert len(plan.link_faults) == 1
+
+
+class TestMalformedItems:
+    def test_item_without_equals_names_the_item(self):
+        with pytest.raises(ValueError, match=r"'links' is not of the form"):
+            FaultPlan.from_spec(4, "links")
+
+    def test_unknown_key_is_named_and_alternatives_listed(self):
+        with pytest.raises(
+            ValueError, match=r"unknown fault spec key 'wibble'.*tlinks"
+        ):
+            FaultPlan.from_spec(4, "wibble=1")
+
+    def test_non_integer_seed_names_key_and_value(self):
+        with pytest.raises(ValueError, match=r"seed='x'.*not an integer"):
+            FaultPlan.from_spec(4, "seed=x")
+
+    def test_non_numeric_rate_names_key_and_value(self):
+        with pytest.raises(
+            ValueError, match=r"link_rate='fast'.*not a number"
+        ):
+            FaultPlan.from_spec(4, "link_rate=fast")
+
+    def test_out_of_range_rate_names_key(self):
+        with pytest.raises(
+            ValueError, match=r"transient_rate='1.5'.*lie in \[0, 1\]"
+        ):
+            FaultPlan.from_spec(4, "transient_rate=1.5")
+
+
+class TestMalformedTokens:
+    def test_link_token_without_dash_is_named(self):
+        with pytest.raises(
+            ValueError, match=r"links token '01'.*form src-dst"
+        ):
+            FaultPlan.from_spec(4, "links=01")
+
+    def test_node_outside_cube_names_token_and_range(self):
+        with pytest.raises(
+            ValueError, match=r"nodes token '16'.*valid ids are 0\.\.15"
+        ):
+            FaultPlan.from_spec(4, "nodes=16")
+
+    def test_link_endpoint_outside_cube_names_token(self):
+        with pytest.raises(
+            ValueError, match=r"links token '0-99'.*node 99"
+        ):
+            FaultPlan.from_spec(4, "links=0-99")
+
+    def test_non_edge_link_is_rejected(self):
+        with pytest.raises(ValueError, match=r"not a cube edge"):
+            FaultPlan.from_spec(4, "links=0-3")
+
+    def test_tlink_without_window_is_named(self):
+        with pytest.raises(
+            ValueError, match=r"tlinks token '0-1'.*src-dst@start-end"
+        ):
+            FaultPlan.from_spec(4, "tlinks=0-1")
+
+    def test_tlink_with_malformed_window_is_named(self):
+        with pytest.raises(
+            ValueError, match=r"tlinks token '0-1@7'.*start-end"
+        ):
+            FaultPlan.from_spec(4, "tlinks=0-1@7")
+
+    def test_tlink_with_empty_window_is_inverted(self):
+        with pytest.raises(
+            ValueError, match=r"tlinks token '0-1@5-2'.*0 <= start < end"
+        ):
+            FaultPlan.from_spec(4, "tlinks=0-1@5-2")
+
+    def test_second_bad_token_in_a_list_is_the_one_named(self):
+        with pytest.raises(ValueError, match=r"links token '4-x'"):
+            FaultPlan.from_spec(4, "links=0-1+4-x")

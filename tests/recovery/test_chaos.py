@@ -1,0 +1,76 @@
+"""Chaos soak harness: every seeded trial must verify or reject."""
+
+import pytest
+
+from repro.recovery import RecoveryPolicy, run_chaos
+from repro.recovery.chaos import ChaosTrial
+
+
+def small_soak(**overrides):
+    kwargs = dict(
+        n=4,
+        elements=256,
+        seeds=3,
+        policy=RecoveryPolicy(checkpoint_every=2),
+    )
+    kwargs.update(overrides)
+    return run_chaos(**kwargs)
+
+
+class TestRunChaos:
+    def test_small_soak_is_clean(self):
+        report = small_soak()
+        assert report.ok
+        assert len(report.trials) == 3 * 3  # seeds x modes
+        assert all(
+            t.outcome in ("verified", "rejected-disconnected")
+            for t in report.trials
+        )
+
+    def test_explicit_seed_sequence(self):
+        report = small_soak(seeds=[7, 11], modes=("replay",))
+        assert [t.seed for t in report.trials] == [7, 11]
+        assert all(t.mode == "replay" for t in report.trials)
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            small_soak(modes=("replay", "wat"))
+
+    def test_progress_callback_streams_trials(self):
+        seen = []
+        report = small_soak(seeds=2, modes=("cached",), progress=seen.append)
+        assert seen == report.trials
+
+    def test_report_as_dict_shape(self):
+        report = small_soak(seeds=2, modes=("replay", "live"))
+        doc = report.as_dict()
+        assert doc["ok"] is True
+        assert doc["config"]["seeds"] == 2
+        assert doc["config"]["modes"] == ["replay", "live"]
+        assert sum(doc["outcomes"].values()) == len(doc["trials"])
+        assert set(doc["totals"]) == {
+            "trials",
+            "fault_encounters",
+            "rollbacks",
+            "replayed_phases",
+            "backoff_phases",
+            "wasted_elements",
+        }
+
+    def test_summary_mentions_verdict(self):
+        report = small_soak(seeds=1, modes=("replay",))
+        assert "verdict: OK" in report.summary()
+
+    def test_resolutions_count_only_verified_trials(self):
+        report = small_soak(seeds=4)
+        counted = sum(report.resolution_counts().values())
+        assert counted == report.outcome_counts().get("verified", 0)
+
+    def test_failures_surface_in_report(self):
+        report = small_soak(seeds=1, modes=("replay",))
+        report.trials.append(
+            ChaosTrial(99, "replay", "failed", detail="synthetic")
+        )
+        assert not report.ok
+        assert report.failures()[-1].seed == 99
+        assert "FAILED seed=99" in report.summary()

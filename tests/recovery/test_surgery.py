@@ -1,0 +1,244 @@
+"""Plan surgery: detour expansion, XOR relabeling, symbolic validation."""
+
+import pytest
+
+from repro.plans.ir import (
+    CollectOp,
+    IdleOp,
+    PhaseOp,
+    PlaceOp,
+    PlanMessage,
+    RemapOp,
+)
+from repro.plans.symbolic import simulate_ops
+from repro.recovery import SurgeryError, physicalize, plan_surgery
+from repro.recovery.surgery import _bfs_path, _relabel_candidate
+
+
+def phase(*messages, exclusive=True):
+    return PhaseOp(tuple(messages), exclusive)
+
+
+def msg(src, dst, elements, *keys):
+    return PlanMessage(src, dst, elements, keys)
+
+
+class TestPhysicalize:
+    def test_folds_remaps_into_node_ids(self):
+        ops = (
+            RemapOp(0b01),
+            phase(msg(0, 1, 4, "k")),
+            RemapOp(0b01),
+            CollectOp(1, "k"),
+        )
+        out = physicalize(ops)
+        assert not any(isinstance(op, RemapOp) for op in out)
+        # First phase runs under mask 1: 0->1 becomes 1->0.
+        assert out[0].messages[0].src == 1
+        assert out[0].messages[0].dst == 0
+        # The collect runs after the mask cancelled back to 0.
+        assert out[1].node == 1
+
+    def test_initial_mask_applies(self):
+        out = physicalize((CollectOp(0, "k"),), mask=0b10)
+        assert out[0].node == 2
+
+    def test_identity_without_remaps(self):
+        ops = (phase(msg(0, 1, 4, "k")), IdleOp())
+        assert physicalize(ops) == ops
+
+
+class TestBfs:
+    def test_direct_edge(self):
+        assert _bfs_path(0, 1, 3, set(), set()) == [0, 1]
+
+    def test_routes_around_dead_link(self):
+        path = _bfs_path(0, 1, 3, {(0, 1)}, set())
+        assert path[0] == 0 and path[-1] == 1 and len(path) == 4
+        assert (0, 1) not in set(zip(path, path[1:]))
+
+    def test_routes_around_dead_node(self):
+        path = _bfs_path(0, 3, 3, set(), {1})
+        assert 1 not in path
+
+    def test_unreachable_returns_none(self):
+        # Node 0 of a 2-cube with both outgoing links dead is marooned.
+        assert _bfs_path(0, 3, 2, {(0, 1), (0, 2)}, set()) is None
+
+
+class TestDetour:
+    def test_single_dead_link_detours_and_validates(self):
+        ops = (phase(msg(0, 1, 4, "k")), CollectOp(1, "k"))
+        holdings = {"k": 0}
+        result = plan_surgery(
+            ops,
+            n=3,
+            dead_links={(0, 1)},
+            dead_nodes=set(),
+            holdings=holdings,
+            sizes={"k": 4},
+            allow_relabel=False,
+        )
+        assert result.strategy == "detour"
+        assert result.detoured_messages == 1
+        assert result.added_element_hops == 8  # two extra hops of 4 elements
+        state = simulate_ops(
+            result.ops,
+            holdings,
+            n=3,
+            forbidden_links=frozenset({(0, 1)}),
+        )
+        assert state.collected == {"k": 1}
+
+    def test_untouched_messages_keep_their_phase(self):
+        ops = (
+            phase(msg(0, 1, 4, "a"), msg(6, 7, 4, "b")),
+            CollectOp(1, "a"),
+            CollectOp(7, "b"),
+        )
+        result = plan_surgery(
+            ops,
+            n=3,
+            dead_links={(0, 1)},
+            dead_nodes=set(),
+            holdings={"a": 0, "b": 6},
+            sizes={"a": 4, "b": 4},
+            allow_relabel=False,
+        )
+        first = result.ops[0]
+        assert isinstance(first, PhaseOp)
+        assert first.exclusive  # kept subset stays exclusive
+        assert [m.keys for m in first.messages] == [("b",)]
+        # Detour hop phases are non-exclusive.
+        assert all(
+            not op.exclusive
+            for op in result.ops[1:]
+            if isinstance(op, PhaseOp) and op.messages
+        )
+
+    def test_marooned_source_is_an_error(self):
+        # Both of node 0's outgoing links are dead: no candidate works.
+        ops = (phase(msg(0, 1, 4, "k")), CollectOp(1, "k"))
+        with pytest.raises(SurgeryError, match="no rewrite"):
+            plan_surgery(
+                ops,
+                n=2,
+                dead_links={(0, 1), (0, 2)},
+                dead_nodes=set(),
+                holdings={"k": 0},
+                sizes={"k": 4},
+            )
+
+
+class TestRelabel:
+    def test_relabel_candidate_avoids_dead_dimension(self):
+        ops = (phase(msg(0, 1, 4, "k")), CollectOp(1, "k"))
+        result = _relabel_candidate(
+            ops,
+            n=3,
+            dead_links={(0, 1)},
+            dead_nodes=set(),
+            holdings={"k": 0},
+            sizes={"k": 4},
+        )
+        assert result.strategy == "relabel"
+        assert result.relabel_mask & 1 == 0  # dimension 0 is dead
+        state = simulate_ops(
+            result.ops,
+            {"k": 0},
+            n=3,
+            forbidden_links=frozenset({(0, 1)}),
+        )
+        assert state.collected == {"k": 1}
+        # Out and back over popcount(r) dimensions of a 4-element block.
+        popcount = bin(result.relabel_mask).count("1")
+        assert result.added_element_hops == 2 * popcount * 4
+
+    def test_relabel_refuses_pending_placements(self):
+        ops = (
+            PlaceOp(0, 4, "k"),
+            phase(msg(0, 1, 4, "k")),
+            CollectOp(1, "k"),
+        )
+        with pytest.raises(SurgeryError, match="placement"):
+            _relabel_candidate(
+                ops,
+                n=3,
+                dead_links={(0, 1)},
+                dead_nodes=set(),
+                holdings={},
+                sizes={"k": 4},
+            )
+
+    def test_relabel_refuses_dead_nodes(self):
+        ops = (phase(msg(0, 1, 4, "k")),)
+        with pytest.raises(SurgeryError, match="dead nodes"):
+            _relabel_candidate(
+                ops,
+                n=3,
+                dead_links=set(),
+                dead_nodes={5},
+                holdings={"k": 0},
+                sizes={"k": 4},
+            )
+
+
+class TestPlanSurgery:
+    def test_picks_a_validated_candidate(self):
+        ops = (phase(msg(0, 1, 4, "k")), CollectOp(1, "k"))
+        result = plan_surgery(
+            ops,
+            n=3,
+            dead_links={(0, 1)},
+            dead_nodes=set(),
+            holdings={"k": 0},
+            sizes={"k": 4},
+        )
+        assert result.strategy in ("detour", "relabel")
+        reference = simulate_ops(ops, {"k": 0}, n=3)
+        assert simulate_ops(result.ops, {"k": 0}, n=3) == reference
+
+    def test_block_on_dead_node_is_unrecoverable(self):
+        ops = (phase(msg(5, 4, 4, "k")),)
+        with pytest.raises(SurgeryError, match="unreachable"):
+            plan_surgery(
+                ops,
+                n=3,
+                dead_links=set(),
+                dead_nodes={5},
+                holdings={"k": 5},
+                sizes={"k": 4},
+            )
+
+    def test_requires_physicalized_sequence(self):
+        with pytest.raises(SurgeryError, match="physicalized"):
+            plan_surgery(
+                (RemapOp(1),),
+                n=3,
+                dead_links=set(),
+                dead_nodes=set(),
+                holdings={},
+                sizes={},
+            )
+
+    def test_routes_around_dead_intermediate_node(self):
+        # Message 1 -> 2 (two hops in any routing); node 0 and 3 both
+        # work as intermediates, so killing 3 must not break surgery.
+        ops = (phase(msg(1, 0, 4, "k")), phase(msg(0, 2, 4, "k")),
+               CollectOp(2, "k"))
+        result = plan_surgery(
+            ops,
+            n=2,
+            dead_links={(0, 2)},
+            dead_nodes=set(),
+            holdings={"k": 1},
+            sizes={"k": 4},
+            allow_relabel=False,
+        )
+        state = simulate_ops(
+            result.ops,
+            {"k": 1},
+            n=2,
+            forbidden_links=frozenset({(0, 2)}),
+        )
+        assert state.collected == {"k": 2}
