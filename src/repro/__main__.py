@@ -13,10 +13,19 @@ Commands
 ``batch``     serve many transpose requests through the plan cache;
 ``chaos``     soak seeded random fault plans through live runs and
               recovery replays, verifying every outcome;
-``baseline``  record or check the pinned perf-regression suite.
+``baseline``  record or check the pinned perf-regression suite;
+``serve``     run the multi-tenant serving layer over a request file;
+``loadgen``   drive a server with seeded synthetic traffic and verify
+              a sample of outcomes bit-identically against solo runs.
 
-``advise``, ``run``, ``machines``, ``replay``, ``batch`` and ``chaos``
-accept ``--json`` for machine-readable output.
+``advise``, ``run``, ``machines``, ``replay``, ``batch``, ``chaos``,
+``serve`` and ``loadgen`` accept ``--json`` for machine-readable
+output.  Every ``--json`` document shares one envelope::
+
+    {"schema_version": 1, "command": "<name>", "result": {...}}
+
+so consumers can dispatch on ``command`` and version-gate on
+``schema_version`` instead of sniffing per-command shapes.
 """
 
 from __future__ import annotations
@@ -26,6 +35,20 @@ import json
 import sys
 
 import numpy as np
+
+#: Version of the shared ``--json`` envelope.  Bump when the envelope
+#: itself (not a command's ``result`` payload) changes shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def emit_json(command: str, result) -> None:
+    """Print one machine-readable document in the unified envelope."""
+    doc = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "command": command,
+        "result": result,
+    }
+    print(json.dumps(doc, indent=2))
 
 
 def _machine(args):
@@ -49,7 +72,7 @@ def cmd_advise(args) -> int:
     from repro.analysis.report import format_report, report_data
 
     if args.json:
-        print(json.dumps(report_data(_machine(args), args.elements), indent=2))
+        emit_json("advise", report_data(_machine(args), args.elements))
     else:
         print(format_report(_machine(args), args.elements))
     return 0
@@ -155,7 +178,7 @@ def cmd_run(args) -> int:
             ),
             "stats": result.stats.as_dict(),
         }
-        print(json.dumps(doc, indent=2))
+        emit_json("run", doc)
         return 0 if ok else 1
     print(f"matrix:     {1 << layout.p} x {1 << layout.q} ({args.elements} elements)")
     print(f"layout:     {layout.describe()}")
@@ -198,11 +221,9 @@ def cmd_machines(args) -> int:
     if args.json:
         from repro.plans.ir import MachineSpec
 
-        print(
-            json.dumps(
-                [MachineSpec.from_params(m).as_dict() for m in presets],
-                indent=2,
-            )
+        emit_json(
+            "machines",
+            [MachineSpec.from_params(m).as_dict() for m in presets],
         )
         return 0
     for m in presets:
@@ -300,7 +321,7 @@ def cmd_replay(args) -> int:
                     "verified": False,
                     "stats": network.stats.as_dict(),
                 }
-                print(json.dumps(doc, indent=2))
+                emit_json("replay", doc)
             return 1
         recovery_doc = outcome.report.as_dict()
         verified = outcome.verified
@@ -332,7 +353,7 @@ def cmd_replay(args) -> int:
             "verified": verified,
             "stats": network.stats.as_dict(),
         }
-        print(json.dumps(doc, indent=2))
+        emit_json("replay", doc)
         return 0 if verified is not False else 1
     print(f"plan:       {plan.describe()}")
     if faults is not None:
@@ -384,7 +405,7 @@ def cmd_batch(args) -> int:
             "runs": [r.as_dict() for r in reports],
             "cache": cache.counters(),
         }
-        print(json.dumps(doc, indent=2))
+        emit_json("batch", doc)
         return 0
     for i, report in enumerate(reports, 1):
         print(f"run {i}: {report.summary()}")
@@ -443,9 +464,141 @@ def cmd_chaos(args) -> int:
             fh.write("\n")
         print(f"wrote {args.out}", file=sys.stderr)
     if args.json:
-        print(json.dumps(report.as_dict(), indent=2))
+        emit_json("chaos", report.as_dict())
     else:
         print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _server_config(args):
+    """Build a ServerConfig from flags or a JSON spec; None on bad input."""
+    from repro.service import ServerConfig
+
+    try:
+        if args.config:
+            with open(args.config) as fh:
+                return ServerConfig.from_dict(json.load(fh))
+        return ServerConfig(
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            tenant_pending=args.tenant_pending or None,
+            tenant_rate=args.tenant_rate,
+            max_batch=args.max_batch,
+            cache_capacity=args.cache_size,
+            cache_dir=args.cache_dir,
+            recovery=args.recover,
+        )
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"bad server config: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_serve(args) -> int:
+    from repro.service import (
+        AdmissionRejectedError,
+        TransposeRequest,
+        TransposeServer,
+    )
+
+    config = _server_config(args)
+    if config is None:
+        return 2
+    try:
+        with open(args.requests) as fh:
+            docs = json.load(fh)
+        if not isinstance(docs, list):
+            raise ValueError("requests file must hold a JSON array")
+        requests = [
+            TransposeRequest.from_dict(
+                {"tenant": "default", "request_id": i, **d}
+            )
+            for i, d in enumerate(docs)
+        ]
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"cannot load requests: {exc}", file=sys.stderr)
+        return 2
+
+    with TransposeServer(config) as server:
+        pendings = []
+        for request in requests:
+            try:
+                pendings.append(server.submit(request))
+            except ValueError as exc:
+                print(
+                    f"request {request.request_id} invalid: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            except AdmissionRejectedError as exc:
+                if args.verbose:
+                    print(f"shed: {exc}", file=sys.stderr)
+        for pending in pendings:
+            pending.result(timeout=600.0)
+    report = server.report()
+    failed = report.slo()["failed"]
+    if args.json:
+        emit_json("serve", report.as_dict(with_outcomes=args.outcomes))
+        return 0 if failed == 0 else 1
+    slo = report.slo()
+    lat = slo["latency_s"]["total"]
+    print(
+        f"served {slo['served']}/{slo['requests']} request(s) on "
+        f"{report.workers} worker(s): {slo['rejected']} shed, "
+        f"{slo['deadline_missed']} missed deadline, {failed} failed"
+    )
+    print(
+        f"cache hit rate {slo['cache_hit_rate']:.1%}; latency p50 "
+        f"{lat['p50'] * 1e3:.1f} ms, p95 {lat['p95'] * 1e3:.1f} ms, "
+        f"p99 {lat['p99'] * 1e3:.1f} ms"
+    )
+    for tenant, t in report.per_tenant().items():
+        print(
+            f"  {tenant}: admitted {t['admitted']}, served {t['served']}, "
+            f"rejected {t['rejected']}, cache hits {t['cache_hits']}"
+        )
+    return 0 if failed == 0 else 1
+
+
+def cmd_loadgen(args) -> int:
+    from repro.service import LoadSpec, run_loadgen
+
+    config = _server_config(args)
+    if config is None:
+        return 2
+    try:
+        spec = LoadSpec(
+            seed=args.seed,
+            tenants=args.tenants,
+            requests=args.requests,
+            mode=args.mode,
+            rate=args.rate,
+            shapes=args.shapes,
+            n=args.n,
+            machine=args.machine,
+            fault_rate=args.fault_rate,
+            deadline=args.deadline,
+            verify_sample=args.verify_sample,
+        )
+    except ValueError as exc:
+        print(f"bad loadgen spec: {exc}", file=sys.stderr)
+        return 2
+    report = run_loadgen(spec, config)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        emit_json("loadgen", report.as_dict())
+    else:
+        print(report.summary())
+        for tenant, t in report.server.per_tenant().items():
+            print(
+                f"  {tenant}: admitted {t['admitted']}, served "
+                f"{t['served']}, rejected {t['rejected']}, cache hits "
+                f"{t['cache_hits']}, missed deadlines "
+                f"{t['deadline_missed']}"
+            )
     return 0 if report.ok else 1
 
 
@@ -716,6 +869,145 @@ def build_parser() -> argparse.ArgumentParser:
     )
     json_flag(pc)
     pc.set_defaults(fn=cmd_chaos)
+
+    def server_flags(p):
+        p.add_argument(
+            "--config",
+            default=None,
+            metavar="FILE",
+            help="server config as JSON (overrides the flags below)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=2, help="worker thread count"
+        )
+        p.add_argument(
+            "--queue-capacity",
+            dest="queue_capacity",
+            type=int,
+            default=64,
+            help="admission queue depth before shedding",
+        )
+        p.add_argument(
+            "--tenant-pending",
+            dest="tenant_pending",
+            type=int,
+            default=16,
+            help="max queued requests per tenant (0 = unlimited)",
+        )
+        p.add_argument(
+            "--tenant-rate",
+            dest="tenant_rate",
+            type=float,
+            default=None,
+            help="per-tenant admission rate limit (requests/second)",
+        )
+        p.add_argument(
+            "--max-batch",
+            dest="max_batch",
+            type=int,
+            default=4,
+            help="same-plan requests a worker drains per dequeue",
+        )
+        p.add_argument(
+            "--cache-size", type=int, default=256, help="plan cache capacity"
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR", help="on-disk plan store"
+        )
+        p.add_argument(
+            "--recover",
+            default="every=4",
+            metavar="SPEC",
+            help="recovery policy for faulted requests "
+            "(RecoveryPolicy.from_spec; default every=4)",
+        )
+
+    ps = sub.add_parser(
+        "serve",
+        help="serve a file of tenant transpose requests through the "
+        "multi-tenant serving layer",
+    )
+    ps.add_argument(
+        "requests",
+        help="JSON file: array of request objects; problem fields plus "
+        'optional "tenant", "priority", "deadline" '
+        '(e.g. [{"tenant": "a", "elements": 4096, "n": 4}])',
+    )
+    server_flags(ps)
+    ps.add_argument(
+        "--outcomes",
+        action="store_true",
+        help="include the per-request outcome list in --json output",
+    )
+    ps.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log shed requests to stderr",
+    )
+    json_flag(ps)
+    ps.set_defaults(fn=cmd_serve)
+
+    pg = sub.add_parser(
+        "loadgen",
+        help="drive a server with seeded synthetic multi-tenant traffic "
+        "and spot-check outcomes bit-identically against solo runs",
+    )
+    pg.add_argument("--seed", type=int, default=7, help="workload seed")
+    pg.add_argument(
+        "--tenants", type=int, default=4, help="tenant count (round-robin)"
+    )
+    pg.add_argument(
+        "--requests", type=int, default=200, help="total request count"
+    )
+    pg.add_argument(
+        "--mode",
+        choices=["closed", "open"],
+        default="closed",
+        help="closed: one waiting client per tenant; open: seeded "
+        "arrival schedule that never waits (drives shedding)",
+    )
+    pg.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="open-loop offered load (requests/second)",
+    )
+    pg.add_argument(
+        "--shapes", type=int, default=4, help="distinct problem shapes"
+    )
+    pg.add_argument("-n", type=int, default=4, help="cube dimension")
+    pg.add_argument(
+        "--machine", choices=["ipsc", "cm"], default="cm"
+    )
+    pg.add_argument(
+        "--fault-rate",
+        dest="fault_rate",
+        type=float,
+        default=0.0,
+        help="probability a request carries a seeded fault spec",
+    )
+    pg.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="relative deadline in seconds applied to every request",
+    )
+    pg.add_argument(
+        "--verify-sample",
+        dest="verify_sample",
+        type=int,
+        default=8,
+        help="served fault-free requests re-run solo for bit-identity",
+    )
+    pg.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the full JSON load report here (CI artifact)",
+    )
+    server_flags(pg)
+    json_flag(pg)
+    pg.set_defaults(fn=cmd_loadgen)
 
     pl = sub.add_parser(
         "baseline",

@@ -274,6 +274,24 @@ class FaultPlan:
             alive[0], False
         ) >= want
 
+    def fork(self) -> "FaultPlan":
+        """A structurally fresh, equal copy for another machine.
+
+        The fault descriptions themselves are immutable, but each plan
+        instance carries per-instance lookup indexes (plain dicts of
+        lists, built in ``__post_init__``).  A serving pool that hands
+        one parsed plan to many concurrently executing machines would
+        share those containers across threads; forking gives every
+        worker its own — equal by value, disjoint in storage — so no
+        transient-window bookkeeping can ever be shared between
+        machines built from the same spec.  See
+        :mod:`repro.service.worker`, which forks (or re-parses) per
+        request.
+        """
+        return FaultPlan(
+            self.n, self.link_faults, self.node_faults, seed=self.seed
+        )
+
     def describe(self) -> str:
         """One-line human summary for reports and the CLI."""
         perm_l = sum(1 for f in self.link_faults if f.end is None)

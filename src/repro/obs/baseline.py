@@ -62,6 +62,13 @@ class BaselineScenario:
     faults: str | None = None
     cached: bool = False
     recovery: str | None = None
+    #: JSON string ``{"spec": <LoadSpec dict>, "config": <ServerConfig
+    #: dict>}`` — when set, the scenario pins the serving layer's
+    #: deterministic counters (admission, shedding, cache, recovery)
+    #: via :func:`repro.service.deterministic_counters` and every other
+    #: field above except ``id`` is ignored.  A string, not a dict, so
+    #: the scenario stays hashable and its description JSON-stable.
+    service: str | None = None
 
     def describe(self) -> dict:
         return {
@@ -74,6 +81,7 @@ class BaselineScenario:
             "faults": self.faults,
             "cached": self.cached,
             "recovery": self.recovery,
+            "service": self.service,
         }
 
 
@@ -101,6 +109,23 @@ DEFAULT_SUITE: tuple[BaselineScenario, ...] = (
     BaselineScenario("cm_recovery_surgery_n4", "cm", 4, 1 << 8,
                      algorithm="mpt", faults="links=0-1",
                      cached=True, recovery="every=2"),
+    BaselineScenario(
+        "service_multi_tenant_n4", "cm", 4, 1 << 8,
+        service=json.dumps({
+            "spec": {"seed": 7, "tenants": 4, "requests": 24,
+                     "shapes": 3, "n": 4, "machine": "cm"},
+            "config": {},
+        }, sort_keys=True),
+    ),
+    BaselineScenario(
+        "service_fault_storm_shed_n4", "cm", 4, 1 << 8,
+        service=json.dumps({
+            "spec": {"seed": 11, "tenants": 2, "requests": 24,
+                     "shapes": 2, "n": 4, "machine": "cm",
+                     "fault_rate": 0.5},
+            "config": {"queue_capacity": 16, "tenant_pending": 6},
+        }, sort_keys=True),
+    ),
 )
 
 
@@ -136,6 +161,21 @@ def run_scenario(
     from repro.plans.recorder import synthetic_matrix
     from repro.plans.replay import replay_degraded
     from repro.transpose.planner import transpose
+
+    if scenario.service is not None:
+        # Serving-layer scenario: the counters come from a frozen-clock
+        # single-worker run, so perturb/observer do not apply here.
+        from repro.service import (
+            LoadSpec,
+            ServerConfig,
+            deterministic_counters,
+        )
+
+        doc = json.loads(scenario.service)
+        return deterministic_counters(
+            LoadSpec.from_dict(doc.get("spec", {})),
+            ServerConfig.from_dict(doc.get("config", {})),
+        )
 
     params = _params_for(scenario, perturb)
     before, after = resolve_problem(

@@ -13,6 +13,15 @@ on-disk JSON store (one ``<key>.json`` file per plan, written
 atomically).  Hits, misses and evictions are counted locally and can be
 surfaced through :class:`~repro.machine.metrics.TransferStats` and a
 :class:`~repro.machine.trace.TraceRecorder` observer.
+
+The cache is safe for concurrent use: one lock guards the LRU order,
+the counters and every notification, so a single instance can sit in
+front of a pool of serving workers (:mod:`repro.service`).  Because a
+worker usually wants cache events attributed to *its own* telemetry,
+``get``/``put``/``get_or_compile`` also take per-call ``stats=`` /
+``observer=`` overrides — mutating the shared instance's ``observer``
+from worker threads (the old borrowing pattern) would cross-wire one
+worker's events into another's span timeline.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 
@@ -83,7 +93,17 @@ class PlanCache:
     ``observer`` (anything with an ``on_cache(key, event)`` method, e.g.
     :class:`~repro.machine.trace.TraceRecorder`) are notified of every
     ``hit`` / ``miss`` / ``eviction`` so cache behaviour shows up in the
-    same instruments as the simulated communication itself.
+    same instruments as the simulated communication itself.  The
+    ``stats=`` / ``observer=`` keyword arguments on :meth:`get` /
+    :meth:`put` / :meth:`get_or_compile` notify an *additional*
+    per-call sink — this is how concurrent callers sharing one cache
+    attribute events to their own telemetry without mutating shared
+    state.
+
+    All public methods are thread-safe: the LRU order and every counter
+    are guarded by one reentrant lock, so N workers hammering one cache
+    conserve counts exactly (``hits + misses`` equals the number of
+    ``get`` calls, ``resident`` never exceeds ``capacity``).
     """
 
     def __init__(
@@ -102,6 +122,7 @@ class PlanCache:
             self.path.mkdir(parents=True, exist_ok=True)
         self.stats = stats
         self.observer = observer
+        self._lock = threading.RLock()
         self._plans: OrderedDict[str, CompiledPlan] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -110,78 +131,98 @@ class PlanCache:
         self.stores = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._plans or self._disk_file(key) is not None
+        with self._lock:
+            if key in self._plans:
+                return True
+        return self._disk_file(key) is not None
 
     # -- lookup ------------------------------------------------------------
 
-    def get(self, key: str) -> CompiledPlan | None:
+    def get(self, key: str, *, stats=None, observer=None) -> CompiledPlan | None:
         """The cached plan for ``key``, or ``None`` (counted as a miss)."""
-        plan = self._plans.get(key)
-        if plan is not None:
-            self._plans.move_to_end(key)
-            self._note(key, "hit")
-            return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._note(key, "hit", stats, observer)
+                return plan
+        # Disk I/O happens outside the lock; admission re-takes it.
         plan = self._load_from_disk(key)
-        if plan is not None:
-            self.disk_hits += 1
-            self._admit(key, plan)
-            self._note(key, "hit")
-            return plan
-        self._note(key, "miss")
+        with self._lock:
+            if plan is not None:
+                self.disk_hits += 1
+                self._admit(key, plan, stats, observer)
+                self._note(key, "hit", stats, observer)
+                return plan
+            self._note(key, "miss", stats, observer)
         return None
 
-    def put(self, key: str, plan: CompiledPlan) -> None:
+    def put(self, key: str, plan: CompiledPlan, *, stats=None, observer=None) -> None:
         """Store ``plan`` in memory and, when configured, on disk."""
-        self._admit(key, plan)
-        self.stores += 1
+        with self._lock:
+            self._admit(key, plan, stats, observer)
+            self.stores += 1
         if self.path is not None:
             self._write_to_disk(key, plan)
 
-    def get_or_compile(self, key: str, compile_fn) -> tuple[CompiledPlan, bool]:
-        """``(plan, was_hit)`` — calls ``compile_fn()`` and stores on miss."""
-        plan = self.get(key)
+    def get_or_compile(
+        self, key: str, compile_fn, *, stats=None, observer=None
+    ) -> tuple[CompiledPlan, bool]:
+        """``(plan, was_hit)`` — calls ``compile_fn()`` and stores on miss.
+
+        ``compile_fn`` runs *outside* the cache lock so a slow compile
+        never serializes other workers; two concurrent misses on the
+        same key may therefore both compile, with the later ``put``
+        winning (both plans are identical by construction, so the race
+        costs duplicate work, never wrong results).
+        """
+        plan = self.get(key, stats=stats, observer=observer)
         if plan is not None:
             return plan, True
         plan = compile_fn()
-        self.put(key, plan)
+        self.put(key, plan, stats=stats, observer=observer)
         return plan, False
 
     # -- bookkeeping -------------------------------------------------------
 
     def counters(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "disk_hits": self.disk_hits,
-            "stores": self.stores,
-            "resident": len(self._plans),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+                "stores": self.stores,
+                "resident": len(self._plans),
+                "capacity": self.capacity,
+            }
 
-    def _admit(self, key: str, plan: CompiledPlan) -> None:
+    def _admit(self, key: str, plan: CompiledPlan, stats=None, observer=None) -> None:
         self._plans[key] = plan
         self._plans.move_to_end(key)
         while len(self._plans) > self.capacity:
             evicted, _ = self._plans.popitem(last=False)
-            self._note(evicted, "eviction")
+            self._note(evicted, "eviction", stats, observer)
 
-    def _note(self, key: str, event: str) -> None:
+    def _note(self, key: str, event: str, stats=None, observer=None) -> None:
         if event == "hit":
             self.hits += 1
         elif event == "miss":
             self.misses += 1
         elif event == "eviction":
             self.evictions += 1
-        if self.stats is not None:
-            self.stats.record_plan_event(event)
-        if self.observer is not None:
-            on_cache = getattr(self.observer, "on_cache", None)
-            if on_cache is not None:
-                on_cache(key, event)
+        for sink in (self.stats, stats):
+            if sink is not None:
+                sink.record_plan_event(event)
+        for obs in (self.observer, observer):
+            if obs is not None:
+                on_cache = getattr(obs, "on_cache", None)
+                if on_cache is not None:
+                    on_cache(key, event)
 
     # -- disk tier ---------------------------------------------------------
 

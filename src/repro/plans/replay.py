@@ -263,22 +263,11 @@ def replay_degraded(
         if isinstance(observer, Instrumentation)
         else NULL_INSTRUMENTATION
     )
-    borrowed_cache = (
-        cache is not None
-        and instr is not NULL_INSTRUMENTATION
-        and getattr(cache, "observer", None) is None
+    return _serve(
+        instr, cache, key, params, before, target, after, faults,
+        name, requested, skipped, policy, packet_size, observer,
+        recovery,
     )
-    if borrowed_cache:
-        cache.observer = instr
-    try:
-        return _serve(
-            instr, cache, key, params, before, target, after, faults,
-            name, requested, skipped, policy, packet_size, observer,
-            recovery,
-        )
-    finally:
-        if borrowed_cache:
-            cache.observer = None
 
 
 def _serve(
@@ -289,12 +278,18 @@ def _serve(
     from repro.plans.recorder import capture_transpose, synthetic_matrix
     from repro.transpose.planner import transpose
 
+    cache_obs = instr if instr.enabled else None
+    # The attr is named fault_spec, not faults: on_fault calls
+    # span.count("faults") on every open span, which would collide with
+    # a string-valued "faults" annotation the moment a fault fires.
     with instr.span(
         "serve", category="run", requested=requested, tier=name,
-        skipped=list(skipped), faults=faults.describe(),
+        skipped=list(skipped), fault_spec=faults.describe(),
         mode="resume" if recovery is not None else "restart",
     ) as serve_span:
-        plan = cache.get(key) if cache is not None else None
+        plan = (
+            cache.get(key, observer=cache_obs) if cache is not None else None
+        )
         cache_hit = plan is not None
         serve_span.annotate(cache_hit=cache_hit)
         if plan is None:
@@ -307,7 +302,7 @@ def _serve(
                 packet_size=packet_size,
             )
             if cache is not None:
-                cache.put(key, plan)
+                cache.put(key, plan, observer=cache_obs)
 
         if recovery is not None:
             return _serve_with_recovery(

@@ -1,0 +1,67 @@
+"""The serving layer: multi-tenant transpose serving over the simulator.
+
+Turns the one-shot pipeline (plan → execute → exit) into a long-lived
+subsystem: a pool of worker threads, each owning a simulated cube
+machine, drains a priority admission queue of tenant-attributed
+transpose requests, sharing one thread-safe plan cache
+(compile-once, serve-many) and shedding load past explicit high-water
+marks.  See ``docs/service.md`` for the architecture and policies.
+"""
+
+from repro.service.loadgen import (
+    LoadReport,
+    LoadSpec,
+    build_workload,
+    deterministic_counters,
+    run_loadgen,
+    solo_fingerprint,
+)
+from repro.service.queue import AdmissionPolicy, AdmissionQueue, QueueEntry
+from repro.service.request import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    ServeOutcome,
+    ServiceError,
+    TransposeRequest,
+    stats_fingerprint,
+)
+from repro.service.scheduler import (
+    PendingResult,
+    ResolvedRequest,
+    Scheduler,
+    resolve_request,
+)
+from repro.service.server import (
+    ServerConfig,
+    ServerReport,
+    TransposeServer,
+    percentile,
+)
+from repro.service.worker import Worker
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionQueue",
+    "AdmissionRejectedError",
+    "DeadlineExceededError",
+    "LoadReport",
+    "LoadSpec",
+    "PendingResult",
+    "QueueEntry",
+    "ResolvedRequest",
+    "Scheduler",
+    "ServeOutcome",
+    "ServerConfig",
+    "ServerReport",
+    "ServiceError",
+    "TransposeRequest",
+    "TransposeServer",
+    "Worker",
+    "build_workload",
+    "deterministic_counters",
+    "percentile",
+    "resolve_request",
+    "run_loadgen",
+    "solo_fingerprint",
+    "stats_fingerprint",
+]

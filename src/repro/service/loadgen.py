@@ -1,0 +1,376 @@
+"""Seeded load generation and bit-identity spot checks for the server.
+
+Two drive modes:
+
+- **closed loop** (the default): one client thread per tenant submits
+  its share of the workload sequentially, waiting for each outcome
+  before issuing the next request — concurrency equals the tenant
+  count, and offered load adapts to service rate;
+- **open loop**: a single thread submits on a seeded arrival schedule
+  (exponential inter-arrivals at ``rate`` requests/second) regardless
+  of completions — the mode that actually drives queue depth up and
+  exercises the shedding gates.
+
+Every workload is a pure function of ``seed``: the shape pool, the
+per-request problem choice, priorities, and fault assignment all come
+from one seeded generator, so a soak is reproducible request-for-
+request.
+
+The **invariant check** is the serving-layer analogue of the replay
+guarantee: a sample of served fault-free requests is re-run *solo*
+(fresh compile, fresh machine, no cache, no concurrency) and the
+:func:`~repro.service.request.stats_fingerprint` of both runs must be
+bit-identical.  Any mismatch means concurrent serving corrupted a
+schedule — the one thing the subsystem must never do.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.machine.engine import CubeNetwork
+from repro.plans.batch import BatchRequest
+from repro.plans.recorder import capture_transpose, synthetic_matrix
+from repro.plans.replay import replay_plan
+from repro.service.request import (
+    AdmissionRejectedError,
+    ServeOutcome,
+    TransposeRequest,
+    stats_fingerprint,
+)
+from repro.service.scheduler import resolve_request
+from repro.service.server import ServerConfig, ServerReport, TransposeServer
+
+__all__ = [
+    "LoadReport",
+    "LoadSpec",
+    "deterministic_counters",
+    "run_loadgen",
+    "solo_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One seeded workload description."""
+
+    seed: int = 7
+    tenants: int = 4
+    requests: int = 200
+    mode: str = "closed"  # or "open"
+    #: Open-loop offered load (requests/second).
+    rate: float = 200.0
+    #: Distinct problem shapes in the pool (repeated-shape traffic is
+    #: what makes compile-once/serve-many pay off).
+    shapes: int = 4
+    n: int = 4
+    machine: str = "cm"
+    #: Probability a request carries a seeded fault spec (fault storm).
+    fault_rate: float = 0.0
+    #: Relative deadline in seconds (None = no deadline).
+    deadline: float | None = None
+    priority_levels: int = 2
+    #: Served fault-free requests re-run solo for bit-identity.
+    verify_sample: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError("loadgen mode must be 'closed' or 'open'")
+        if self.tenants < 1 or self.requests < 1:
+            raise ValueError("loadgen needs at least one tenant and request")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be within [0, 1]")
+        if self.rate <= 0:
+            raise ValueError("open-loop rate must be positive")
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "LoadSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"unknown loadgen field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**d)
+
+    def as_dict(self) -> dict:
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
+
+def _shape_pool(spec: LoadSpec, rng: random.Random) -> list[BatchRequest]:
+    """``spec.shapes`` distinct valid problems, all on one machine model."""
+    from repro.plans.batch import resolve_problem
+
+    layouts = ["2d", "1d-rows", "1d-cols"] if spec.n % 2 == 0 else [
+        "1d-rows", "1d-cols"
+    ]
+    candidates = []
+    for bits in range(6, 11):
+        for layout in layouts:
+            try:
+                resolve_problem(spec.n, 1 << bits, layout)
+            except ValueError:
+                continue  # e.g. too few processor bits for a 1-d layout
+            candidates.append(
+                BatchRequest(
+                    elements=1 << bits,
+                    n=spec.n,
+                    layout=layout,
+                    machine=spec.machine,
+                )
+            )
+    if len(candidates) < spec.shapes:
+        raise ValueError(
+            f"only {len(candidates)} valid shape(s) exist for n={spec.n}, "
+            f"requested a pool of {spec.shapes}"
+        )
+    return rng.sample(candidates, spec.shapes)
+
+
+def build_workload(spec: LoadSpec) -> list[TransposeRequest]:
+    """The full request sequence — a pure function of the spec."""
+    rng = random.Random(spec.seed)
+    pool = _shape_pool(spec, rng)
+    requests = []
+    for rid in range(spec.requests):
+        problem = rng.choice(pool)
+        if spec.fault_rate and rng.random() < spec.fault_rate:
+            problem = replace(
+                problem,
+                faults=(
+                    f"seed={rng.randrange(1 << 16)},link_rate=0.03,"
+                    f"transient_rate=0.4,window=4"
+                ),
+            )
+        requests.append(
+            TransposeRequest(
+                tenant=f"tenant-{rid % spec.tenants}",
+                problem=problem,
+                priority=rng.randrange(spec.priority_levels),
+                deadline=spec.deadline,
+                request_id=rid,
+            )
+        )
+    return requests
+
+
+def solo_fingerprint(request: TransposeRequest) -> str:
+    """Fingerprint of a solo, uncached, single-threaded serve.
+
+    Mirrors the worker's fault-free path exactly — fresh compile, fresh
+    machine, replayed schedule — so a served outcome's fingerprint must
+    equal this bit-for-bit.
+    """
+    from repro.transpose.planner import default_after_layout
+
+    resolved = resolve_request(request)
+    target = (
+        resolved.after
+        if resolved.after is not None
+        else default_after_layout(resolved.before)
+    )
+    _, plan = capture_transpose(
+        resolved.params,
+        synthetic_matrix(resolved.before),
+        target,
+        algorithm=resolved.algorithm,
+    )
+    network = CubeNetwork(resolved.params)
+    replay_plan(plan, network)
+    return stats_fingerprint(network.stats)
+
+
+@dataclass
+class LoadReport:
+    """Everything one loadgen session learned."""
+
+    spec: LoadSpec
+    server: ServerReport
+    verified: int = 0
+    invariant_violations: int = 0
+    mismatches: list | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.invariant_violations == 0
+
+    def summary(self) -> str:
+        slo = self.server.slo()
+        lat = slo["latency_s"]["total"]
+        return (
+            f"{slo['requests']} request(s): {slo['served']} served, "
+            f"{slo['rejected']} shed, {slo['deadline_missed']} missed "
+            f"deadline, {slo['failed']} failed; cache hit rate "
+            f"{slo['cache_hit_rate']:.1%}; total latency p50 "
+            f"{lat['p50'] * 1e3:.1f} ms / p95 {lat['p95'] * 1e3:.1f} ms / "
+            f"p99 {lat['p99'] * 1e3:.1f} ms; invariants: "
+            f"{self.verified} spot-checked, "
+            f"{self.invariant_violations} violation(s)"
+        )
+
+    def as_dict(self, *, with_outcomes: bool = False) -> dict:
+        return {
+            "spec": self.spec.as_dict(),
+            "server": self.server.as_dict(with_outcomes=with_outcomes),
+            "verification": {
+                "checked": self.verified,
+                "violations": self.invariant_violations,
+                "mismatches": self.mismatches or [],
+            },
+            "ok": self.ok,
+        }
+
+
+def _drive_closed(
+    server: TransposeServer, requests: list[TransposeRequest], tenants: int
+) -> None:
+    """One client thread per tenant, each waiting out its own requests."""
+    by_tenant: dict[str, list[TransposeRequest]] = {}
+    for request in requests:
+        by_tenant.setdefault(request.tenant, []).append(request)
+
+    def client(mine: list[TransposeRequest]) -> None:
+        for request in mine:
+            try:
+                pending = server.submit(request)
+            except AdmissionRejectedError:
+                continue  # shed: counted by the server, move on
+            pending.result(timeout=120.0)
+
+    threads = [
+        threading.Thread(target=client, args=(mine,), daemon=True)
+        for mine in by_tenant.values()
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def _drive_open(
+    server: TransposeServer,
+    requests: list[TransposeRequest],
+    spec: LoadSpec,
+) -> None:
+    """Submit on a seeded arrival schedule; never wait for completions."""
+    rng = random.Random(spec.seed ^ 0x5EED)
+    for request in requests:
+        try:
+            server.submit(request)
+        except AdmissionRejectedError:
+            pass
+        time.sleep(rng.expovariate(spec.rate))
+
+
+def _verify(
+    spec: LoadSpec,
+    requests: list[TransposeRequest],
+    outcomes: list[ServeOutcome],
+) -> tuple[int, int, list]:
+    by_id = {r.request_id: r for r in requests}
+    candidates = [
+        o
+        for o in outcomes
+        if o.status == "served"
+        and o.resolved == "clean"
+        and not by_id[o.request_id].problem.faults
+    ]
+    rng = random.Random(spec.seed + 1)
+    sample = (
+        candidates
+        if len(candidates) <= spec.verify_sample
+        else rng.sample(candidates, spec.verify_sample)
+    )
+    mismatches = []
+    for outcome in sample:
+        expected = solo_fingerprint(by_id[outcome.request_id])
+        if expected != outcome.fingerprint:
+            mismatches.append(
+                {
+                    "request_id": outcome.request_id,
+                    "tenant": outcome.tenant,
+                    "served": outcome.fingerprint,
+                    "solo": expected,
+                }
+            )
+    return len(sample), len(mismatches), mismatches
+
+
+def run_loadgen(
+    spec: LoadSpec, config: ServerConfig | None = None
+) -> LoadReport:
+    """Drive a server with the seeded workload and verify a sample."""
+    server = TransposeServer(config)
+    requests = build_workload(spec)
+    with server:
+        if spec.mode == "closed":
+            _drive_closed(server, requests, spec.tenants)
+        else:
+            _drive_open(server, requests, spec)
+        server.drain()
+    report = server.report()
+    verified, violations, mismatches = _verify(
+        spec, requests, report.outcomes
+    )
+    return LoadReport(
+        spec=spec,
+        server=report,
+        verified=verified,
+        invariant_violations=violations,
+        mismatches=mismatches,
+    )
+
+
+def deterministic_counters(
+    spec: LoadSpec, config: ServerConfig | None = None
+) -> dict:
+    """Integer-exact serving counters for the perf-regression gate.
+
+    Wall-clock latencies are noise, but *what happened* is not: with a
+    single worker, a frozen logical clock, submission completed before
+    the worker starts, and no rate gate, every counter below is a pure
+    function of (spec, config) — which requests were admitted or shed,
+    what was served from cache, how much modelled time the fleet
+    charged.  This is what the two service baseline scenarios pin.
+    """
+    if config is None:
+        config = ServerConfig()
+    config = replace(config, workers=1, tenant_rate=None)
+    server = TransposeServer(config, clock=lambda: 0.0)
+    requests = build_workload(spec)
+    admitted = 0
+    rejected: dict[str, int] = {}
+    for request in requests:
+        try:
+            server.submit(request)
+            admitted += 1
+        except AdmissionRejectedError as exc:
+            rejected[exc.reason] = rejected.get(exc.reason, 0) + 1
+    server.start()
+    server.drain()
+    server.stop()
+    report = server.report()
+    served = [o for o in report.outcomes if o.status == "served"]
+    counters: dict = {
+        "requests": len(requests),
+        "admitted": admitted,
+        "served": len(served),
+        "failed": sum(1 for o in report.outcomes if o.status == "failed"),
+        "cache_hits": sum(1 for o in served if o.cache_hit),
+        "cache_misses": sum(1 for o in served if not o.cache_hit),
+        "modelled_time_total": sum(o.modelled_time for o in served),
+        "recovered": sum(
+            1
+            for o in served
+            if o.resolved == "resume" or o.resolved.startswith("surgery-")
+        ),
+        "laddered": sum(1 for o in served if o.resolved == "ladder"),
+    }
+    for reason in sorted(rejected):
+        counters[f"rejected_{reason}"] = rejected[reason]
+    counters["rejected"] = sum(rejected.values())
+    return counters

@@ -1,0 +1,260 @@
+"""The admission queue: priority + EDF ordering, backpressure, shedding.
+
+Admission control happens at :meth:`AdmissionQueue.submit`, *before*
+anything is enqueued, so shed load costs one lock acquisition and no
+planner work.  Three independent gates apply, checked in this order:
+
+1. **queue-depth backpressure** — the global ``capacity`` high-water
+   mark (``queue_full``);
+2. **per-tenant pending quota** — at most ``tenant_pending`` queued
+   requests per tenant, so one chatty tenant cannot occupy the whole
+   queue (``tenant_quota``);
+3. **per-tenant rate limit** — a token bucket refilled at
+   ``tenant_rate`` requests/second up to ``rate_burst`` tokens
+   (``rate_limited``).  The bucket consults an injected ``now`` so
+   tests and deterministic baseline runs can drive it on a logical
+   clock (the default is :func:`time.monotonic`).
+
+Dequeue order is earliest-deadline-first within priority: the heap key
+is ``(priority, absolute deadline, submission sequence)``, so urgent
+tenants overtake bulk traffic and, within a class, the request closest
+to missing its deadline runs first, with FIFO as the tiebreak.
+
+:meth:`pop_batch` implements the scheduler's compatible-request
+coalescing: entries sharing the head entry's plan key are handed to one
+worker back-to-back (lazy deletion keeps the heap honest), so a compile
+miss is immediately amortised across every queued request for the same
+schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.request import AdmissionRejectedError, TransposeRequest
+
+__all__ = ["AdmissionPolicy", "AdmissionQueue", "QueueEntry"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The shedding knobs; ``None`` disables a gate."""
+
+    capacity: int = 64
+    tenant_pending: int | None = 16
+    tenant_rate: float | None = None
+    rate_burst: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if self.tenant_pending is not None and self.tenant_pending < 1:
+            raise ValueError("tenant_pending must be at least 1")
+        if self.tenant_rate is not None and self.tenant_rate <= 0:
+            raise ValueError("tenant_rate must be positive")
+
+    @property
+    def burst(self) -> float:
+        if self.rate_burst is not None:
+            return float(self.rate_burst)
+        return max(1.0, float(self.tenant_rate or 1.0))
+
+
+@dataclass
+class QueueEntry:
+    """One admitted request plus its scheduling state."""
+
+    request: TransposeRequest
+    #: Content address of the plan this request resolves to — the
+    #: batching compatibility key.
+    key: str
+    seq: int
+    submitted: float
+    #: Absolute wall-clock deadline (``submitted + request.deadline``).
+    deadline_at: float | None = None
+    #: Opaque scheduler payload (the resolved request) riding along.
+    payload: object = field(default=None, compare=False)
+    taken: bool = field(default=False, compare=False)
+
+    def sort_key(self) -> tuple:
+        deadline = self.deadline_at if self.deadline_at is not None else float("inf")
+        return (self.request.priority, deadline, self.seq)
+
+
+class AdmissionQueue:
+    """Thread-safe bounded priority queue with per-tenant accounting."""
+
+    def __init__(
+        self, policy: AdmissionPolicy | None = None, *, clock=time.monotonic
+    ) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._heap: list[tuple[tuple, QueueEntry]] = []
+        self._by_key: dict[str, list[QueueEntry]] = {}
+        self._pending: dict[str, int] = {}
+        self._buckets: dict[str, tuple[float, float]] = {}  # tenant -> (tokens, at)
+        self._seq = itertools.count()
+        self._depth = 0
+        self._closed = False
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(
+        self,
+        request: TransposeRequest,
+        key: str,
+        now: float | None = None,
+        payload: object = None,
+    ) -> QueueEntry:
+        """Admit ``request`` or raise :class:`AdmissionRejectedError`."""
+        policy = self.policy
+        with self._lock:
+            if self._closed:
+                raise AdmissionRejectedError(
+                    "closed", request.tenant, "the server is shutting down"
+                )
+            if now is None:
+                now = self.clock()
+            if self._depth >= policy.capacity:
+                raise AdmissionRejectedError(
+                    "queue_full",
+                    request.tenant,
+                    f"depth {self._depth} at capacity {policy.capacity}",
+                )
+            pending = self._pending.get(request.tenant, 0)
+            if (
+                policy.tenant_pending is not None
+                and pending >= policy.tenant_pending
+            ):
+                raise AdmissionRejectedError(
+                    "tenant_quota",
+                    request.tenant,
+                    f"{pending} pending at quota {policy.tenant_pending}",
+                )
+            if policy.tenant_rate is not None and not self._take_token(
+                request.tenant, now
+            ):
+                raise AdmissionRejectedError(
+                    "rate_limited",
+                    request.tenant,
+                    f"over {policy.tenant_rate:g} request(s)/s",
+                )
+            entry = QueueEntry(
+                request=request,
+                key=key,
+                seq=next(self._seq),
+                submitted=now,
+                deadline_at=(
+                    None
+                    if request.deadline is None
+                    else now + request.deadline
+                ),
+                payload=payload,
+            )
+            heapq.heappush(self._heap, (entry.sort_key(), entry))
+            self._by_key.setdefault(key, []).append(entry)
+            self._pending[request.tenant] = pending + 1
+            self._depth += 1
+            self._nonempty.notify()
+            return entry
+
+    def _take_token(self, tenant: str, now: float) -> bool:
+        burst = self.policy.burst
+        tokens, at = self._buckets.get(tenant, (burst, now))
+        tokens = min(burst, tokens + (now - at) * self.policy.tenant_rate)
+        if tokens < 1.0:
+            self._buckets[tenant] = (tokens, now)
+            return False
+        self._buckets[tenant] = (tokens - 1.0, now)
+        return True
+
+    # -- dequeue -------------------------------------------------------------
+
+    def pop_batch(
+        self, max_batch: int = 1, timeout: float | None = None
+    ) -> list[QueueEntry]:
+        """Up to ``max_batch`` entries sharing one plan key; ``[]`` on close.
+
+        Blocks until at least one entry is available (or the queue is
+        closed and drained).  The head follows the priority/EDF order;
+        the rest of the batch is pulled from the head's key bucket in
+        FIFO order, so a batch replays one cached plan repeatedly.
+        """
+        with self._lock:
+            while True:
+                head = self._pop_head_locked()
+                if head is not None:
+                    break
+                if self._closed:
+                    return []
+                if not self._nonempty.wait(timeout):
+                    return []
+            batch = [head]
+            bucket = self._by_key.get(head.key, [])
+            while bucket and len(batch) < max_batch:
+                extra = bucket.pop(0)
+                extra.taken = True
+                self._account_out(extra)
+                batch.append(extra)
+            if not bucket:
+                self._by_key.pop(head.key, None)
+            return batch
+
+    def _pop_head_locked(self) -> QueueEntry | None:
+        while self._heap:
+            _, entry = heapq.heappop(self._heap)
+            if entry.taken:
+                continue  # already served as part of an earlier batch
+            entry.taken = True
+            bucket = self._by_key.get(entry.key)
+            if bucket is not None:
+                try:
+                    bucket.remove(entry)
+                except ValueError:
+                    pass
+                if not bucket:
+                    self._by_key.pop(entry.key, None)
+            self._account_out(entry)
+            return entry
+        return None
+
+    def _account_out(self, entry: QueueEntry) -> None:
+        tenant = entry.request.tenant
+        left = self._pending.get(tenant, 1) - 1
+        if left:
+            self._pending[tenant] = left
+        else:
+            self._pending.pop(tenant, None)
+        self._depth -= 1
+
+    # -- lifecycle / introspection -------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; wake every waiting worker."""
+        with self._lock:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "depth": self._depth,
+                "capacity": self.policy.capacity,
+                "closed": self._closed,
+                "pending_by_tenant": dict(self._pending),
+            }

@@ -1,0 +1,182 @@
+"""Request/outcome vocabulary and typed errors for the serving layer.
+
+A :class:`TransposeRequest` wraps the batch layer's problem description
+(:class:`~repro.plans.batch.BatchRequest`) with the serving-side fields
+the paper's one-shot pipeline never needed: a *tenant* (the isolation
+and accounting unit), a *priority* (lower is more urgent), and an
+optional *deadline* (a wall-clock budget in seconds, measured from
+admission).  Outcomes carry the full latency breakdown — queue wait,
+execution, total — plus a deterministic fingerprint of the modelled
+statistics so the load generator can spot-check served requests
+bit-identically against solo runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.plans.batch import BatchRequest
+
+__all__ = [
+    "AdmissionRejectedError",
+    "DeadlineExceededError",
+    "ServeOutcome",
+    "ServiceError",
+    "TransposeRequest",
+    "stats_fingerprint",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class AdmissionRejectedError(ServiceError):
+    """The request was shed at the door instead of being queued.
+
+    ``reason`` is one of ``"queue_full"`` (global high-water mark),
+    ``"tenant_quota"`` (per-tenant pending cap) or ``"rate_limited"``
+    (per-tenant token bucket empty), so callers and counters can tell
+    global backpressure from per-tenant throttling.
+    """
+
+    def __init__(self, reason: str, tenant: str, detail: str = "") -> None:
+        self.reason = reason
+        self.tenant = tenant
+        message = f"request from tenant {tenant!r} rejected: {reason}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline passed before it could be served."""
+
+    def __init__(self, tenant: str, budget: float, waited: float) -> None:
+        self.tenant = tenant
+        self.budget = budget
+        self.waited = waited
+        super().__init__(
+            f"request from tenant {tenant!r} missed its {budget:.3f}s "
+            f"deadline after {waited:.3f}s in queue"
+        )
+
+
+def stats_fingerprint(stats) -> str:
+    """Deterministic content hash of a run's modelled statistics.
+
+    Two executions of the same compiled plan on the same machine model
+    produce bit-identical :class:`~repro.machine.metrics.TransferStats`
+    (PR 2's replay guarantee), so equal fingerprints mean the serving
+    path did not corrupt the schedule.  The hash covers the canonical
+    JSON of every counter, including the per-link loads.
+    """
+    doc = json.dumps(stats.as_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class TransposeRequest:
+    """One tenant-attributed transpose request.
+
+    ``problem`` carries the machine/layout/algorithm description in the
+    batch layer's vocabulary (including an optional ``faults`` spec);
+    ``deadline`` is a relative budget in seconds — ``None`` means the
+    request waits as long as it must.
+    """
+
+    tenant: str
+    problem: BatchRequest
+    priority: int = 1
+    deadline: float | None = None
+    request_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("request tenant must be non-empty")
+        if self.priority < 0:
+            raise ValueError("request priority must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("request deadline must be positive seconds")
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "TransposeRequest":
+        own = {"tenant", "priority", "deadline", "request_id"}
+        problem = {k: v for k, v in d.items() if k not in own}
+        return cls(
+            tenant=d.get("tenant", ""),
+            problem=BatchRequest.from_dict(problem),
+            priority=d.get("priority", 1),
+            deadline=d.get("deadline"),
+            request_id=d.get("request_id", 0),
+        )
+
+    def as_dict(self) -> dict:
+        doc = {
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "request_id": self.request_id,
+        }
+        doc.update(
+            (f, getattr(self.problem, f))
+            for f in self.problem.__dataclass_fields__
+        )
+        return doc
+
+
+@dataclass
+class ServeOutcome:
+    """What happened to one admitted request.
+
+    ``status`` is ``"served"``, ``"deadline_missed"`` (shed at dequeue,
+    never executed) or ``"failed"`` (the executor raised; ``error``
+    holds the exception text).  Latencies are wall-clock seconds;
+    ``modelled_time`` is the simulator's own cost-model time.
+    """
+
+    request_id: int
+    tenant: str
+    status: str
+    worker: int = -1
+    algorithm: str = ""
+    cache_hit: bool = False
+    #: How a faulted request completed (``clean`` for fault-free ones;
+    #: ``resume`` / ``degraded`` / ``ladder`` otherwise).
+    resolved: str = "clean"
+    modelled_time: float = 0.0
+    queue_wait_s: float = 0.0
+    execute_s: float = 0.0
+    total_s: float = 0.0
+    key: str = ""
+    #: ``stats_fingerprint`` of the run (empty for unexecuted requests).
+    fingerprint: str = ""
+    error: str = ""
+    #: Recovery accounting dict when served resume-based, else None.
+    recovery: dict | None = field(default=None)
+
+    @property
+    def served(self) -> bool:
+        return self.status == "served"
+
+    def as_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "worker": self.worker,
+            "algorithm": self.algorithm,
+            "cache_hit": self.cache_hit,
+            "resolved": self.resolved,
+            "modelled_time": self.modelled_time,
+            "queue_wait_s": self.queue_wait_s,
+            "execute_s": self.execute_s,
+            "total_s": self.total_s,
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "error": self.error,
+            "recovery": self.recovery,
+        }

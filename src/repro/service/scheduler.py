@@ -1,0 +1,149 @@
+"""Resolve requests to plan keys and order them for the worker pool.
+
+The scheduler is the seam between the admission queue and the plan
+cache: every request is resolved **once, at submission** — machine
+parameters, layout pair, the §9 algorithm selection, and the resulting
+content address (:func:`~repro.plans.cache.plan_key`).  The content
+address doubles as the *batching compatibility key*: requests resolving
+to the same key replay the same :class:`~repro.plans.ir.CompiledPlan`,
+so the queue hands them to a single worker back-to-back and the first
+compile is amortised across the whole group (compile-once,
+serve-many).
+
+Rejections surface synchronously at :meth:`Scheduler.submit` as typed
+:class:`~repro.service.request.AdmissionRejectedError`; admitted
+requests return a :class:`PendingResult` the caller can wait on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.layout.fields import Layout
+from repro.machine.params import MachineParams
+from repro.plans.batch import resolve_problem
+from repro.plans.cache import plan_key
+from repro.service.queue import AdmissionPolicy, AdmissionQueue, QueueEntry
+from repro.service.request import ServeOutcome, TransposeRequest
+
+__all__ = ["PendingResult", "ResolvedRequest", "Scheduler", "resolve_request"]
+
+
+@dataclass(frozen=True)
+class ResolvedRequest:
+    """A request after one-time planning-side resolution."""
+
+    request: TransposeRequest
+    params: MachineParams
+    before: Layout
+    #: Explicit target layout (``None`` keeps the planner's default).
+    after: Layout | None
+    #: Concrete algorithm tier (``auto`` resolved through §9 selection).
+    algorithm: str
+    key: str
+
+
+def resolve_request(request: TransposeRequest) -> ResolvedRequest:
+    """Map a request to machine/layouts/algorithm/plan-key, validating it.
+
+    Raises :class:`ValueError` on malformed problems (bad element
+    counts, unknown layouts or machines), exactly as the batch layer
+    does — the server turns that into a synchronous rejection rather
+    than a dead queue entry.
+    """
+    from repro.transpose.planner import default_after_layout, select_algorithm
+
+    problem = request.problem
+    params = problem.machine_params()
+    before, after = resolve_problem(problem.n, problem.elements, problem.layout)
+    target = after if after is not None else default_after_layout(before)
+    name = problem.algorithm
+    if name == "auto":
+        name = select_algorithm(before, target, params.port_model)
+    if problem.faults:
+        # Validate the fault spec at admission; workers re-parse it
+        # per-request so no fault state is ever shared across machines.
+        from repro.machine.faults import FaultPlan
+
+        FaultPlan.from_spec(problem.n, problem.faults)
+    key = plan_key(params, before, target, name)
+    return ResolvedRequest(
+        request=request,
+        params=params,
+        before=before,
+        after=after,
+        algorithm=name,
+        key=key,
+    )
+
+
+class PendingResult:
+    """A slot the submitting thread can wait on for the outcome."""
+
+    __slots__ = ("_done", "_outcome")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._outcome: ServeOutcome | None = None
+
+    def fulfill(self, outcome: ServeOutcome) -> None:
+        self._outcome = outcome
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> ServeOutcome:
+        if not self._done.wait(timeout):
+            raise TimeoutError("request outcome not available yet")
+        assert self._outcome is not None
+        return self._outcome
+
+
+class Scheduler:
+    """Admission front-end plus dequeue order for the worker pool."""
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        *,
+        max_batch: int = 4,
+        clock=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        kwargs = {} if clock is None else {"clock": clock}
+        self.queue = AdmissionQueue(policy, **kwargs)
+        self.max_batch = max_batch
+        self._results: dict[int, PendingResult] = {}
+        self._lock = threading.Lock()
+
+    def submit(
+        self, resolved: ResolvedRequest, now: float | None = None
+    ) -> PendingResult:
+        """Admit a resolved request; returns the waitable result slot.
+
+        Raises :class:`AdmissionRejectedError` when a shedding gate
+        fires — nothing is enqueued and no slot is created.
+        """
+        entry = self.queue.submit(
+            resolved.request, resolved.key, now, payload=resolved
+        )
+        pending = PendingResult()
+        with self._lock:
+            self._results[entry.seq] = pending
+        return pending
+
+    def next_batch(self, timeout: float | None = None) -> list[QueueEntry]:
+        """Worker-side: the next key-compatible batch (``[]`` on close)."""
+        return self.queue.pop_batch(self.max_batch, timeout)
+
+    def fulfill(self, entry: QueueEntry, outcome: ServeOutcome) -> None:
+        with self._lock:
+            pending = self._results.pop(entry.seq, None)
+        if pending is not None:
+            pending.fulfill(outcome)
+
+    def close(self) -> None:
+        self.queue.close()

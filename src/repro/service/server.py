@@ -1,0 +1,314 @@
+"""The transpose server: pool lifecycle, aggregation, and the SLO report.
+
+:class:`TransposeServer` wires the pieces together: one thread-safe
+:class:`~repro.plans.cache.PlanCache`, one
+:class:`~repro.service.scheduler.Scheduler` (admission queue + plan-key
+resolution), and ``workers`` serving threads, each with a private
+instrumentation hub.  Submission is synchronous admission control —
+shed requests raise :class:`~repro.service.request.AdmissionRejectedError`
+before anything queues — and admitted requests return a
+:class:`~repro.service.scheduler.PendingResult`.
+
+Aggregation happens at report time, not on the hot path: worker
+registries are folded into one
+:class:`~repro.obs.metrics.MetricsRegistry` via ``merge`` (counters
+add, histograms concatenate), and every outcome is kept so the report
+can compute the serving SLOs — p50/p95/p99 latency, deadline-miss
+rate, cache-hit rate, per-tenant admission statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
+from repro.plans.cache import PlanCache
+from repro.service.queue import AdmissionPolicy
+from repro.service.request import (
+    AdmissionRejectedError,
+    ServeOutcome,
+    TransposeRequest,
+)
+from repro.service.scheduler import PendingResult, Scheduler, resolve_request
+from repro.service.worker import Worker
+
+__all__ = ["ServerConfig", "ServerReport", "TransposeServer", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The q-th percentile (0..100) by nearest-rank on sorted values."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving knobs; see :class:`~repro.service.queue.AdmissionPolicy`
+    for the shedding gates."""
+
+    workers: int = 2
+    queue_capacity: int = 64
+    tenant_pending: int | None = 16
+    tenant_rate: float | None = None
+    rate_burst: int | None = None
+    max_batch: int = 4
+    cache_capacity: int = 256
+    cache_dir: str | None = None
+    #: ``RecoveryPolicy.from_spec`` string for faulted requests
+    #: (``None`` serves them through the restart ladder instead).
+    recovery: str | None = "every=4"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("server needs at least one worker")
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "ServerConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"unknown server config field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**d)
+
+    def admission_policy(self) -> AdmissionPolicy:
+        return AdmissionPolicy(
+            capacity=self.queue_capacity,
+            tenant_pending=self.tenant_pending,
+            tenant_rate=self.tenant_rate,
+            rate_burst=self.rate_burst,
+        )
+
+
+@dataclass
+class ServerReport:
+    """JSON-safe aggregate of one serving session."""
+
+    outcomes: list[ServeOutcome]
+    rejections: dict[str, dict[str, int]]  # tenant -> reason -> count
+    cache: dict
+    queue: dict
+    workers: int
+    wall_seconds: float
+
+    def per_tenant(self) -> dict:
+        tenants: dict[str, dict] = {}
+        for tenant, reasons in self.rejections.items():
+            t = tenants.setdefault(tenant, self._blank())
+            t["rejected"] = sum(reasons.values())
+            t["rejected_by_reason"] = dict(reasons)
+        for o in self.outcomes:
+            t = tenants.setdefault(o.tenant, self._blank())
+            t["admitted"] += 1
+            if o.status == "served":
+                t["served"] += 1
+                if o.cache_hit:
+                    t["cache_hits"] += 1
+            elif o.status == "deadline_missed":
+                t["deadline_missed"] += 1
+            else:
+                t["failed"] += 1
+        return dict(sorted(tenants.items()))
+
+    @staticmethod
+    def _blank() -> dict:
+        return {
+            "admitted": 0,
+            "served": 0,
+            "cache_hits": 0,
+            "deadline_missed": 0,
+            "failed": 0,
+            "rejected": 0,
+            "rejected_by_reason": {},
+        }
+
+    def slo(self) -> dict:
+        """The serving-layer SLO summary (see docs/service.md)."""
+        served = [o for o in self.outcomes if o.status == "served"]
+        totals = [o.total_s for o in served]
+        waits = [o.queue_wait_s for o in served]
+        execs = [o.execute_s for o in served]
+        admitted = len(self.outcomes)
+        rejected = sum(
+            sum(reasons.values()) for reasons in self.rejections.values()
+        )
+        missed = sum(
+            1 for o in self.outcomes if o.status == "deadline_missed"
+        )
+        hits = sum(1 for o in served if o.cache_hit)
+        return {
+            "requests": admitted + rejected,
+            "admitted": admitted,
+            "rejected": rejected,
+            "served": len(served),
+            "failed": sum(1 for o in self.outcomes if o.status == "failed"),
+            "deadline_missed": missed,
+            "deadline_miss_rate": missed / admitted if admitted else 0.0,
+            "cache_hit_rate": hits / len(served) if served else 0.0,
+            "throughput_rps": (
+                len(served) / self.wall_seconds if self.wall_seconds else 0.0
+            ),
+            "latency_s": {
+                "total": self._pcts(totals),
+                "queue_wait": self._pcts(waits),
+                "execute": self._pcts(execs),
+            },
+        }
+
+    @staticmethod
+    def _pcts(values: list[float]) -> dict:
+        return {
+            "p50": percentile(values, 50),
+            "p95": percentile(values, 95),
+            "p99": percentile(values, 99),
+            "max": max(values) if values else 0.0,
+        }
+
+    def as_dict(self, *, with_outcomes: bool = False) -> dict:
+        doc = {
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "slo": self.slo(),
+            "tenants": self.per_tenant(),
+            "cache": self.cache,
+            "queue": self.queue,
+        }
+        if with_outcomes:
+            doc["outcomes"] = [o.as_dict() for o in self.outcomes]
+        return doc
+
+
+class TransposeServer:
+    """A pool of simulated cube machines behind an admission queue."""
+
+    def __init__(
+        self, config: ServerConfig | None = None, *, clock=None
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.cache = PlanCache(
+            capacity=self.config.cache_capacity, path=self.config.cache_dir
+        )
+        self.scheduler = Scheduler(
+            self.config.admission_policy(),
+            max_batch=self.config.max_batch,
+            clock=clock,
+        )
+        recovery = None
+        if self.config.recovery is not None:
+            from repro.recovery import RecoveryPolicy
+
+            recovery = RecoveryPolicy.from_spec(self.config.recovery)
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._outstanding = 0
+        self._outcomes: list[ServeOutcome] = []
+        self._rejections: dict[str, dict[str, int]] = {}
+        self._started_at: float | None = None
+        self._wall_seconds = 0.0
+        worker_kwargs = {} if clock is None else {"clock": clock}
+        self.workers = [
+            Worker(
+                wid,
+                self.scheduler,
+                self.cache,
+                recovery=recovery,
+                on_outcome=self._record,
+                **worker_kwargs,
+            )
+            for wid in range(self.config.workers)
+        ]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "TransposeServer":
+        self._started_at = perf_counter()
+        for worker in self.workers:
+            worker.start()
+        return self
+
+    def stop(self, *, wait: bool = True) -> None:
+        """Close admission; optionally wait for queued work to finish."""
+        if wait:
+            self.drain()
+        self.scheduler.close()
+        for worker in self.workers:
+            if worker.is_alive():
+                worker.join()
+        if self._started_at is not None:
+            self._wall_seconds = perf_counter() - self._started_at
+            self._started_at = None
+
+    def __enter__(self) -> "TransposeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self, request: TransposeRequest, now: float | None = None
+    ) -> PendingResult:
+        """Resolve + admit one request (both synchronous).
+
+        Raises :class:`ValueError` on malformed problems and
+        :class:`AdmissionRejectedError` when a shedding gate fires; the
+        rejection is counted per tenant and reason either way the
+        caller handles it.
+        """
+        resolved = resolve_request(request)
+        with self._lock:
+            try:
+                pending = self.scheduler.submit(resolved, now)
+            except AdmissionRejectedError as exc:
+                tenant = self._rejections.setdefault(request.tenant, {})
+                tenant[exc.reason] = tenant.get(exc.reason, 0) + 1
+                raise
+            self._outstanding += 1
+        return pending
+
+    def _record(self, outcome: ServeOutcome) -> None:
+        with self._lock:
+            self._outcomes.append(outcome)
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._drained.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request has an outcome."""
+        with self._lock:
+            return self._drained.wait_for(
+                lambda: self._outstanding == 0, timeout
+            )
+
+    # -- reporting -----------------------------------------------------------
+
+    def metrics(self) -> MetricsRegistry:
+        """One registry folding every worker's instruments together."""
+        merged = MetricsRegistry()
+        for worker in self.workers:
+            merged.merge(worker.instr.metrics)
+        return merged
+
+    def report(self) -> ServerReport:
+        wall = self._wall_seconds
+        if self._started_at is not None:
+            wall = perf_counter() - self._started_at
+        with self._lock:
+            return ServerReport(
+                outcomes=list(self._outcomes),
+                rejections={
+                    t: dict(r) for t, r in self._rejections.items()
+                },
+                cache=self.cache.counters(),
+                queue=self.scheduler.queue.snapshot(),
+                workers=len(self.workers),
+                wall_seconds=wall,
+            )

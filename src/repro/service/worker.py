@@ -1,0 +1,265 @@
+"""Worker threads: one simulated cube machine per request, one hub each.
+
+Every worker owns a private :class:`~repro.obs.instrumentation.Instrumentation`
+hub (the hub's span stack is deliberately not thread-safe, so hubs are
+never shared) and builds a **fresh** :class:`~repro.machine.engine.CubeNetwork`
+per request — simulated machines are cheap, and fresh state is what
+makes served results bit-identical to solo runs.  The only shared
+object on the hot path is the thread-safe
+:class:`~repro.plans.cache.PlanCache`, reached with per-call
+``observer=`` so cache events land in the owning worker's telemetry.
+
+Fault handling mirrors the batch layer but with strict isolation: a
+request carrying a ``faults`` spec gets its *own*
+:class:`~repro.machine.faults.FaultPlan` parsed per request (never a
+plan shared with another machine — see :meth:`FaultPlan.fork`), and is
+served through :func:`~repro.plans.replay.replay_degraded`, which under
+a :class:`~repro.recovery.policy.RecoveryPolicy` routes execution
+through ``execute_with_recovery`` before falling back to the planner
+ladder.
+
+Each request is a ``serve`` span (category ``service``) with the SLO
+instruments recorded on the worker's registry:
+
+- ``service_requests{tenant=,outcome=}`` — admitted work by final status;
+- ``service_cache_hits{tenant=}`` — compile-once/serve-many hit count;
+- ``service_queue_wait_s`` / ``service_execute_s`` / ``service_total_s``
+  — wall-clock latency histograms;
+- ``service_deadline_missed{tenant=}`` — requests shed at dequeue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from time import perf_counter
+
+from repro.machine.engine import CubeNetwork
+from repro.obs.instrumentation import Instrumentation
+from repro.plans.cache import PlanCache
+from repro.plans.recorder import capture_transpose, synthetic_matrix
+from repro.plans.replay import replay_plan
+from repro.service.queue import QueueEntry
+from repro.service.request import ServeOutcome, stats_fingerprint
+from repro.service.scheduler import ResolvedRequest, Scheduler
+
+__all__ = ["Worker"]
+
+
+class Worker(threading.Thread):
+    """One serving thread; drains the scheduler until it closes."""
+
+    def __init__(
+        self,
+        wid: int,
+        scheduler: Scheduler,
+        cache: PlanCache,
+        *,
+        recovery=None,
+        on_outcome=None,
+        clock=time.monotonic,
+    ) -> None:
+        super().__init__(name=f"repro-serve-{wid}", daemon=True)
+        self.wid = wid
+        self.scheduler = scheduler
+        self.cache = cache
+        self.recovery = recovery
+        self.on_outcome = on_outcome
+        self.clock = clock
+        # Per-phase leaf spans would dominate memory on long soaks;
+        # metrics and the serve spans themselves are enough.
+        self.instr = Instrumentation(phase_spans=False)
+        self.served = 0
+
+    # -- thread loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            batch = self.scheduler.next_batch(timeout=0.05)
+            if not batch:
+                if self.scheduler.queue.closed:
+                    return
+                continue
+            for entry in batch:
+                outcome = self.serve_entry(entry)
+                self.scheduler.fulfill(entry, outcome)
+                if self.on_outcome is not None:
+                    self.on_outcome(outcome)
+
+    # -- one request ---------------------------------------------------------
+
+    def serve_entry(self, entry: QueueEntry) -> ServeOutcome:
+        resolved = entry.payload
+        assert isinstance(resolved, ResolvedRequest)
+        request = entry.request
+        now = self.clock()
+        queue_wait = max(0.0, now - entry.submitted)
+        metrics = self.instr.metrics
+        metrics.histogram("service_queue_wait_s").observe(queue_wait)
+
+        if entry.deadline_at is not None and now > entry.deadline_at:
+            metrics.counter(
+                "service_deadline_missed", tenant=request.tenant
+            ).inc()
+            metrics.counter(
+                "service_requests",
+                tenant=request.tenant,
+                outcome="deadline_missed",
+            ).inc()
+            self.instr.event(
+                "deadline-missed",
+                "service",
+                tenant=request.tenant,
+                request_id=request.request_id,
+                waited=queue_wait,
+            )
+            return ServeOutcome(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                status="deadline_missed",
+                worker=self.wid,
+                queue_wait_s=queue_wait,
+                total_s=queue_wait,
+                key=entry.key,
+                error=(
+                    f"deadline {request.deadline:.3f}s exceeded after "
+                    f"{queue_wait:.3f}s in queue"
+                ),
+            )
+
+        started = perf_counter()
+        try:
+            outcome = self._execute(resolved, queue_wait)
+        except Exception as exc:
+            execute_s = perf_counter() - started
+            metrics.counter(
+                "service_requests", tenant=request.tenant, outcome="failed"
+            ).inc()
+            return ServeOutcome(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                status="failed",
+                worker=self.wid,
+                queue_wait_s=queue_wait,
+                execute_s=execute_s,
+                total_s=queue_wait + execute_s,
+                key=entry.key,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        outcome.execute_s = perf_counter() - started
+        outcome.total_s = queue_wait + outcome.execute_s
+        metrics.histogram("service_execute_s").observe(outcome.execute_s)
+        metrics.histogram("service_total_s").observe(outcome.total_s)
+        metrics.counter(
+            "service_requests", tenant=request.tenant, outcome="served"
+        ).inc()
+        if outcome.cache_hit:
+            metrics.counter(
+                "service_cache_hits", tenant=request.tenant
+            ).inc()
+        self.served += 1
+        return outcome
+
+    def _execute(
+        self, resolved: ResolvedRequest, queue_wait: float
+    ) -> ServeOutcome:
+        request = resolved.request
+        problem = request.problem
+        with self.instr.span(
+            "serve",
+            category="service",
+            tenant=request.tenant,
+            request_id=request.request_id,
+            worker=self.wid,
+            algorithm=resolved.algorithm,
+            priority=request.priority,
+        ) as span:
+            span.annotate(queue_wait_s=queue_wait)
+            if problem.faults:
+                outcome = self._execute_faulted(resolved)
+            else:
+                outcome = self._execute_clean(resolved)
+            span.annotate(
+                cache_hit=outcome.cache_hit, resolved=outcome.resolved
+            )
+        outcome.queue_wait_s = queue_wait
+        return outcome
+
+    def _execute_clean(self, resolved: ResolvedRequest) -> ServeOutcome:
+        """Fault-free path: shared cache lookup, replay on a fresh machine."""
+
+        def compile_fn():
+            from repro.transpose.planner import default_after_layout
+
+            target = (
+                resolved.after
+                if resolved.after is not None
+                else default_after_layout(resolved.before)
+            )
+            _, plan = capture_transpose(
+                resolved.params,
+                synthetic_matrix(resolved.before),
+                target,
+                algorithm=resolved.algorithm,
+            )
+            return plan
+
+        plan, hit = self.cache.get_or_compile(
+            resolved.key, compile_fn, observer=self.instr
+        )
+        network = CubeNetwork(resolved.params)
+        self.instr.attach(network)
+        replay_plan(plan, network)
+        return ServeOutcome(
+            request_id=resolved.request.request_id,
+            tenant=resolved.request.tenant,
+            status="served",
+            worker=self.wid,
+            algorithm=plan.algorithm,
+            cache_hit=hit,
+            resolved="clean",
+            modelled_time=network.stats.time,
+            key=resolved.key,
+            fingerprint=stats_fingerprint(network.stats),
+        )
+
+    def _execute_faulted(self, resolved: ResolvedRequest) -> ServeOutcome:
+        """Faulted path: per-request fault state, recovery before ladder."""
+        from repro.machine.faults import FaultPlan
+        from repro.plans.replay import replay_degraded
+
+        problem = resolved.request.problem
+        # Parsed fresh per request: no FaultPlan instance (and none of
+        # its mutable lookup indexes) is ever shared between machines.
+        faults = FaultPlan.from_spec(problem.n, problem.faults)
+        served = replay_degraded(
+            resolved.params,
+            resolved.before,
+            resolved.after,
+            faults=faults,
+            algorithm=problem.algorithm,
+            cache=self.cache,
+            observer=self.instr,
+            recovery=self.recovery,
+        )
+        rec = served.recovery
+        resolved_how = (
+            rec.resolved
+            if rec is not None
+            else ("ladder" if not served.replayed else "degraded")
+            if served.degraded
+            else "clean"
+        )
+        return ServeOutcome(
+            request_id=resolved.request.request_id,
+            tenant=resolved.request.tenant,
+            status="served",
+            worker=self.wid,
+            algorithm=served.algorithm,
+            cache_hit=served.cache_hit,
+            resolved=resolved_how,
+            modelled_time=served.stats.time,
+            key=resolved.key,
+            fingerprint=stats_fingerprint(served.stats),
+            recovery=None if rec is None else rec.as_dict(),
+        )

@@ -5,6 +5,14 @@ import json
 from repro.__main__ import main
 
 
+def unwrap(out: str, command: str):
+    """Assert the shared ``--json`` envelope and return its payload."""
+    doc = json.loads(out)
+    assert doc["schema_version"] == 1
+    assert doc["command"] == command
+    return doc["result"]
+
+
 class TestCli:
     def test_machines(self, capsys):
         assert main(["machines", "-n", "5"]) == 0
@@ -193,7 +201,7 @@ class TestCli:
 class TestCliJson:
     def test_advise_json(self, capsys):
         assert main(["advise", "--machine", "cm", "-n", "6", "--json"]) == 0
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "advise")
         assert doc["machine"]["port_model"] == "n-port"
         assert doc["ranking"][0]["rank"] == 1
         assert any(r["algorithm"] == "MPT" for r in doc["ranking"])
@@ -213,7 +221,7 @@ class TestCliJson:
             )
             == 0
         )
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "run")
         assert doc["verified"] is True
         assert doc["algorithm"] == "spt"
         assert doc["stats"]["phases"] > 0
@@ -235,14 +243,14 @@ class TestCliJson:
             )
             == 0
         )
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "run")
         assert doc["degraded"] is True
         assert doc["requested"] == "spt"
         assert doc["faults"].startswith("1 permanent")
 
     def test_machines_json(self, capsys):
         assert main(["machines", "-n", "5", "--json"]) == 0
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "machines")
         assert [m["n"] for m in doc] == [5, 5]
         assert {m["port_model"] for m in doc} == {"one-port", "n-port"}
 
@@ -306,9 +314,9 @@ class TestCliPlans:
         )
         capsys.readouterr()
         assert main(["replay", str(out), "--json"]) == 0
-        replayed = json.loads(capsys.readouterr().out)
+        replayed = unwrap(capsys.readouterr().out, "replay")
         assert main(["run", "-n", "4", "--elements", "4096", "--json"]) == 0
-        direct = json.loads(capsys.readouterr().out)
+        direct = unwrap(capsys.readouterr().out, "run")
         assert replayed["stats"] == direct["stats"]
 
     def test_replay_missing_plan_fails_cleanly(self, capsys):
@@ -326,7 +334,7 @@ class TestCliPlans:
             )
         )
         assert main(["batch", str(reqs), "--repeat", "2", "--json"]) == 0
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "batch")
         first, second = doc["runs"]
         assert first["misses"] == 2 and first["hits"] == 0
         assert second["hits"] == 2 and second["misses"] == 0

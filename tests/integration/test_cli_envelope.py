@@ -1,0 +1,158 @@
+"""The shared ``--json`` envelope and the chaos command's exit codes.
+
+Every ``--json`` command must emit
+``{"schema_version": 1, "command": <name>, "result": ...}`` so that CI
+consumers can dispatch on ``command`` instead of sniffing payload
+shapes, and ``chaos`` must map its three verdicts onto the CLI's exit
+convention: 0 = everything verified, 1 = an invariant was violated,
+2 = the soak never ran because the spec was bad.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import JSON_SCHEMA_VERSION, main
+from repro.recovery.chaos import ChaosReport, ChaosTrial
+
+
+def envelope(capsys):
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc) == {"schema_version", "command", "result"}
+    assert doc["schema_version"] == JSON_SCHEMA_VERSION
+    return doc
+
+
+class TestEnvelope:
+    @pytest.mark.parametrize(
+        "argv, command",
+        [
+            (["advise", "-n", "4", "--json"], "advise"),
+            (["run", "-n", "4", "--elements", "256", "--json"], "run"),
+            (["machines", "-n", "4", "--json"], "machines"),
+            (
+                ["chaos", "-n", "4", "--elements", "256", "--seeds", "1",
+                 "--modes", "replay", "--json"],
+                "chaos",
+            ),
+            (
+                ["loadgen", "--seed", "3", "--tenants", "2", "--requests",
+                 "6", "--shapes", "2", "--verify-sample", "2", "--json"],
+                "loadgen",
+            ),
+        ],
+    )
+    def test_commands_share_one_envelope(self, capsys, argv, command):
+        assert main(argv) == 0
+        doc = envelope(capsys)
+        assert doc["command"] == command
+        assert doc["result"]  # payload present, shape is per-command
+
+    def test_batch_and_replay_share_the_envelope(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        assert (
+            main(["plan", "-n", "4", "--elements", "256", "--out", str(plan)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["replay", str(plan), "--json"]) == 0
+        assert envelope(capsys)["command"] == "replay"
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([{"elements": 256, "n": 4}]))
+        assert main(["batch", str(reqs), "--json"]) == 0
+        assert envelope(capsys)["command"] == "batch"
+
+    def test_serve_envelope(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(
+            json.dumps([{"tenant": "a", "elements": 256, "n": 4}])
+        )
+        assert main(["serve", str(reqs), "--workers", "1", "--json"]) == 0
+        doc = envelope(capsys)
+        assert doc["command"] == "serve"
+        assert doc["result"]["slo"]["served"] == 1
+
+
+class TestChaosExitCodes:
+    def test_success_exits_zero(self, capsys):
+        assert (
+            main(
+                ["chaos", "-n", "4", "--elements", "256", "--seeds", "1",
+                 "--modes", "replay", "--recover", "every=2", "--json"]
+            )
+            == 0
+        )
+        assert envelope(capsys)["result"]["ok"] is True
+
+    def test_invariant_violation_exits_one(self, capsys, monkeypatch):
+        report = ChaosReport(
+            n=4, elements=256, layout="2d", algorithm="auto",
+            link_rate=0.03, transient_rate=0.1, window=32,
+            policy="every=2", seeds=1, modes=("replay",),
+            trials=[
+                ChaosTrial(
+                    seed=0, mode="replay", outcome="failed",
+                    detail="stats mismatch after recovery",
+                )
+            ],
+        )
+        import repro.recovery
+
+        monkeypatch.setattr(
+            repro.recovery, "run_chaos", lambda **kw: report
+        )
+        assert (
+            main(["chaos", "-n", "4", "--seeds", "1", "--json"]) == 1
+        )
+        result = envelope(capsys)["result"]
+        assert result["ok"] is False
+        assert result["outcomes"] == {"failed": 1}
+        assert "stats mismatch" in result["trials"][0]["detail"]
+
+    def test_invariant_violation_names_the_trial_in_text_mode(
+        self, capsys, monkeypatch
+    ):
+        report = ChaosReport(
+            n=4, elements=256, layout="2d", algorithm="auto",
+            link_rate=0.03, transient_rate=0.1, window=32,
+            policy="", seeds=1, modes=("cached",),
+            trials=[
+                ChaosTrial(
+                    seed=7, mode="cached", outcome="failed",
+                    detail="wrong element landed on node 3",
+                )
+            ],
+        )
+        import repro.recovery
+
+        monkeypatch.setattr(
+            repro.recovery, "run_chaos", lambda **kw: report
+        )
+        assert main(["chaos", "-n", "4", "--seeds", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED seed=7 mode=cached" in out
+        assert "verdict: FAILED" in out
+
+    def test_bad_recover_spec_exits_two_without_json(self, capsys):
+        assert (
+            main(["chaos", "--recover", "every=nope", "--json"]) == 2
+        )
+        captured = capsys.readouterr()
+        assert "bad --recover spec" in captured.err
+        assert captured.out == ""  # no envelope for input errors
+
+    def test_bad_mode_exits_two(self, capsys):
+        assert (
+            main(["chaos", "-n", "4", "--seeds", "1", "--modes", "hope"])
+            == 2
+        )
+        assert "unknown chaos mode" in capsys.readouterr().err
+
+    def test_bad_rate_exits_two(self, capsys):
+        assert (
+            main(
+                ["chaos", "-n", "4", "--seeds", "1", "--link-rate", "1.5"]
+            )
+            == 2
+        )
+        assert "fault rates must lie in [0, 1]" in capsys.readouterr().err

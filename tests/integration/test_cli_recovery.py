@@ -3,6 +3,7 @@
 import json
 
 from repro.__main__ import main
+from tests.integration.test_cli import unwrap
 
 RECOVERY_KEYS = {
     "resolved",
@@ -31,7 +32,7 @@ def plan_file(tmp_path, capsys, *extra):
 class TestRunRecoveryBlock:
     def test_run_json_always_has_recovery_block(self, capsys):
         assert main(["run", "-n", "4", "--elements", "256", "--json"]) == 0
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "run")
         assert RECOVERY_KEYS <= set(doc["recovery"])
         assert doc["recovery"]["resolved"] == "clean"
         assert doc["recovery"]["rollbacks"] == 0
@@ -44,7 +45,7 @@ class TestRunRecoveryBlock:
             )
             == 0
         )
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "run")
         assert doc["recovery"]["checkpoints"] > 0
 
     def test_run_with_faults_reports_ladder(self, capsys):
@@ -55,7 +56,7 @@ class TestRunRecoveryBlock:
             )
             == 0
         )
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "run")
         assert doc["recovery"]["resolved"] == "ladder"
         # The fault-aware ladder may route around the dead link without
         # ever tripping it, so fault_encounters only has to be present.
@@ -74,7 +75,7 @@ class TestReplayRecover:
             )
             == 0
         )
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "replay")
         assert doc["verified"] is True
         assert doc["recovery"]["resolved"] == "resume"
         assert doc["recovery"]["rollbacks"] >= 1
@@ -90,7 +91,7 @@ class TestReplayRecover:
             )
             == 0
         )
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "replay")
         assert doc["verified"] is True
         assert doc["recovery"]["resolved"].startswith("surgery-")
         assert doc["recovery"]["surgeries"]
@@ -108,7 +109,7 @@ class TestReplayRecover:
         )
         captured = capsys.readouterr()
         assert "recovery failed" in captured.err
-        doc = json.loads(captured.out)
+        doc = unwrap(captured.out, "replay")
         assert doc["verified"] is False
         assert doc["recovery"]["fault_encounters"] >= 1
 
@@ -148,7 +149,7 @@ class TestBatchRecover:
         assert (
             main(["batch", str(reqs), "--recover", "every=2", "--json"]) == 0
         )
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "batch")
         (run,) = doc["runs"]
         summary = run["recovery"]
         assert summary["faulted_requests"] == 2
@@ -175,7 +176,7 @@ class TestChaosCommand:
             )
             == 0
         )
-        doc = json.loads(capsys.readouterr().out)
+        doc = unwrap(capsys.readouterr().out, "chaos")
         assert doc["ok"] is True
         assert doc["totals"]["trials"] == 2 * 3
         assert set(doc["outcomes"]) <= {"verified", "rejected-disconnected"}

@@ -1,0 +1,134 @@
+"""The serve and loadgen commands: happy paths, artifacts, exit codes."""
+
+import json
+
+from repro.__main__ import main
+from tests.integration.test_cli import unwrap
+
+
+class TestServeCommand:
+    def test_serves_request_file(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(
+            json.dumps(
+                [
+                    {"tenant": "a", "elements": 256, "n": 4},
+                    {"tenant": "a", "elements": 256, "n": 4},
+                    {"tenant": "b", "elements": 1024, "n": 4},
+                ]
+            )
+        )
+        assert main(["serve", str(reqs), "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "served 3/3 request(s)" in out
+        assert "a: admitted 2" in out
+
+    def test_json_outcomes_flag_lists_every_request(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([{"elements": 256, "n": 4}] * 2))
+        assert (
+            main(["serve", str(reqs), "--workers", "1", "--json",
+                  "--outcomes"])
+            == 0
+        )
+        doc = unwrap(capsys.readouterr().out, "serve")
+        assert len(doc["outcomes"]) == 2
+        assert {o["status"] for o in doc["outcomes"]} == {"served"}
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["serve", "/nonexistent/reqs.json"]) == 2
+        assert "cannot load requests" in capsys.readouterr().err
+
+    def test_invalid_problem_exits_two(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([{"elements": 1000, "n": 4}]))
+        assert main(["serve", str(reqs)]) == 2
+        assert "invalid" in capsys.readouterr().err
+
+    def test_bad_config_file_exits_two(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([{"elements": 256, "n": 4}]))
+        config = tmp_path / "server.json"
+        config.write_text(json.dumps({"wrokers": 2}))
+        assert main(["serve", str(reqs), "--config", str(config)]) == 2
+        assert "bad server config" in capsys.readouterr().err
+
+    def test_config_file_overrides_flags(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([{"elements": 256, "n": 4}]))
+        config = tmp_path / "server.json"
+        config.write_text(json.dumps({"workers": 3}))
+        assert (
+            main(["serve", str(reqs), "--config", str(config),
+                  "--workers", "1", "--json"])
+            == 0
+        )
+        doc = unwrap(capsys.readouterr().out, "serve")
+        assert doc["workers"] == 3
+
+
+class TestLoadgenCommand:
+    def test_closed_loop_smoke(self, capsys):
+        assert (
+            main(
+                ["loadgen", "--seed", "7", "--tenants", "2", "--requests",
+                 "8", "--shapes", "2", "--verify-sample", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "8 request(s): 8 served" in out
+        assert "0 violation(s)" in out
+
+    def test_json_report_carries_verification_block(self, capsys):
+        assert (
+            main(
+                ["loadgen", "--seed", "3", "--tenants", "2", "--requests",
+                 "6", "--shapes", "2", "--verify-sample", "2", "--json"]
+            )
+            == 0
+        )
+        doc = unwrap(capsys.readouterr().out, "loadgen")
+        assert doc["ok"] is True
+        assert doc["verification"]["violations"] == 0
+        assert doc["spec"]["seed"] == 3
+
+    def test_out_flag_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "load.json"
+        assert (
+            main(
+                ["loadgen", "--seed", "5", "--tenants", "2", "--requests",
+                 "6", "--shapes", "2", "--verify-sample", "2",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        assert f"wrote {out}" in capsys.readouterr().err
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+
+    def test_open_loop_overload_sheds_but_exits_zero(self, capsys):
+        assert (
+            main(
+                ["loadgen", "--seed", "9", "--tenants", "2", "--requests",
+                 "30", "--shapes", "2", "--mode", "open", "--rate", "5000",
+                 "--workers", "1", "--queue-capacity", "4",
+                 "--tenant-pending", "0", "--verify-sample", "2", "--json"]
+            )
+            == 0
+        )
+        doc = unwrap(capsys.readouterr().out, "loadgen")
+        assert doc["server"]["slo"]["rejected"] > 0
+        assert doc["verification"]["violations"] == 0
+
+    def test_bad_spec_exits_two(self, capsys):
+        assert main(["loadgen", "--fault-rate", "1.5"]) == 2
+        assert "bad loadgen spec" in capsys.readouterr().err
+
+    def test_bad_mode_rejected_by_argparse(self, capsys):
+        try:
+            main(["loadgen", "--mode", "sideways"])
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:
+            raise AssertionError("argparse should reject the mode")

@@ -62,7 +62,7 @@ def test_faulted_cached_mpt_run_exports_annotated_chrome_trace(tmp_path):
         assert serve.attrs["requested"] == "mpt"
         assert serve.attrs["tier"] == first.algorithm
         assert serve.attrs["skipped"] == list(expected_skips)
-        assert "link fault" in serve.attrs["faults"]
+        assert "link fault" in serve.attrs["fault_spec"]
     assert serves[0].attrs["cache_hit"] is False
     assert serves[1].attrs["cache_hit"] is True
     # Cache events annotated onto the enclosing serve span.

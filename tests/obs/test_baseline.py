@@ -20,6 +20,15 @@ SUITE = (
                      cached=True),
 )
 
+SERVICE = BaselineScenario(
+    "t_service", "cm", 4, 1 << 8,
+    service=json.dumps({
+        "spec": {"seed": 11, "tenants": 2, "requests": 12, "shapes": 2,
+                 "n": 4, "fault_rate": 0.25},
+        "config": {"queue_capacity": 8, "tenant_pending": 4},
+    }),
+)
+
 
 class TestRunScenario:
     def test_counters_are_deterministic(self):
@@ -37,6 +46,26 @@ class TestRunScenario:
         counters = run_scenario(SUITE[0])
         assert "link_elements" not in counters
         assert "phase_times" not in counters
+
+    def test_service_scenario_pins_serving_counters(self):
+        a = run_scenario(SERVICE)
+        assert a == run_scenario(SERVICE)
+        assert a["admitted"] + a["rejected"] == a["requests"]
+        assert a["served"] + a["failed"] == a["admitted"]
+        assert json.loads(json.dumps(a)) == a  # JSON-safe scalars only
+
+    def test_service_scenario_record_check_round_trip(self, tmp_path):
+        suite = (SERVICE,)
+        record_baselines(str(tmp_path), suite)
+        assert check_baselines(str(tmp_path), suite).ok
+        # A different workload seed is a behavioural change: it must
+        # breach, proving the gate actually reads these counters.
+        doc = json.loads(SERVICE.service)
+        doc["spec"]["seed"] = 12
+        drifted = (
+            dataclasses.replace(SERVICE, service=json.dumps(doc)),
+        )
+        assert not check_baselines(str(tmp_path), drifted).ok
 
 
 class TestGate:

@@ -1,0 +1,146 @@
+"""Contention stress tests: one ``PlanCache``, many threads.
+
+The serving layer (:mod:`repro.service`) hangs a pool of workers off a
+single shared cache, so the counters must be conserved exactly under
+contention — ``hits + misses`` equals the number of ``get`` calls, the
+resident set never exceeds capacity, and per-call telemetry sinks see
+every event destined for their thread and nothing else.
+"""
+
+import threading
+
+from repro.layout import partition as pt
+from repro.machine.metrics import TransferStats
+from repro.machine.presets import intel_ipsc
+from repro.plans import PlanCache, capture_transpose, plan_key, synthetic_matrix
+
+LAYOUT = pt.two_dim_cyclic(4, 4, 2, 2)
+
+
+def _compiled_plan():
+    _, plan = capture_transpose(
+        intel_ipsc(4), synthetic_matrix(LAYOUT), algorithm="spt"
+    )
+    return plan
+
+
+class _Events:
+    """Minimal per-thread observer capturing ``on_cache`` events."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_cache(self, key, event):
+        self.events.append((key, event))
+
+
+class TestCacheContention:
+    def test_counters_conserved_across_threads(self):
+        threads_n = 8
+        gets_per_thread = 300
+        keys = [f"{i:064x}" for i in range(16)]
+        plan = _compiled_plan()
+        cache = PlanCache(capacity=8)
+
+        barrier = threading.Barrier(threads_n)
+        errors = []
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for i in range(gets_per_thread):
+                    key = keys[(tid * 7 + i) % len(keys)]
+                    got = cache.get(key)
+                    if got is None:
+                        cache.put(key, plan)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        counters = cache.counters()
+        assert counters["hits"] + counters["misses"] == threads_n * gets_per_thread
+        assert counters["resident"] <= cache.capacity
+        assert len(cache) <= cache.capacity
+        # Every miss triggered a put; stores and evictions must balance
+        # the resident set: stores - evictions == resident.
+        assert counters["stores"] - counters["evictions"] == counters["resident"]
+
+    def test_get_or_compile_single_key_mostly_hits(self):
+        threads_n = 8
+        rounds = 50
+        plan = _compiled_plan()
+        key = plan_key(intel_ipsc(4), LAYOUT, None, "spt")
+        cache = PlanCache(capacity=4)
+        compiles = []
+        lock = threading.Lock()
+
+        def compile_fn():
+            with lock:
+                compiles.append(1)
+            return plan
+
+        barrier = threading.Barrier(threads_n)
+
+        def worker():
+            barrier.wait()
+            for _ in range(rounds):
+                got, _hit = cache.get_or_compile(key, compile_fn)
+                assert got is plan
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        counters = cache.counters()
+        total = threads_n * rounds
+        assert counters["hits"] + counters["misses"] == total
+        # The documented race allows a few duplicate compiles at startup,
+        # never more than one per thread, and the steady state is all hits.
+        assert len(compiles) == counters["misses"]
+        assert counters["misses"] <= threads_n
+        assert counters["hits"] >= total - threads_n
+
+    def test_per_call_sinks_are_attributed_to_their_thread(self):
+        threads_n = 6
+        gets_per_thread = 100
+        plan = _compiled_plan()
+        cache = PlanCache(capacity=8)
+        key = "ab" * 32
+        cache.put(key, plan)
+
+        results = {}
+        barrier = threading.Barrier(threads_n)
+
+        def worker(tid):
+            stats = TransferStats()
+            events = _Events()
+            barrier.wait()
+            for _ in range(gets_per_thread):
+                assert cache.get(key, stats=stats, observer=events) is plan
+            results[tid] = (stats, events)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for stats, events in results.values():
+            # Each thread's private sinks saw exactly its own events —
+            # no cross-wiring through shared cache state.
+            assert stats.plan_hits == gets_per_thread
+            assert stats.plan_misses == 0
+            assert events.events == [(key, "hit")] * gets_per_thread
+        assert cache.counters()["hits"] == threads_n * gets_per_thread

@@ -1,0 +1,128 @@
+"""Admission queue: shedding gates, EDF-within-priority, batching."""
+
+import pytest
+
+from repro.plans.batch import BatchRequest
+from repro.service import (
+    AdmissionPolicy,
+    AdmissionQueue,
+    AdmissionRejectedError,
+    TransposeRequest,
+)
+
+PROBLEM = BatchRequest(elements=256, n=4)
+
+
+def request(rid=0, tenant="t0", priority=1, deadline=None):
+    return TransposeRequest(
+        tenant=tenant,
+        problem=PROBLEM,
+        priority=priority,
+        deadline=deadline,
+        request_id=rid,
+    )
+
+
+def logical_queue(policy=None, start=0.0):
+    """A queue on a controllable logical clock."""
+    state = {"now": start}
+    q = AdmissionQueue(policy, clock=lambda: state["now"])
+    return q, state
+
+
+class TestAdmissionGates:
+    def test_queue_full_backpressure(self):
+        q, _ = logical_queue(AdmissionPolicy(capacity=2, tenant_pending=None))
+        q.submit(request(0), "k")
+        q.submit(request(1), "k")
+        with pytest.raises(AdmissionRejectedError) as err:
+            q.submit(request(2), "k")
+        assert err.value.reason == "queue_full"
+        assert len(q) == 2
+
+    def test_tenant_quota_isolates_noisy_tenant(self):
+        q, _ = logical_queue(AdmissionPolicy(capacity=10, tenant_pending=2))
+        q.submit(request(0, "noisy"), "k")
+        q.submit(request(1, "noisy"), "k")
+        with pytest.raises(AdmissionRejectedError) as err:
+            q.submit(request(2, "noisy"), "k")
+        assert err.value.reason == "tenant_quota"
+        # A quieter tenant is unaffected by the noisy one's quota.
+        q.submit(request(3, "quiet"), "k")
+        assert q.snapshot()["pending_by_tenant"] == {"noisy": 2, "quiet": 1}
+
+    def test_rate_limit_on_logical_clock(self):
+        q, state = logical_queue(
+            AdmissionPolicy(
+                capacity=100,
+                tenant_pending=None,
+                tenant_rate=2.0,
+                rate_burst=2,
+            )
+        )
+        q.submit(request(0), "k")
+        q.submit(request(1), "k")
+        with pytest.raises(AdmissionRejectedError) as err:
+            q.submit(request(2), "k")
+        assert err.value.reason == "rate_limited"
+        # Half a second refills one token at 2 req/s.
+        state["now"] = 0.5
+        q.submit(request(3), "k")
+
+    def test_closed_queue_rejects(self):
+        q, _ = logical_queue()
+        q.close()
+        with pytest.raises(AdmissionRejectedError) as err:
+            q.submit(request(), "k")
+        assert err.value.reason == "closed"
+
+
+class TestOrdering:
+    def test_priority_then_deadline_then_fifo(self):
+        q, _ = logical_queue()
+        q.submit(request(0, priority=2), "a")
+        q.submit(request(1, priority=0, deadline=9.0), "b")
+        q.submit(request(2, priority=0, deadline=1.0), "c")
+        q.submit(request(3, priority=1), "d")
+        q.submit(request(4, priority=1), "e")
+        order = [
+            q.pop_batch(1)[0].request.request_id for _ in range(5)
+        ]
+        # Urgent first; EDF within the tied priority; FIFO last.
+        assert order == [2, 1, 3, 4, 0]
+
+    def test_pop_batch_coalesces_same_plan_key(self):
+        q, _ = logical_queue()
+        q.submit(request(0), "shared")
+        q.submit(request(1), "other")
+        q.submit(request(2), "shared")
+        q.submit(request(3), "shared")
+        batch = q.pop_batch(3)
+        assert [e.request.request_id for e in batch] == [0, 2, 3]
+        assert {e.key for e in batch} == {"shared"}
+        # The heap skips lazily-deleted entries; the other key is intact.
+        rest = q.pop_batch(3)
+        assert [e.request.request_id for e in rest] == [1]
+        assert len(q) == 0
+
+    def test_batched_entries_release_tenant_pending(self):
+        q, _ = logical_queue(AdmissionPolicy(capacity=10, tenant_pending=2))
+        q.submit(request(0, "t"), "k")
+        q.submit(request(1, "t"), "k")
+        q.pop_batch(2)
+        # Quota freed: the tenant can submit again.
+        q.submit(request(2, "t"), "k")
+        q.submit(request(3, "t"), "k")
+
+
+class TestDrainAndClose:
+    def test_pop_after_close_drains_then_returns_empty(self):
+        q, _ = logical_queue()
+        q.submit(request(0), "k")
+        q.close()
+        assert [e.request.request_id for e in q.pop_batch(4)] == [0]
+        assert q.pop_batch(4) == []
+
+    def test_pop_timeout_returns_empty(self):
+        q, _ = logical_queue()
+        assert q.pop_batch(1, timeout=0.01) == []

@@ -1,0 +1,77 @@
+"""Request vocabulary: validation, round-trips, typed errors."""
+
+import pytest
+
+from repro.plans.batch import BatchRequest
+from repro.service import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    ServeOutcome,
+    ServiceError,
+    TransposeRequest,
+)
+
+
+def request(**kw):
+    base = dict(
+        tenant="acme", problem=BatchRequest(elements=256, n=4), request_id=1
+    )
+    base.update(kw)
+    return TransposeRequest(**base)
+
+
+class TestTransposeRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tenant"):
+            request(tenant="")
+        with pytest.raises(ValueError, match="priority"):
+            request(priority=-1)
+        with pytest.raises(ValueError, match="deadline"):
+            request(deadline=0)
+
+    def test_dict_round_trip(self):
+        req = request(priority=2, deadline=0.5)
+        doc = req.as_dict()
+        assert doc["tenant"] == "acme"
+        assert doc["elements"] == 256
+        assert TransposeRequest.from_dict(doc) == req
+
+    def test_from_dict_rejects_unknown_problem_fields(self):
+        with pytest.raises(ValueError, match="unknown batch request"):
+            TransposeRequest.from_dict(
+                {"tenant": "a", "elements": 256, "bogus": 1}
+            )
+
+
+class TestErrors:
+    def test_rejection_carries_reason_and_tenant(self):
+        exc = AdmissionRejectedError("queue_full", "acme", "depth 64")
+        assert isinstance(exc, ServiceError)
+        assert exc.reason == "queue_full"
+        assert exc.tenant == "acme"
+        assert "queue_full" in str(exc) and "depth 64" in str(exc)
+
+    def test_deadline_error_reports_budget(self):
+        exc = DeadlineExceededError("acme", 0.25, 0.4)
+        assert isinstance(exc, ServiceError)
+        assert "0.250s" in str(exc)
+
+
+class TestServeOutcome:
+    def test_as_dict_and_served_flag(self):
+        ok = ServeOutcome(request_id=1, tenant="a", status="served")
+        missed = ServeOutcome(
+            request_id=2, tenant="a", status="deadline_missed"
+        )
+        assert ok.served and not missed.served
+        doc = ok.as_dict()
+        assert doc["status"] == "served"
+        assert set(doc) >= {
+            "request_id",
+            "tenant",
+            "queue_wait_s",
+            "execute_s",
+            "total_s",
+            "fingerprint",
+            "recovery",
+        }
