@@ -452,6 +452,8 @@ def cmd_chaos(args) -> int:
             link_rate=args.link_rate,
             transient_rate=args.transient_rate,
             window=args.window,
+            corrupt_rate=args.corrupt,
+            corrupt_intensity=args.corrupt_intensity,
             policy=policy,
             progress=progress,
         )
@@ -849,6 +851,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc.add_argument(
         "--window", type=int, default=32, help="transient phase window"
+    )
+    pc.add_argument(
+        "--corrupt",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="silent-corruption per-directed-link probability "
+        "(checksummed delivery detects and retransmits)",
+    )
+    pc.add_argument(
+        "--corrupt-intensity",
+        dest="corrupt_intensity",
+        type=float,
+        default=0.4,
+        metavar="RATE",
+        help="per-phase strike probability on a corrupting link",
     )
     pc.add_argument(
         "--recover",

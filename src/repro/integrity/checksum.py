@@ -1,0 +1,100 @@
+"""Payload checksums and the seeded damage model.
+
+Checksums are CRC-32 over a block's canonical bytes, mixed with its key:
+a block delivered under the wrong key (a routing bug) fails verification
+just like damaged bytes do.  Virtual blocks (size-only, used by the
+benchmark harness to price huge matrices) checksum their ``(key, size)``
+identity — there are no payload bytes to protect, but the integrity
+machinery still exercises the same control flow.
+
+The damage model is *checksum-visible by construction*: ``bitflip``
+flips a single seeded bit (always CRC-32-detectable), ``scramble``
+XOR-damages and reverses a seeded byte span, and both re-strike until
+the damaged checksum actually differs from the clean one — so a struck
+delivery can never be a silent no-op and detection is exact, not
+probabilistic.  That is what makes the chaos acceptance property
+("never a silently wrong matrix") absolute.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Hashable
+
+import numpy as np
+
+from repro.machine.faults import CorruptionFault
+from repro.machine.message import Block
+
+__all__ = [
+    "block_checksum",
+    "damaged_checksum",
+    "memories_digest",
+]
+
+
+def _key_crc(key: Hashable, crc: int = 0) -> int:
+    return zlib.crc32(repr(key).encode(), crc)
+
+
+def block_checksum(block: Block) -> int:
+    """CRC-32 of the block's payload bytes, bound to its key."""
+    if block.data is not None:
+        crc = zlib.crc32(np.ascontiguousarray(block.data).tobytes())
+    else:
+        crc = zlib.crc32(repr(block.virtual_size).encode())
+    return _key_crc(block.key, crc)
+
+
+def damaged_checksum(
+    block: Block, fault: CorruptionFault, phase: int, attempt: int
+) -> int:
+    """Checksum of the payload as one strike would damage it.
+
+    Guaranteed to differ from :func:`block_checksum`: the damage loop
+    keeps flipping seeded bits until the CRC moves (a single extra flip
+    always suffices for CRC-32).
+    """
+    clean = block_checksum(block)
+    rng = random.Random(fault.damage_seed(phase, attempt))
+    if block.data is None:
+        # Virtual payloads have no bytes; damage the identity token.
+        return clean ^ (1 + rng.randrange(0xFFFFFFFE))
+    buf = bytearray(np.ascontiguousarray(block.data).tobytes())
+    if not buf:
+        return clean ^ (1 + rng.randrange(0xFFFFFFFE))
+    if fault.mode == "scramble":
+        lo = rng.randrange(len(buf))
+        hi = min(len(buf), lo + 1 + rng.randrange(8))
+        buf[lo:hi] = reversed(buf[lo:hi])
+        buf[lo] ^= 1 + rng.randrange(255)
+    else:  # bitflip
+        bit = rng.randrange(len(buf) * 8)
+        buf[bit >> 3] ^= 1 << (bit & 7)
+    crc = _key_crc(block.key, zlib.crc32(bytes(buf)))
+    while crc == clean:  # pragma: no cover - CRC-32 detects single flips
+        bit = rng.randrange(len(buf) * 8)
+        buf[bit >> 3] ^= 1 << (bit & 7)
+        crc = _key_crc(block.key, zlib.crc32(bytes(buf)))
+    return crc
+
+
+def memories_digest(snapshots: list[dict[Hashable, Block]]) -> int:
+    """Order-independent digest of a full memory snapshot set.
+
+    Used by :class:`~repro.recovery.checkpoint.CheckpointManager` to seal
+    each checkpoint at capture and validate it before any rollback —
+    "never resume from a corrupted checkpoint".  Keys within a node are
+    visited in ``repr`` order so the digest does not depend on dict
+    insertion history.
+    """
+    crc = 0
+    for node, snap in enumerate(snapshots):
+        crc = zlib.crc32(str(node).encode(), crc)
+        for key in sorted(snap, key=repr):
+            crc = _key_crc(key, crc)
+            crc = zlib.crc32(
+                block_checksum(snap[key]).to_bytes(4, "little"), crc
+            )
+    return crc

@@ -1,0 +1,81 @@
+"""Per-link health accounting: who delivers clean, who keeps corrupting.
+
+The scoreboard is pure bookkeeping — no policy.  It counts, per directed
+link, clean deliveries, detected corruptions and retransmissions, and
+remembers which links the :class:`~repro.integrity.manager.IntegrityManager`
+has quarantined.  Reports (chaos trials, the CLI, CI artifacts) serialize
+it via :meth:`LinkScoreboard.as_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkHealth", "LinkScoreboard"]
+
+
+@dataclass
+class LinkHealth:
+    """Counters for one directed link."""
+
+    deliveries: int = 0
+    corruptions: int = 0
+    retransmits: int = 0
+    quarantined: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "deliveries": self.deliveries,
+            "corruptions": self.corruptions,
+            "retransmits": self.retransmits,
+            "quarantined": self.quarantined,
+        }
+
+
+class LinkScoreboard:
+    """Health counters for every directed link that moved checksummed data."""
+
+    def __init__(self) -> None:
+        self._links: dict[tuple[int, int], LinkHealth] = {}
+
+    def health(self, link: tuple[int, int]) -> LinkHealth:
+        entry = self._links.get(link)
+        if entry is None:
+            entry = self._links[link] = LinkHealth()
+        return entry
+
+    # -- recording -----------------------------------------------------------
+
+    def record_delivery(self, link: tuple[int, int]) -> None:
+        self.health(link).deliveries += 1
+
+    def record_corruption(self, link: tuple[int, int]) -> None:
+        self.health(link).corruptions += 1
+
+    def record_retransmit(self, link: tuple[int, int]) -> None:
+        self.health(link).retransmits += 1
+
+    def mark_quarantined(self, link: tuple[int, int]) -> None:
+        self.health(link).quarantined = True
+
+    # -- queries -------------------------------------------------------------
+
+    def corruptions(self, link: tuple[int, int]) -> int:
+        entry = self._links.get(link)
+        return 0 if entry is None else entry.corruptions
+
+    def quarantined_links(self) -> set[tuple[int, int]]:
+        return {
+            link for link, h in self._links.items() if h.quarantined
+        }
+
+    def flaky_links(self) -> set[tuple[int, int]]:
+        """Links with at least one detected corruption (quarantined or not)."""
+        return {link for link, h in self._links.items() if h.corruptions}
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary, links stringified and sorted."""
+        return {
+            f"{src}->{dst}": self._links[(src, dst)].as_dict()
+            for src, dst in sorted(self._links)
+        }

@@ -56,7 +56,11 @@ class CubeNetwork:
     """
 
     def __init__(
-        self, params: MachineParams, *, faults: FaultPlan | None = None
+        self,
+        params: MachineParams,
+        *,
+        faults: FaultPlan | None = None,
+        integrity=None,
     ) -> None:
         if faults is not None and faults.n != params.n:
             raise ValueError(
@@ -69,6 +73,16 @@ class CubeNetwork:
         #: Optional :class:`repro.machine.faults.FaultPlan`; deliveries over
         #: a faulted link or node raise the typed fault errors.
         self.faults = faults
+        #: Optional :class:`repro.integrity.manager.IntegrityManager`
+        #: arming end-to-end checksums on every delivery.  A fault plan
+        #: carrying corruption faults auto-arms one — silent corruption
+        #: can never run unchecked — and callers may pass their own to
+        #: force checksums on a healthy machine (overhead measurement).
+        if integrity is None and faults is not None and faults.corruption_faults:
+            from repro.integrity.manager import IntegrityManager
+
+            integrity = IntegrityManager()
+        self.integrity = integrity
         #: Optional observer with ``on_phase(transfers, duration)``,
         #: ``on_local(elements, duration)`` and (optionally)
         #: ``on_fault(src, dst, phase, kind)`` hooks — see
@@ -141,6 +155,19 @@ class CubeNetwork:
                         msg.src, msg.dst, phase_now, lf.kind
                     )
 
+        # Quarantined links are permanently dead from the phase after
+        # their quarantine: scheduling over one is the same pre-movement,
+        # memories-untouched abort as a permanent link fault.
+        integrity = self.integrity
+        if integrity is not None and integrity.has_quarantined:
+            phase_now = self.stats.phases
+            for msg in messages:
+                if integrity.is_quarantined(msg.src, msg.dst):
+                    self._notice_fault(
+                        msg.src, msg.dst, phase_now, "quarantine"
+                    )
+                    integrity.check_link(msg.src, msg.dst, phase_now)
+
         # Validate edges and gather per-link loads.
         link_cost: dict[tuple[int, int], float] = {}
         link_msgs: dict[tuple[int, int], int] = {}
@@ -177,6 +204,28 @@ class CubeNetwork:
                 )
             packets = params.packets_for(elements)
             cost = params.message_time(elements)
+            if integrity is not None:
+                # Checksummed (ARQ) delivery: verify at delivery, pay for
+                # retransmissions on this link, quarantine repeat
+                # offenders, abort the phase (memories untouched) when
+                # the retransmit budget is exhausted.
+                phase_now = self.stats.phases
+                fault = (
+                    self.faults.corruption_fault(msg.src, msg.dst, phase_now)
+                    if self.faults is not None
+                    else None
+                )
+                blocks = [self.memories[msg.src].get(key) for key in msg.keys]
+                try:
+                    cost += integrity.deliver(
+                        msg, blocks, elements, cost, fault, phase_now,
+                        self.stats,
+                    )
+                except Exception:
+                    self._notice_fault(
+                        msg.src, msg.dst, phase_now, "corruption"
+                    )
+                    raise
             link_cost[link] = link_cost.get(link, 0.0) + cost
             link_msgs[link] = link_msgs.get(link, 0) + 1
             costed.append((msg, elements, packets, cost))

@@ -17,6 +17,15 @@ executed so far), which is the simulator's only clock: a fault is active
 during ``[start, end)`` phases, with ``end=None`` meaning permanent.
 Everything is deterministic — the same seed yields the same plan, and a
 faulted run replays exactly.
+
+Besides the fail-stop faults above, a plan can carry *silent*
+:class:`CorruptionFault`\\ s: links that deliver, but deliver damaged
+payloads.  Corruption is not fail-stop — the engine only notices it when
+end-to-end checksums are armed (:mod:`repro.integrity`), which is why a
+corrupting link deliberately does **not** count as faulted for planner
+feasibility: the schedule still runs over it, and integrity machinery
+(detect, retransmit, quarantine) is what turns a silent wrong answer
+into a typed, recoverable event.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from dataclasses import dataclass, field
 from repro.cube.topology import is_edge
 
 __all__ = [
+    "CorruptionFault",
     "DisconnectedCubeError",
     "FaultError",
     "FaultKind",
@@ -148,6 +158,91 @@ class NodeFault:
         return self.start <= phase and (self.end is None or phase < self.end)
 
 
+#: Allowed payload-damage modes for :class:`CorruptionFault`.
+CORRUPTION_MODES = ("bitflip", "scramble")
+
+
+@dataclass(frozen=True)
+class CorruptionFault:
+    """A *silent* fault: link ``src->dst`` delivers damaged payloads.
+
+    Unlike :class:`LinkFault`, a corrupting link still delivers — the
+    engine raises nothing unless end-to-end checksums are armed.  While
+    active during phases ``[start, end)``, each delivery attempt over
+    the link is independently struck with probability ``rate``; the
+    decision is a pure function of ``(seed, src, dst, phase, attempt)``,
+    so a corrupted run replays bit-for-bit and a *retransmit* (next
+    ``attempt``) redraws its fate.
+
+    ``mode`` picks the damage model: ``bitflip`` flips one seeded bit of
+    the payload, ``scramble`` reverses a seeded byte span — both are
+    guaranteed to actually change the bytes, so a strike is never a
+    silent no-op.
+    """
+
+    src: int
+    dst: int
+    start: int = 0
+    end: int | None = None
+    rate: float = 1.0
+    mode: str = "bitflip"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("fault start phase must be non-negative")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("fault end phase must exceed its start")
+        if not is_edge(self.src, self.dst):
+            raise ValueError(
+                f"({self.src}, {self.dst}) is not a cube edge; corruption "
+                "faults apply to directed cube links"
+            )
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError("corruption rate must lie in (0, 1]")
+        if self.mode not in CORRUPTION_MODES:
+            raise ValueError(
+                f"corruption mode must be one of {CORRUPTION_MODES}, "
+                f"got {self.mode!r}"
+            )
+
+    @property
+    def kind(self) -> FaultKind:
+        return FaultKind.PERMANENT if self.end is None else FaultKind.TRANSIENT
+
+    def active(self, phase: int) -> bool:
+        return self.start <= phase and (self.end is None or phase < self.end)
+
+    def strikes(self, phase: int, attempt: int = 0) -> bool:
+        """Does delivery ``attempt`` at ``phase`` get corrupted?
+
+        Deterministic per ``(seed, src, dst, phase, attempt)``: the same
+        plan replays identically, and each retransmit redraws.
+        """
+        if not self.active(phase):
+            return False
+        if self.rate >= 1.0:
+            return True
+        mix = (
+            (self.seed & 0xFFFFFFFF) * 0x9E3779B1
+            ^ self.src * 0x85EBCA77
+            ^ self.dst * 0xC2B2AE3D
+            ^ phase * 0x27D4EB2F
+            ^ attempt * 0x165667B1
+        )
+        return random.Random(mix).random() < self.rate
+
+    def damage_seed(self, phase: int, attempt: int) -> int:
+        """Seed for the payload-damage RNG of one struck delivery."""
+        return (
+            (self.seed & 0xFFFFFFFF) * 0x2545F491
+            ^ self.src * 0xFF51AFD7
+            ^ self.dst * 0xC4CEB9FE
+            ^ phase * 0x9E3779B9
+            ^ attempt * 0x94D049BB
+        ) & 0x7FFFFFFF
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """An immutable, reproducible schedule of injected faults.
@@ -162,11 +257,15 @@ class FaultPlan:
     link_faults: tuple[LinkFault, ...] = ()
     node_faults: tuple[NodeFault, ...] = ()
     seed: int | None = None
+    corruption_faults: tuple[CorruptionFault, ...] = ()
 
     _links_by_edge: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
     _nodes_by_id: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _corruption_by_edge: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
 
@@ -177,6 +276,10 @@ class FaultPlan:
             object.__setattr__(self, "link_faults", tuple(self.link_faults))
         if not isinstance(self.node_faults, tuple):
             object.__setattr__(self, "node_faults", tuple(self.node_faults))
+        if not isinstance(self.corruption_faults, tuple):
+            object.__setattr__(
+                self, "corruption_faults", tuple(self.corruption_faults)
+            )
         for f in self.link_faults:
             if f.src >> self.n or f.dst >> self.n:
                 raise ValueError(
@@ -187,12 +290,22 @@ class FaultPlan:
             if f.node >> self.n:
                 raise ValueError(f"node fault {f.node} outside {self.n}-cube")
             self._nodes_by_id.setdefault(f.node, []).append(f)
+        for f in self.corruption_faults:
+            if f.src >> self.n or f.dst >> self.n:
+                raise ValueError(
+                    f"corruption fault {f.src}->{f.dst} outside {self.n}-cube"
+                )
+            self._corruption_by_edge.setdefault((f.src, f.dst), []).append(f)
 
     # -- queries ---------------------------------------------------------------
 
     @property
     def is_empty(self) -> bool:
-        return not self.link_faults and not self.node_faults
+        return (
+            not self.link_faults
+            and not self.node_faults
+            and not self.corruption_faults
+        )
 
     def link_fault(self, src: int, dst: int, phase: int) -> LinkFault | None:
         """The fault making directed link ``src->dst`` dead at ``phase``."""
@@ -200,6 +313,25 @@ class FaultPlan:
             if f.active(phase):
                 return f
         return None
+
+    def corruption_fault(
+        self, src: int, dst: int, phase: int
+    ) -> CorruptionFault | None:
+        """The active corruption fault on ``src->dst`` at ``phase``, if any."""
+        for f in self._corruption_by_edge.get((src, dst), ()):
+            if f.active(phase):
+                return f
+        return None
+
+    def corrupting_links_ever(self) -> set[tuple[int, int]]:
+        """Directed links that corrupt at *some* phase.
+
+        Deliberately **not** part of :meth:`faulted_links_ever`: a
+        corrupting link still delivers, so schedules remain feasible
+        over it — quarantine (see :mod:`repro.integrity`) is what
+        reactively promotes a repeat offender to dead.
+        """
+        return set(self._corruption_by_edge)
 
     def node_fault(self, node: int, phase: int) -> NodeFault | None:
         """The fault making ``node`` dead at ``phase``."""
@@ -289,7 +421,11 @@ class FaultPlan:
         request.
         """
         return FaultPlan(
-            self.n, self.link_faults, self.node_faults, seed=self.seed
+            self.n,
+            self.link_faults,
+            self.node_faults,
+            seed=self.seed,
+            corruption_faults=self.corruption_faults,
         )
 
     def describe(self) -> str:
@@ -302,6 +438,10 @@ class FaultPlan:
             f"{perm_l} permanent + {trans_l} transient link fault(s)",
             f"{perm_n} permanent + {trans_n} transient node fault(s)",
         ]
+        if self.corruption_faults:
+            parts.append(
+                f"{len(self.corruption_faults)} corrupting link(s)"
+            )
         tail = f" [seed={self.seed}]" if self.seed is not None else ""
         return ", ".join(parts) + tail
 
@@ -322,25 +462,45 @@ class FaultPlan:
         transient_rate: float = 0.0,
         window: int = 64,
         node_failures: tuple[int, ...] = (),
+        transient_nodes: tuple[tuple[int, int, int], ...] = (),
         extra_links: tuple[tuple[int, int], ...] = (),
         extra_transient: tuple[tuple[int, int, int, int], ...] = (),
+        corrupt_rate: float = 0.0,
+        corrupt_intensity: float = 0.4,
+        extra_corrupt: tuple[tuple[int, int, int, int], ...] = (),
     ) -> "FaultPlan":
         """A seeded random plan: reproducible fault scenarios.
 
         Each of the ``N * n`` directed links fails permanently with
         probability ``link_rate``, else transiently with probability
         ``transient_rate`` (a random sub-interval of ``[0, window)``
-        phases).  ``node_failures`` kills whole nodes permanently,
-        ``extra_links`` adds explicit permanent directed-link faults, and
-        ``extra_transient`` adds explicit transient link faults as
-        ``(src, dst, start, end)`` windows.
+        phases), else *corrupts silently* with probability
+        ``corrupt_rate`` (a random window during which each delivery is
+        struck with probability ``corrupt_intensity``).
+        ``node_failures`` kills whole nodes permanently,
+        ``transient_nodes`` adds healing node faults as
+        ``(node, start, end)`` windows, ``extra_links`` adds explicit
+        permanent directed-link faults, ``extra_transient`` adds
+        explicit transient link faults as ``(src, dst, start, end)``
+        windows, and ``extra_corrupt`` adds explicit corrupting links as
+        ``(src, dst, start, end)`` windows (``rate=1.0``: every delivery
+        in the window is struck).
+
+        The per-link draws for corruption are guarded so that
+        ``corrupt_rate=0`` consumes no RNG state: plans generated by
+        earlier releases replay byte-identically.
         """
         if not 0.0 <= link_rate <= 1.0 or not 0.0 <= transient_rate <= 1.0:
             raise ValueError("fault rates must lie in [0, 1]")
+        if not 0.0 <= corrupt_rate <= 1.0:
+            raise ValueError("fault rates must lie in [0, 1]")
+        if not 0.0 < corrupt_intensity <= 1.0:
+            raise ValueError("corrupt_intensity must lie in (0, 1]")
         if window < 1:
             raise ValueError("transient window must be at least 1 phase")
         rng = random.Random(seed)
         links: list[LinkFault] = []
+        corruptions: list[CorruptionFault] = []
         for x in range(1 << n):
             for d in range(n):
                 y = x ^ (1 << d)
@@ -350,12 +510,38 @@ class FaultPlan:
                     start = rng.randrange(window)
                     span = 1 + rng.randrange(max(1, window // 8))
                     links.append(LinkFault(x, y, start, start + span))
+                elif corrupt_rate and rng.random() < corrupt_rate:
+                    start = rng.randrange(window)
+                    span = 1 + rng.randrange(max(1, window // 4))
+                    corruptions.append(
+                        CorruptionFault(
+                            x,
+                            y,
+                            start,
+                            start + span,
+                            rate=corrupt_intensity,
+                            mode=CORRUPTION_MODES[rng.randrange(2)],
+                            seed=rng.randrange(1 << 30),
+                        )
+                    )
         for src, dst in extra_links:
             links.append(LinkFault(src, dst))
         for src, dst, start, end in extra_transient:
             links.append(LinkFault(src, dst, start, end))
-        nodes = tuple(NodeFault(x) for x in node_failures)
-        return cls(n, tuple(links), nodes, seed=seed)
+        nodes = [NodeFault(x) for x in node_failures]
+        for node, start, end in transient_nodes:
+            nodes.append(NodeFault(node, start, end))
+        for src, dst, start, end in extra_corrupt:
+            corruptions.append(
+                CorruptionFault(src, dst, start, end, seed=seed or 0)
+            )
+        return cls(
+            n,
+            tuple(links),
+            tuple(nodes),
+            seed=seed,
+            corruption_faults=tuple(corruptions),
+        )
 
     @classmethod
     def from_spec(cls, n: int, spec: str) -> "FaultPlan":
@@ -366,14 +552,24 @@ class FaultPlan:
         * ``seed``            — RNG seed (default 0);
         * ``link_rate``       — permanent per-directed-link failure rate;
         * ``transient_rate``  — transient per-link failure rate;
+        * ``corrupt_rate``    — silent per-link corruption rate;
+        * ``corrupt_intensity`` — per-delivery strike probability on a
+          randomly drawn corrupting link (default 0.4);
         * ``window``          — transient phase window (default 64);
         * ``nodes``           — ``+``-separated dead node list, e.g. ``3+9``;
+        * ``tnodes``          — ``+``-separated transient nodes
+          ``node@start-end`` (dead during phases ``[start, end)``);
         * ``links``           — ``+``-separated directed links ``src-dst``;
         * ``tlinks``          — ``+``-separated transient directed links
-          ``src-dst@start-end`` (faulted during phases ``[start, end)``).
+          ``src-dst@start-end`` (faulted during phases ``[start, end)``);
+        * ``clinks``          — ``+``-separated silently corrupting links
+          ``src-dst@start-end`` (every delivery in the window is struck;
+          detection requires checksums, see :mod:`repro.integrity`).
 
-        Example: ``seed=7,link_rate=0.02,nodes=5,links=0-1+6-4`` or
-        ``tlinks=0-1@3-9`` for a link dead only during phases 3..8.
+        Example: ``seed=7,link_rate=0.02,nodes=5,links=0-1+6-4``,
+        ``tlinks=0-1@3-9`` for a link dead only during phases 3..8, or
+        ``clinks=0-1@0-16`` for a link that delivers damaged payloads
+        during the first 16 phases.
 
         Malformed tokens raise :class:`ValueError` naming the offending
         token: a bad separator, an out-of-range node id (the cube has
@@ -433,36 +629,59 @@ class FaultPlan:
                 parse_node(dst_text, key, token),
             )
 
-        def parse_tlink(token: str) -> tuple[int, int, int, int]:
-            link_text, sep, window_text = token.partition("@")
-            if not sep or not window_text:
-                raise ValueError(
-                    f"fault spec tlinks token {token!r} is not of the form "
-                    "src-dst@start-end"
-                )
-            src, dst = parse_link(link_text, "tlinks", token)
+        def parse_window(
+            window_text: str, key: str, token: str
+        ) -> tuple[int, int]:
             start_text, sep, end_text = window_text.partition("-")
             if not sep or not start_text or not end_text:
                 raise ValueError(
-                    f"fault spec tlinks token {token!r}: window "
+                    f"fault spec {key} token {token!r}: window "
                     f"{window_text!r} is not of the form start-end"
                 )
-            start = parse_int(start_text, "tlinks", token)
-            end = parse_int(end_text, "tlinks", token)
+            start = parse_int(start_text, key, token)
+            end = parse_int(end_text, key, token)
             if start < 0 or end <= start:
                 raise ValueError(
-                    f"fault spec tlinks token {token!r}: window must satisfy "
+                    f"fault spec {key} token {token!r}: window must satisfy "
                     "0 <= start < end"
                 )
+            return start, end
+
+        def parse_tlink(
+            token: str, key: str = "tlinks"
+        ) -> tuple[int, int, int, int]:
+            link_text, sep, window_text = token.partition("@")
+            if not sep or not window_text:
+                raise ValueError(
+                    f"fault spec {key} token {token!r} is not of the form "
+                    "src-dst@start-end"
+                )
+            src, dst = parse_link(link_text, key, token)
+            start, end = parse_window(window_text, key, token)
             return src, dst, start, end
+
+        def parse_tnode(token: str) -> tuple[int, int, int]:
+            node_text, sep, window_text = token.partition("@")
+            if not sep or not window_text:
+                raise ValueError(
+                    f"fault spec tnodes token {token!r} is not of the form "
+                    "node@start-end"
+                )
+            node = parse_node(node_text, "tnodes", token)
+            start, end = parse_window(window_text, "tnodes", token)
+            return node, start, end
 
         seed = 0
         link_rate = 0.0
         transient_rate = 0.0
+        corrupt_rate = 0.0
+        corrupt_intensity = 0.4
         window = 64
         nodes: tuple[int, ...] = ()
+        tnodes: tuple[tuple[int, int, int], ...] = ()
         links: tuple[tuple[int, int], ...] = ()
         tlinks: tuple[tuple[int, int, int, int], ...] = ()
+        clinks: tuple[tuple[int, int, int, int], ...] = ()
         for item in spec.split(","):
             item = item.strip()
             if not item:
@@ -480,11 +699,19 @@ class FaultPlan:
                 link_rate = parse_rate(value, "link_rate")
             elif key == "transient_rate":
                 transient_rate = parse_rate(value, "transient_rate")
+            elif key == "corrupt_rate":
+                corrupt_rate = parse_rate(value, "corrupt_rate")
+            elif key == "corrupt_intensity":
+                corrupt_intensity = parse_rate(value, "corrupt_intensity")
             elif key == "window":
                 window = parse_int(value, "window")
             elif key == "nodes":
                 nodes = tuple(
                     parse_node(v, "nodes") for v in value.split("+") if v
+                )
+            elif key == "tnodes":
+                tnodes = tuple(
+                    parse_tnode(v) for v in value.split("+") if v
                 )
             elif key == "links":
                 links = tuple(
@@ -494,11 +721,16 @@ class FaultPlan:
                 tlinks = tuple(
                     parse_tlink(v) for v in value.split("+") if v
                 )
+            elif key == "clinks":
+                clinks = tuple(
+                    parse_tlink(v, "clinks") for v in value.split("+") if v
+                )
             else:
                 raise ValueError(
                     f"unknown fault spec key {key!r}; expected seed, "
-                    "link_rate, transient_rate, window, nodes, links or "
-                    "tlinks"
+                    "link_rate, transient_rate, corrupt_rate, "
+                    "corrupt_intensity, window, nodes, tnodes, links, "
+                    "tlinks or clinks"
                 )
         return cls.random(
             n,
@@ -507,6 +739,10 @@ class FaultPlan:
             transient_rate=transient_rate,
             window=window,
             node_failures=nodes,
+            transient_nodes=tnodes,
             extra_links=links,
             extra_transient=tlinks,
+            corrupt_rate=corrupt_rate,
+            corrupt_intensity=corrupt_intensity,
+            extra_corrupt=clinks,
         )

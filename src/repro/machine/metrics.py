@@ -39,6 +39,22 @@ _COUNTER_FIELDS = (
     "rollbacks",
     "replayed_phases",
     "wasted_elements",
+    "integrity_corrupted_deliveries",
+    "integrity_retransmits",
+    "integrity_quarantined_links",
+    "integrity_checksum_overhead",
+)
+
+#: Counters omitted from :meth:`TransferStats.as_dict` while zero.  The
+#: integrity counters joined after the first pinned baselines were
+#: recorded; suppressing their zero values keeps every pre-existing
+#: baseline document and clean-run stats fingerprint byte-identical
+#: (``from_dict`` already defaults absent names to zero).
+_ZERO_SUPPRESSED = (
+    "integrity_corrupted_deliveries",
+    "integrity_retransmits",
+    "integrity_quarantined_links",
+    "integrity_checksum_overhead",
 )
 
 
@@ -125,6 +141,24 @@ class TransferStats:
             raise ValueError("cannot waste a negative number of elements")
         self._c["wasted_elements"].value += elements
 
+    def record_corrupted_delivery(self) -> None:
+        """A delivery failed end-to-end checksum verification."""
+        self._c["integrity_corrupted_deliveries"].value += 1
+
+    def record_retransmit(self) -> None:
+        """A corrupted message was retransmitted over its link."""
+        self._c["integrity_retransmits"].value += 1
+
+    def record_quarantine(self) -> None:
+        """A flaky link was quarantined (dead from the next phase on)."""
+        self._c["integrity_quarantined_links"].value += 1
+
+    def record_checksum_overhead(self, elements: int) -> None:
+        """Elements checksummed at send time (including retransmissions)."""
+        if elements < 0:
+            raise ValueError("cannot checksum a negative element count")
+        self._c["integrity_checksum_overhead"].value += elements
+
     def record_plan_event(self, kind: str) -> None:
         """A plan-cache lookup outcome: ``hit``, ``miss`` or ``eviction``."""
         if kind not in ("hit", "miss", "eviction"):
@@ -195,11 +229,21 @@ class TransferStats:
                 f"replayed_phases={self.replayed_phases} "
                 f"wasted_elements={self.wasted_elements}"
             )
+        if self.integrity_corrupted_deliveries or self.integrity_retransmits:
+            text += (
+                f" corrupted={self.integrity_corrupted_deliveries} "
+                f"retransmits={self.integrity_retransmits} "
+                f"quarantined={self.integrity_quarantined_links}"
+            )
         return text
 
     def as_dict(self) -> dict:
         """Machine-readable counters (JSON-safe: link keys stringified)."""
-        doc = {name: self._c[name].value for name in _COUNTER_FIELDS}
+        doc = {
+            name: self._c[name].value
+            for name in _COUNTER_FIELDS
+            if name not in _ZERO_SUPPRESSED or self._c[name].value
+        }
         doc["max_link_elements"] = self.max_link_elements
         doc["link_elements"] = {
             f"{src}->{dst}": c.value

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 from repro.codes.bits import hamming
+from repro.integrity.errors import CorruptedDeliveryError
 from repro.machine.engine import CubeNetwork
 from repro.machine.faults import (
     FaultPlan,
@@ -148,6 +149,7 @@ def route_messages(
     pre_detours = stats.detour_hops
     pre_stalls = stats.stall_phases
     rounds = 0
+    known_quarantined: frozenset = frozenset()
     with instrumentation_of(network).span(
         "route", category="routing", transfers=len(pending)
     ) as route_span:
@@ -159,6 +161,25 @@ def route_messages(
                     + pending[0].describe()
                 )
             phase_now = network.stats.phases
+            # Quarantine grows as the integrity layer convicts flaky
+            # links, so the avoidance set is refreshed every round.
+            quarantined = (
+                network.integrity.quarantined_links()
+                if network.integrity is not None
+                else frozenset()
+            )
+            if rounds and quarantined != known_quarantined:
+                # The topology changed under the transfers' feet: hops
+                # spent under the stale map predict nothing, so each
+                # budget re-baselines from its current position.
+                # Terminates: quarantine only grows and links are
+                # finite, so this happens finitely often, and between
+                # changes the usual budget argument applies.
+                for tr in pending:
+                    tr.src = tr.cur
+                    tr.hops = 0
+                    tr.blocked = 0
+            known_quarantined = quarantined
             used_links: set[tuple[int, int]] = set()
             busy_send: set[int] = set()
             busy_recv: set[int] = set()
@@ -167,7 +188,7 @@ def route_messages(
             waiting_on_fault = False
             for tr in pending:
                 nxt = _next_hop(tr, n, plan, phase_now, ascending,
-                                detour_budget, retry_limit)
+                                detour_budget, retry_limit, quarantined)
                 if nxt is None:
                     waiting_on_fault = True
                     continue
@@ -186,7 +207,16 @@ def route_messages(
                 movers.append((tr, nxt))
 
             if phase:
-                network.execute_phase(phase)
+                try:
+                    network.execute_phase(phase)
+                except CorruptedDeliveryError:
+                    # The engine quarantined the offending link and
+                    # aborted the phase before any block moved; the next
+                    # round re-routes everything around it.  Terminates:
+                    # the quarantine set strictly grows per abort and
+                    # links are finite.
+                    rounds += 1
+                    continue
             else:
                 if plan is None:  # cannot happen: first pending always advances
                     raise RoutingStalledError(
@@ -215,7 +245,7 @@ def route_messages(
             if waiting_on_fault:
                 for tr in pending:
                     if id(tr) not in moved and _is_fault_blocked(
-                        tr, n, plan, phase_now, ascending
+                        tr, n, plan, phase_now, ascending, quarantined
                     ):
                         tr.blocked += 1
                         network.stats.record_retry()
@@ -239,31 +269,45 @@ def _profitable_dims(cur: int, dst: int, n: int, ascending: bool) -> list[int]:
 
 
 def _hop_usable(
-    plan: FaultPlan, cur: int, nxt: int, phase: int
+    plan: FaultPlan | None,
+    cur: int,
+    nxt: int,
+    phase: int,
+    quarantined: frozenset | set = frozenset(),
 ) -> tuple[bool, bool]:
     """(usable now, blocked only transiently) for the hop ``cur -> nxt``."""
+    if (cur, nxt) in quarantined:
+        return False, False  # quarantine is permanent: never heals
     transient = False
-    lf = plan.link_fault(cur, nxt, phase)
-    if lf is not None:
-        if lf.end is None:
-            return False, False
-        transient = True
-    nf = plan.node_fault(nxt, phase)
-    if nf is not None:
-        if nf.end is None:
-            return False, False
-        transient = True
+    if plan is not None:
+        lf = plan.link_fault(cur, nxt, phase)
+        if lf is not None:
+            if lf.end is None:
+                return False, False
+            transient = True
+        nf = plan.node_fault(nxt, phase)
+        if nf is not None:
+            if nf.end is None:
+                return False, False
+            transient = True
     return not transient, transient
 
 
 def _is_fault_blocked(
-    tr: _Pending, n: int, plan: FaultPlan | None, phase: int, ascending: bool
+    tr: _Pending,
+    n: int,
+    plan: FaultPlan | None,
+    phase: int,
+    ascending: bool,
+    quarantined: frozenset | set = frozenset(),
 ) -> bool:
     """Did this transfer fail to advance because of faults (vs. contention)?"""
-    if plan is None:
+    if plan is None and not quarantined:
         return False
     for d in _profitable_dims(tr.cur, tr.dst, n, ascending):
-        usable, _ = _hop_usable(plan, tr.cur, tr.cur ^ (1 << d), phase)
+        usable, _ = _hop_usable(
+            plan, tr.cur, tr.cur ^ (1 << d), phase, quarantined
+        )
         if usable:
             return False
     return True
@@ -277,6 +321,7 @@ def _next_hop(
     ascending: bool,
     detour_budget: int,
     retry_limit: int,
+    quarantined: frozenset | set = frozenset(),
 ) -> int | None:
     """The node this transfer should move to this round, or ``None`` to wait.
 
@@ -290,14 +335,14 @@ def _next_hop(
     """
     cur, dst = tr.cur, tr.dst
     dims = _profitable_dims(cur, dst, n, ascending)
-    if plan is None:
+    if plan is None and not quarantined:
         return cur ^ (1 << dims[0])
 
     backtrack: int | None = None
     any_transient = False
     for d in dims:
         nxt = cur ^ (1 << d)
-        usable, transient = _hop_usable(plan, cur, nxt, phase)
+        usable, transient = _hop_usable(plan, cur, nxt, phase, quarantined)
         any_transient = any_transient or transient
         if not usable:
             continue
@@ -321,7 +366,7 @@ def _next_hop(
             if (cur ^ dst) >> d & 1:
                 continue
             nxt = cur ^ (1 << d)
-            usable, _ = _hop_usable(plan, cur, nxt, phase)
+            usable, _ = _hop_usable(plan, cur, nxt, phase, quarantined)
             if not usable:
                 continue
             if nxt == tr.prev:

@@ -51,6 +51,10 @@ class BaselineScenario:
     ``recovery`` (a :meth:`~repro.recovery.policy.RecoveryPolicy.from_spec`
     string) serves the scenario resume-based — checkpoints, rollbacks
     and plan surgery are then part of the pinned counters.
+    ``integrity`` forces checksummed delivery on even without corruption
+    faults (direct runs only), pinning the detection machinery's
+    counters on the null path; corruption specs (``clinks=…`` /
+    ``corrupt_rate=…`` fault tokens) arm it automatically.
     """
 
     id: str
@@ -62,6 +66,7 @@ class BaselineScenario:
     faults: str | None = None
     cached: bool = False
     recovery: str | None = None
+    integrity: bool = False
     #: JSON string ``{"spec": <LoadSpec dict>, "config": <ServerConfig
     #: dict>}`` — when set, the scenario pins the serving layer's
     #: deterministic counters (admission, shedding, cache, recovery)
@@ -81,6 +86,7 @@ class BaselineScenario:
             "faults": self.faults,
             "cached": self.cached,
             "recovery": self.recovery,
+            "integrity": self.integrity,
             "service": self.service,
         }
 
@@ -126,6 +132,14 @@ DEFAULT_SUITE: tuple[BaselineScenario, ...] = (
             "config": {"queue_capacity": 16, "tenant_pending": 6},
         }, sort_keys=True),
     ),
+    # Integrity pair: the clean run pins the checksum machinery's null
+    # path (overhead counter moves, nothing else may); the corrupt run
+    # pins the full escalation — detect, retransmit, quarantine, then
+    # route around the quarantined link on the terminal tier.
+    BaselineScenario("integrity_clean_n4", "cm", 4, 1 << 8,
+                     algorithm="mpt", integrity=True),
+    BaselineScenario("integrity_corrupt_n4", "cm", 4, 1 << 8,
+                     algorithm="mpt", faults="clinks=0-1@0-2,seed=3"),
 )
 
 
@@ -212,7 +226,12 @@ def run_scenario(
         else:
             resolved = None
     else:
-        network = CubeNetwork(params, faults=faults)
+        integrity = None
+        if scenario.integrity:
+            from repro.integrity import IntegrityManager
+
+            integrity = IntegrityManager()
+        network = CubeNetwork(params, faults=faults, integrity=integrity)
         if observer is not None:
             network.observer = observer
         result = transpose(

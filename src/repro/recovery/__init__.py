@@ -21,6 +21,7 @@ degradation ladder re-plans from scratch when a schedule aborts) into
   serves, holding every outcome to the transpose invariant.
 """
 
+from repro.integrity.errors import CorruptedCheckpointError
 from repro.recovery.chaos import ChaosReport, ChaosTrial, run_chaos
 from repro.recovery.checkpoint import Checkpoint, CheckpointManager
 from repro.recovery.executor import (
@@ -43,6 +44,7 @@ __all__ = [
     "ChaosTrial",
     "Checkpoint",
     "CheckpointManager",
+    "CorruptedCheckpointError",
     "RecoveryFailedError",
     "RecoveryOutcome",
     "RecoveryPolicy",

@@ -71,6 +71,11 @@ class ChaosTrial:
     replayed_phases: int = 0
     backoff_phases: int = 0
     wasted_elements: int = 0
+    #: Integrity accounting (corruption sweeps): detected corrupted
+    #: deliveries, retransmissions, and links quarantined.
+    corrupted_deliveries: int = 0
+    retransmits: int = 0
+    quarantined_links: int = 0
     detail: str = ""
 
     def as_dict(self) -> dict:
@@ -85,6 +90,9 @@ class ChaosTrial:
             "replayed_phases": self.replayed_phases,
             "backoff_phases": self.backoff_phases,
             "wasted_elements": self.wasted_elements,
+            "corrupted_deliveries": self.corrupted_deliveries,
+            "retransmits": self.retransmits,
+            "quarantined_links": self.quarantined_links,
             "detail": self.detail,
         }
 
@@ -103,6 +111,8 @@ class ChaosReport:
     policy: str
     seeds: int
     modes: tuple[str, ...]
+    corrupt_rate: float = 0.0
+    corrupt_intensity: float = 0.4
     trials: list[ChaosTrial] = field(default_factory=list)
 
     @property
@@ -140,6 +150,8 @@ class ChaosReport:
                 "policy": self.policy,
                 "seeds": self.seeds,
                 "modes": list(self.modes),
+                "corrupt_rate": self.corrupt_rate,
+                "corrupt_intensity": self.corrupt_intensity,
             },
             "outcomes": self.outcome_counts(),
             "resolutions": self.resolution_counts(),
@@ -156,6 +168,13 @@ class ChaosReport:
                 "wasted_elements": sum(
                     t.wasted_elements for t in self.trials
                 ),
+                "corrupted_deliveries": sum(
+                    t.corrupted_deliveries for t in self.trials
+                ),
+                "retransmits": sum(t.retransmits for t in self.trials),
+                "quarantined_links": sum(
+                    t.quarantined_links for t in self.trials
+                ),
             },
             "trials": [t.as_dict() for t in self.trials],
         }
@@ -165,7 +184,13 @@ class ChaosReport:
             f"chaos soak: {self.seeds} seed(s) x {len(self.modes)} mode(s) "
             f"on n={self.n}, {self.elements} elements, {self.layout} layout",
             f"fault model: link_rate={self.link_rate}, "
-            f"transient_rate={self.transient_rate}, window={self.window}",
+            f"transient_rate={self.transient_rate}, window={self.window}"
+            + (
+                f", corrupt_rate={self.corrupt_rate}, "
+                f"corrupt_intensity={self.corrupt_intensity}"
+                if self.corrupt_rate
+                else ""
+            ),
             f"policy: {self.policy}",
         ]
         outcomes = self.outcome_counts()
@@ -173,6 +198,14 @@ class ChaosReport:
             "outcomes: "
             + ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
         )
+        corrupted = sum(t.corrupted_deliveries for t in self.trials)
+        if corrupted:
+            lines.append(
+                f"integrity: {corrupted} corrupted delivery(ies) detected, "
+                f"{sum(t.retransmits for t in self.trials)} retransmit(s), "
+                f"{sum(t.quarantined_links for t in self.trials)} link(s) "
+                "quarantined, 0 undetected"
+            )
         resolutions = self.resolution_counts()
         if resolutions:
             lines.append(
@@ -200,6 +233,8 @@ def run_chaos(
     link_rate: float = 0.03,
     transient_rate: float = 0.10,
     window: int = 32,
+    corrupt_rate: float = 0.0,
+    corrupt_intensity: float = 0.4,
     policy: RecoveryPolicy | None = None,
     params: MachineParams | None = None,
     progress: Callable[[ChaosTrial], None] | None = None,
@@ -211,6 +246,12 @@ def run_chaos(
     a dead node's blocks are unrecoverable by design, so they would turn
     every hit into a correct-but-uninteresting rejection — permanent and
     transient *link* faults are where resume-based recovery lives.
+    ``corrupt_rate`` > 0 turns the soak into a *corruption sweep*: each
+    plan additionally draws silently corrupting links (per-delivery
+    strike probability ``corrupt_intensity``), end-to-end checksums arm
+    automatically, and every trial is held to the same oracle — the
+    replay mode's payload-ledger comparison against the fault-free run
+    means a single undetected corruption shows up as a ``failed`` trial.
     ``progress`` is called once per finished trial (CLI streaming).
     """
     for mode in modes:
@@ -263,6 +304,8 @@ def run_chaos(
         policy=policy.describe(),
         seeds=len(seed_list),
         modes=tuple(modes),
+        corrupt_rate=corrupt_rate,
+        corrupt_intensity=corrupt_intensity,
     )
     for seed in seed_list:
         faults = FaultPlan.random(
@@ -271,6 +314,8 @@ def run_chaos(
             link_rate=link_rate,
             transient_rate=transient_rate,
             window=window,
+            corrupt_rate=corrupt_rate,
+            corrupt_intensity=corrupt_intensity,
         )
         for mode in modes:
             if mode == "replay":
@@ -293,7 +338,9 @@ def run_chaos(
     return report
 
 
-def _from_report(seed: int, mode: str, outcome: str, rep, detail="") -> ChaosTrial:
+def _from_report(
+    seed: int, mode: str, outcome: str, rep, detail="", stats=None
+) -> ChaosTrial:
     return ChaosTrial(
         seed=seed,
         mode=mode,
@@ -305,6 +352,13 @@ def _from_report(seed: int, mode: str, outcome: str, rep, detail="") -> ChaosTri
         replayed_phases=rep.replayed_phases if rep is not None else 0,
         backoff_phases=rep.backoff_phases if rep is not None else 0,
         wasted_elements=rep.wasted_elements if rep is not None else 0,
+        corrupted_deliveries=(
+            stats.integrity_corrupted_deliveries if stats is not None else 0
+        ),
+        retransmits=stats.integrity_retransmits if stats is not None else 0,
+        quarantined_links=(
+            stats.integrity_quarantined_links if stats is not None else 0
+        ),
         detail=detail,
     )
 
@@ -347,27 +401,33 @@ def _replay_trial(
     except RecoveryFailedError as exc:
         # Recovery gave up within budget; the ladder is the documented
         # last resort — run it live and hold it to the same invariant.
-        ok, detail, _ = _live_verifies(
+        ok, detail, live_stats = _live_verifies(
             params, before, after, faults, algorithm, policy
         )
         rep = exc.report
         rep.resolved = "ladder"
         if not ok:
-            return _from_report(seed, "replay", "failed", rep, detail)
+            return _from_report(
+                seed, "replay", "failed", rep, detail, stats=live_stats
+            )
         return _from_report(
-            seed, "replay", "verified", rep, f"ladder: {detail}"
+            seed, "replay", "verified", rep, f"ladder: {detail}",
+            stats=live_stats,
         )
     if not outcome.verified:
         return _from_report(
             seed, "replay", "failed", outcome.report,
-            "final-state verification failed",
+            "final-state verification failed", stats=network.stats,
         )
     if not outcomes_equivalent(outcome, clean_outcome):
         return _from_report(
             seed, "replay", "failed", outcome.report,
             "recovered payloads differ from fault-free run",
+            stats=network.stats,
         )
-    return _from_report(seed, "replay", "verified", outcome.report)
+    return _from_report(
+        seed, "replay", "verified", outcome.report, stats=network.stats
+    )
 
 
 def _cached_trial(
@@ -393,17 +453,22 @@ def _cached_trial(
         )
     rep = served.recovery
     if served.verified:
-        return _from_report(seed, "cached", "verified", rep)
+        return _from_report(
+            seed, "cached", "verified", rep, stats=served.stats
+        )
     # Ladder fallback ran virtually; re-verify the same scenario on real
     # data so "served" always means "would have been correct".
-    ok, detail, _ = _live_verifies(
+    ok, detail, live_stats = _live_verifies(
         params, before, after, faults, algorithm, policy
     )
     if ok:
         return _from_report(
-            seed, "cached", "verified", rep, f"ladder: {detail}"
+            seed, "cached", "verified", rep, f"ladder: {detail}",
+            stats=live_stats,
         )
-    return _from_report(seed, "cached", "failed", rep, detail)
+    return _from_report(
+        seed, "cached", "failed", rep, detail, stats=live_stats
+    )
 
 
 def _live_trial(
@@ -425,5 +490,8 @@ def _live_trial(
         replayed_phases=stats.replayed_phases,
         backoff_phases=stats.stall_phases,
         wasted_elements=stats.wasted_elements,
+        corrupted_deliveries=stats.integrity_corrupted_deliveries,
+        retransmits=stats.integrity_retransmits,
+        quarantined_links=stats.integrity_quarantined_links,
         detail="" if ok else detail,
     )

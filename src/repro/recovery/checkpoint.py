@@ -27,6 +27,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable
 
+from repro.integrity.checksum import memories_digest
+from repro.integrity.errors import CorruptedCheckpointError
+
 __all__ = ["Checkpoint", "CheckpointManager"]
 
 
@@ -49,12 +52,25 @@ class Checkpoint:
     consumed: dict[Hashable, int] = field(default_factory=dict)
     #: Blocks collected (popped out) before the snapshot: key -> (node, block).
     collected: dict[Hashable, tuple] = field(default_factory=dict)
+    #: Integrity seal: :func:`~repro.integrity.checksum.memories_digest`
+    #: of ``memories`` at capture time, validated before any rollback.
+    digest: int | None = None
 
     @property
     def resident_elements(self) -> int:
         return sum(
             block.size for mem in self.memories for block in mem.values()
         )
+
+    def validate(self) -> bool:
+        """Does the snapshot still match its capture-time digest?
+
+        Unsealed checkpoints (``digest=None``, e.g. deserialized from an
+        older format) are trusted for compatibility.
+        """
+        if self.digest is None:
+            return True
+        return memories_digest(self.memories) == self.digest
 
 
 class CheckpointManager:
@@ -97,14 +113,16 @@ class CheckpointManager:
         collected: dict | None = None,
     ) -> Checkpoint:
         """Snapshot unconditionally and reset the cadence counter."""
+        memories = network.snapshot_memories()
         ckpt = Checkpoint(
             cursor=cursor,
             mask=mask,
             phase_index=network.phase_index,
             time=network.stats.time,
-            memories=network.snapshot_memories(),
+            memories=memories,
             consumed=dict(consumed or {}),
             collected=dict(collected or {}),
+            digest=memories_digest(memories),
         )
         self._snapshots.append(ckpt)
         self._phases_since = 0
@@ -133,18 +151,30 @@ class CheckpointManager:
         )
 
     def rollback(self, network) -> Checkpoint:
-        """Restore the newest snapshot's memories; returns the checkpoint.
+        """Restore the newest *valid* snapshot's memories.
 
-        The checkpoint stays retained (the same snapshot can absorb
-        several faults); stats accounting is the caller's job — it knows
-        how many phases the resume will replay.
+        Every candidate is digest-validated first: a snapshot whose
+        memories no longer match their capture-time seal is discarded
+        (never resumed from) and the next older one is tried.  When no
+        retained snapshot validates,
+        :class:`~repro.integrity.errors.CorruptedCheckpointError` is
+        raised — recovery fails loudly rather than resuming from damaged
+        state.  The restored checkpoint stays retained (the same
+        snapshot can absorb several faults); stats accounting is the
+        caller's job — it knows how many phases the resume will replay.
         """
-        ckpt = self.latest
-        if ckpt is None:
+        if not self._snapshots:
             raise RuntimeError("no checkpoint retained; cannot roll back")
-        network.restore_memories(ckpt.memories)
-        self._phases_since = 0
-        return ckpt
+        discarded = 0
+        while self._snapshots:
+            ckpt = self._snapshots[-1]
+            if ckpt.validate():
+                network.restore_memories(ckpt.memories)
+                self._phases_since = 0
+                return ckpt
+            self._snapshots.pop()
+            discarded += 1
+        raise CorruptedCheckpointError(network.phase_index, discarded)
 
     def reset(self) -> None:
         """Drop every snapshot (plan surgery invalidates old cursors)."""

@@ -40,6 +40,7 @@ from typing import Hashable, Mapping
 
 import numpy as np
 
+from repro.integrity.errors import CorruptedCheckpointError
 from repro.machine.engine import CubeNetwork
 from repro.machine.faults import (
     FaultError,
@@ -332,8 +333,18 @@ def _suffix_cost(ops, start: int, stop: int) -> tuple[int, int]:
 def _rollback(
     network, manager, report, ops, failed_cursor, consumed, collected
 ):
-    """Restore the newest checkpoint; returns its cursor state."""
-    ckpt = manager.rollback(network)
+    """Restore the newest valid checkpoint; returns its cursor state.
+
+    Checkpoints are digest-validated on restore; if every retained
+    snapshot fails its seal, recovery refuses to resume from corrupted
+    state and fails over to the caller's degradation ladder.
+    """
+    try:
+        ckpt = manager.rollback(network)
+    except CorruptedCheckpointError as err:
+        raise RecoveryFailedError(
+            f"cannot resume from checkpointed state: {err}", report
+        ) from err
     replayed, wasted = _suffix_cost(ops, ckpt.cursor, failed_cursor)
     network.stats.record_rollback(replayed)
     network.stats.record_wasted(wasted)
@@ -447,12 +458,23 @@ def _repair_and_resume(
                 holdings[key] = x
                 sizes[key] = mem.get(key).size
         faults = network.faults
+        # Quarantined links (repeat corruption offenders) are permanently
+        # dead for all planning purposes: surgery must detour or relabel
+        # around them exactly as it does for fail-stop link faults.
+        dead_links = set(
+            faults.permanent_links() if faults is not None else ()
+        )
+        dead_nodes = (
+            faults.permanent_nodes() if faults is not None else set()
+        )
+        if network.integrity is not None:
+            dead_links |= network.integrity.quarantined_links()
         try:
             result = plan_surgery(
                 remaining,
                 n=network.params.n,
-                dead_links=faults.permanent_links(),
-                dead_nodes=faults.permanent_nodes(),
+                dead_links=dead_links,
+                dead_nodes=dead_nodes,
                 holdings=holdings,
                 sizes=sizes,
                 allow_relabel=policy.allow_relabel,

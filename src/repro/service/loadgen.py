@@ -51,6 +51,7 @@ __all__ = [
     "deterministic_counters",
     "run_loadgen",
     "solo_fingerprint",
+    "solo_payload_check",
 ]
 
 
@@ -184,6 +185,44 @@ def solo_fingerprint(request: TransposeRequest) -> str:
     return stats_fingerprint(network.stats)
 
 
+def solo_payload_check(request: TransposeRequest) -> dict:
+    """Transpose *real* payload bytes solo and compare them to the math.
+
+    The fingerprint check proves the served schedule was untouched; this
+    proves the data a tenant would have received is bit-exact.  The same
+    problem is run solo on a concrete matrix and the gathered result
+    bytes are CRC-compared against ``original.T`` — a wrong byte
+    anywhere in the payload flips the digest even when the schedule
+    statistics happen to agree.
+    """
+    import zlib
+
+    import numpy as np
+
+    from repro.transpose.planner import default_after_layout, transpose
+
+    resolved = resolve_request(request)
+    target = (
+        resolved.after
+        if resolved.after is not None
+        else default_after_layout(resolved.before)
+    )
+    matrix = synthetic_matrix(resolved.before)
+    original = matrix.to_global()
+    network = CubeNetwork(resolved.params)
+    result = transpose(network, matrix, target, algorithm=resolved.algorithm)
+    served_bytes = np.ascontiguousarray(result.matrix.to_global()).tobytes()
+    expected_bytes = np.ascontiguousarray(original.T).tobytes()
+    served_crc = zlib.crc32(served_bytes)
+    expected_crc = zlib.crc32(expected_bytes)
+    return {
+        "ok": served_crc == expected_crc
+        and served_bytes == expected_bytes,
+        "served_crc": served_crc,
+        "expected_crc": expected_crc,
+    }
+
+
 @dataclass
 class LoadReport:
     """Everything one loadgen session learned."""
@@ -193,6 +232,8 @@ class LoadReport:
     verified: int = 0
     invariant_violations: int = 0
     mismatches: list | None = None
+    #: Sampled requests re-run solo on real data with byte comparison.
+    payload_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -208,7 +249,8 @@ class LoadReport:
             f"{slo['cache_hit_rate']:.1%}; total latency p50 "
             f"{lat['p50'] * 1e3:.1f} ms / p95 {lat['p95'] * 1e3:.1f} ms / "
             f"p99 {lat['p99'] * 1e3:.1f} ms; invariants: "
-            f"{self.verified} spot-checked, "
+            f"{self.verified} spot-checked "
+            f"({self.payload_checked} payload-byte), "
             f"{self.invariant_violations} violation(s)"
         )
 
@@ -218,6 +260,7 @@ class LoadReport:
             "server": self.server.as_dict(with_outcomes=with_outcomes),
             "verification": {
                 "checked": self.verified,
+                "payload_checked": self.payload_checked,
                 "violations": self.invariant_violations,
                 "mismatches": self.mismatches or [],
             },
@@ -270,7 +313,7 @@ def _verify(
     spec: LoadSpec,
     requests: list[TransposeRequest],
     outcomes: list[ServeOutcome],
-) -> tuple[int, int, list]:
+) -> tuple[int, int, list, int]:
     by_id = {r.request_id: r for r in requests}
     candidates = [
         o
@@ -286,18 +329,37 @@ def _verify(
         else rng.sample(candidates, spec.verify_sample)
     )
     mismatches = []
+    payload_checked = 0
     for outcome in sample:
         expected = solo_fingerprint(by_id[outcome.request_id])
         if expected != outcome.fingerprint:
             mismatches.append(
                 {
+                    "kind": "fingerprint",
                     "request_id": outcome.request_id,
                     "tenant": outcome.tenant,
                     "served": outcome.fingerprint,
                     "solo": expected,
                 }
             )
-    return len(sample), len(mismatches), mismatches
+            continue  # schedule already wrong; payload check is moot
+        # The fingerprint proved the schedule; now prove the bytes.  A
+        # solo run of the same problem on real data must produce
+        # exactly ``original.T`` — any silent payload damage the
+        # serving stack let through would surface here.
+        payload = solo_payload_check(by_id[outcome.request_id])
+        payload_checked += 1
+        if not payload["ok"]:
+            mismatches.append(
+                {
+                    "kind": "payload",
+                    "request_id": outcome.request_id,
+                    "tenant": outcome.tenant,
+                    "served": payload["served_crc"],
+                    "solo": payload["expected_crc"],
+                }
+            )
+    return len(sample), len(mismatches), mismatches, payload_checked
 
 
 def run_loadgen(
@@ -313,7 +375,7 @@ def run_loadgen(
             _drive_open(server, requests, spec)
         server.drain()
     report = server.report()
-    verified, violations, mismatches = _verify(
+    verified, violations, mismatches, payload_checked = _verify(
         spec, requests, report.outcomes
     )
     return LoadReport(
@@ -322,6 +384,7 @@ def run_loadgen(
         verified=verified,
         invariant_violations=violations,
         mismatches=mismatches,
+        payload_checked=payload_checked,
     )
 
 

@@ -219,3 +219,36 @@ class TestChaosCommand:
     def test_chaos_rejects_bad_recover_spec(self, capsys):
         assert main(["chaos", "--recover", "every=zero"]) == 2
         assert "bad --recover spec" in capsys.readouterr().err
+
+
+class TestChaosCorruption:
+    def test_chaos_corrupt_sweep_json(self, capsys):
+        assert (
+            main(
+                ["chaos", "-n", "4", "--elements", "256", "--seeds", "2",
+                 "--corrupt", "0.08", "--json"]
+            )
+            == 0
+        )
+        doc = unwrap(capsys.readouterr().out, "chaos")
+        assert doc["ok"] is True
+        assert doc["config"]["corrupt_rate"] == 0.08
+        assert doc["totals"]["corrupted_deliveries"] > 0
+
+    def test_chaos_corrupt_artifact_has_integrity_totals(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "integrity.json"
+        assert (
+            main(
+                ["chaos", "-n", "4", "--elements", "256", "--seeds", "1",
+                 "--corrupt", "0.1", "--corrupt-intensity", "0.6",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        assert "0 undetected" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["config"]["corrupt_intensity"] == 0.6
+        assert {"corrupted_deliveries", "retransmits",
+                "quarantined_links"} <= set(doc["totals"])

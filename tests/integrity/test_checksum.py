@@ -1,0 +1,91 @@
+"""Checksums and the damage model: deterministic, key-bound, visible."""
+
+import numpy as np
+
+from repro.integrity.checksum import (
+    block_checksum,
+    damaged_checksum,
+    memories_digest,
+)
+from repro.machine.faults import CorruptionFault
+from repro.machine.message import Block
+
+
+def real_block(key="a", values=(1.0, 2.0, 3.0, 4.0)):
+    return Block(key, data=np.array(values))
+
+
+class TestBlockChecksum:
+    def test_deterministic(self):
+        assert block_checksum(real_block()) == block_checksum(real_block())
+
+    def test_sensitive_to_payload_bytes(self):
+        assert block_checksum(real_block()) != block_checksum(
+            real_block(values=(1.0, 2.0, 3.0, 5.0))
+        )
+
+    def test_bound_to_the_key(self):
+        # Same bytes under a different key is a routing bug, not a clean
+        # delivery — the checksum must move.
+        assert block_checksum(real_block("a")) != block_checksum(
+            real_block("b")
+        )
+
+    def test_virtual_blocks_checksum_their_identity(self):
+        a = Block("k", virtual_size=8)
+        b = Block("k", virtual_size=9)
+        assert block_checksum(a) == block_checksum(Block("k", virtual_size=8))
+        assert block_checksum(a) != block_checksum(b)
+
+    def test_layout_does_not_matter(self):
+        flat = Block("k", data=np.arange(4.0))
+        square = Block("k", data=np.arange(4.0).reshape(2, 2))
+        assert block_checksum(flat) == block_checksum(square)
+
+
+class TestDamagedChecksum:
+    def test_always_differs_from_clean(self):
+        for mode in ("bitflip", "scramble"):
+            fault = CorruptionFault(0, 1, mode=mode, seed=3)
+            for phase in range(16):
+                for attempt in range(3):
+                    block = real_block()
+                    assert damaged_checksum(
+                        block, fault, phase, attempt
+                    ) != block_checksum(block)
+
+    def test_virtual_and_empty_blocks_still_detectable(self):
+        fault = CorruptionFault(0, 1, seed=9)
+        virtual = Block("v", virtual_size=32)
+        empty = Block("e", data=np.array([]))
+        assert damaged_checksum(virtual, fault, 0, 0) != block_checksum(
+            virtual
+        )
+        assert damaged_checksum(empty, fault, 0, 0) != block_checksum(empty)
+
+    def test_deterministic_per_attempt(self):
+        fault = CorruptionFault(0, 1, mode="scramble", seed=7)
+        block = real_block()
+        first = damaged_checksum(block, fault, 2, 1)
+        assert first == damaged_checksum(block, fault, 2, 1)
+        # A retransmission redraws the damage.
+        assert first != damaged_checksum(block, fault, 2, 2)
+
+
+class TestMemoriesDigest:
+    def test_insensitive_to_key_insertion_order(self):
+        a = {"x": real_block("x"), "y": real_block("y")}
+        b = {"y": real_block("y"), "x": real_block("x")}
+        assert memories_digest([a]) == memories_digest([b])
+
+    def test_sensitive_to_node_placement(self):
+        block = real_block()
+        assert memories_digest([{"a": block}, {}]) != memories_digest(
+            [{}, {"a": block}]
+        )
+
+    def test_sensitive_to_payload_mutation(self):
+        block = real_block()
+        before = memories_digest([{"a": block}])
+        block.data[0] = 99.0
+        assert memories_digest([{"a": block}]) != before

@@ -1,0 +1,44 @@
+"""Link scoreboard: pure counting, no policy."""
+
+from repro.integrity.scoreboard import LinkScoreboard
+
+
+class TestLinkScoreboard:
+    def test_counts_accumulate_per_link(self):
+        board = LinkScoreboard()
+        board.record_delivery((0, 1))
+        board.record_delivery((0, 1))
+        board.record_corruption((0, 1))
+        board.record_retransmit((0, 1))
+        board.record_delivery((2, 3))
+        health = board.health((0, 1))
+        assert (health.deliveries, health.corruptions) == (2, 1)
+        assert health.retransmits == 1
+        assert board.health((2, 3)).deliveries == 1
+
+    def test_unknown_link_reads_as_zero(self):
+        board = LinkScoreboard()
+        assert board.corruptions((5, 4)) == 0
+        assert board.quarantined_links() == set()
+        assert board.flaky_links() == set()
+
+    def test_flaky_vs_quarantined(self):
+        board = LinkScoreboard()
+        board.record_corruption((0, 1))
+        board.record_corruption((2, 3))
+        board.mark_quarantined((2, 3))
+        assert board.flaky_links() == {(0, 1), (2, 3)}
+        assert board.quarantined_links() == {(2, 3)}
+
+    def test_as_dict_is_sorted_and_json_safe(self):
+        board = LinkScoreboard()
+        board.record_delivery((2, 3))
+        board.record_corruption((0, 1))
+        doc = board.as_dict()
+        assert list(doc) == ["0->1", "2->3"]
+        assert doc["0->1"] == {
+            "deliveries": 0,
+            "corruptions": 1,
+            "retransmits": 0,
+            "quarantined": False,
+        }

@@ -107,3 +107,99 @@ class TestMalformedTokens:
     def test_second_bad_token_in_a_list_is_the_one_named(self):
         with pytest.raises(ValueError, match=r"links token '4-x'"):
             FaultPlan.from_spec(4, "links=0-1+4-x")
+
+
+class TestTransientNodeTokens:
+    def test_tnode_window(self):
+        plan = FaultPlan.from_spec(4, "tnodes=5@2-9")
+        (fault,) = plan.node_faults
+        assert fault.kind is FaultKind.TRANSIENT
+        assert (fault.node, fault.start, fault.end) == (5, 2, 9)
+
+    def test_tnodes_combine_with_permanent_nodes(self):
+        plan = FaultPlan.from_spec(4, "nodes=3,tnodes=5@0-4+6@2-8")
+        kinds = {(f.node, f.kind) for f in plan.node_faults}
+        assert kinds == {
+            (3, FaultKind.PERMANENT),
+            (5, FaultKind.TRANSIENT),
+            (6, FaultKind.TRANSIENT),
+        }
+
+    def test_tnode_without_window_is_named(self):
+        with pytest.raises(
+            ValueError, match=r"tnodes token '5'.*node@start-end"
+        ):
+            FaultPlan.from_spec(4, "tnodes=5")
+
+    def test_tnode_with_malformed_window_is_named(self):
+        with pytest.raises(
+            ValueError, match=r"tnodes token '5@7'.*start-end"
+        ):
+            FaultPlan.from_spec(4, "tnodes=5@7")
+
+    def test_tnode_with_inverted_window_is_named(self):
+        with pytest.raises(
+            ValueError, match=r"tnodes token '5@9-2'.*0 <= start < end"
+        ):
+            FaultPlan.from_spec(4, "tnodes=5@9-2")
+
+    def test_tnode_outside_cube_names_token_and_range(self):
+        with pytest.raises(
+            ValueError, match=r"tnodes token '16@0-4'.*valid ids are 0\.\.15"
+        ):
+            FaultPlan.from_spec(4, "tnodes=16@0-4")
+
+
+class TestCorruptionTokens:
+    def test_clink_window_arms_full_rate_corruption(self):
+        plan = FaultPlan.from_spec(4, "clinks=0-1@0-16,seed=3")
+        (fault,) = plan.corruption_faults
+        assert (fault.src, fault.dst) == (0, 1)
+        assert (fault.start, fault.end) == (0, 16)
+        assert fault.rate == 1.0
+        assert not plan.is_empty
+        assert plan.corrupting_links_ever() == {(0, 1)}
+
+    def test_corruption_does_not_poison_failstop_views(self):
+        # Corrupting links stay schedulable: quarantine is reactive,
+        # so the planner's proactive feasibility views exclude them.
+        plan = FaultPlan.from_spec(4, "clinks=0-1@0-16")
+        assert plan.faulted_links_ever() == set()
+        assert plan.permanent_links() == set()
+
+    def test_seeded_corrupt_rate_is_deterministic(self):
+        spec = "seed=3,corrupt_rate=0.3"
+        a = FaultPlan.from_spec(4, spec)
+        b = FaultPlan.from_spec(4, spec)
+        assert a.corruption_faults == b.corruption_faults
+        assert a.corruption_faults
+
+    def test_corrupt_rate_zero_leaves_existing_plans_unchanged(self):
+        # The corruption draw must consume no RNG state when disabled,
+        # so seeded plans from earlier releases replay byte-identically.
+        spec = "seed=3,link_rate=0.1,transient_rate=0.2,window=16"
+        a = FaultPlan.from_spec(4, spec)
+        b = FaultPlan.from_spec(4, spec + ",corrupt_rate=0")
+        assert a.link_faults == b.link_faults
+
+    def test_clink_without_window_is_named(self):
+        with pytest.raises(
+            ValueError, match=r"clinks token '0-1'.*src-dst@start-end"
+        ):
+            FaultPlan.from_spec(4, "clinks=0-1")
+
+    def test_clink_non_edge_is_rejected(self):
+        with pytest.raises(ValueError, match=r"not a cube edge"):
+            FaultPlan.from_spec(4, "clinks=0-3@0-4")
+
+    def test_corrupt_rate_out_of_range_names_key(self):
+        with pytest.raises(
+            ValueError, match=r"corrupt_rate='1.5'.*lie in \[0, 1\]"
+        ):
+            FaultPlan.from_spec(4, "corrupt_rate=1.5")
+
+    def test_unknown_key_message_lists_new_keys(self):
+        with pytest.raises(
+            ValueError, match=r"unknown fault spec key.*tnodes.*clinks"
+        ):
+            FaultPlan.from_spec(4, "wibble=1")

@@ -5,7 +5,11 @@ import json
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.machine.metrics import _COUNTER_FIELDS, TransferStats
+from repro.machine.metrics import (
+    _COUNTER_FIELDS,
+    _ZERO_SUPPRESSED,
+    TransferStats,
+)
 
 
 def _sample_stats() -> TransferStats:
@@ -28,7 +32,27 @@ class TestAsDict:
         assert doc["phase_times"] == [0.25, 0.5]
         assert doc["max_link_elements"] == 32
         for name in _COUNTER_FIELDS:
+            if name in _ZERO_SUPPRESSED:
+                continue
             assert name in doc
+
+    def test_integrity_counters_are_zero_suppressed(self):
+        """Zero integrity counters stay out of documents and baselines.
+
+        Every pinned baseline and fingerprint predates the integrity
+        subsystem; suppressing the zero case keeps them byte-stable
+        while still surfacing the counters the moment they move.
+        """
+        quiet = _sample_stats().as_dict()
+        assert not any(name in quiet for name in _ZERO_SUPPRESSED)
+        active = _sample_stats()
+        active.record_corrupted_delivery()
+        active.record_retransmit()
+        doc = active.as_dict()
+        assert doc["integrity_corrupted_deliveries"] == 1
+        assert doc["integrity_retransmits"] == 1
+        restored = TransferStats.from_dict(json.loads(json.dumps(doc)))
+        assert restored == active
 
     def test_json_round_trip(self):
         """as_dict -> json -> from_dict reproduces the stats exactly."""

@@ -55,6 +55,9 @@ class TestRunChaos:
             "replayed_phases",
             "backoff_phases",
             "wasted_elements",
+            "corrupted_deliveries",
+            "retransmits",
+            "quarantined_links",
         }
 
     def test_summary_mentions_verdict(self):
@@ -74,3 +77,31 @@ class TestRunChaos:
         assert not report.ok
         assert report.failures()[-1].seed == 99
         assert "FAILED seed=99" in report.summary()
+
+
+class TestCorruptionSweep:
+    def test_corruption_sweep_is_clean_and_accounted(self):
+        report = small_soak(corrupt_rate=0.08)
+        assert report.ok
+        assert report.corrupt_rate == 0.08
+        totals = report.as_dict()["totals"]
+        assert totals["corrupted_deliveries"] > 0
+        assert all(
+            t.outcome in ("verified", "rejected-disconnected")
+            for t in report.trials
+        )
+
+    def test_corruption_counters_reach_trials_and_summary(self):
+        report = small_soak(corrupt_rate=0.08)
+        assert any(t.corrupted_deliveries for t in report.trials)
+        doc = report.as_dict()
+        assert doc["config"]["corrupt_rate"] == 0.08
+        assert "corrupted_deliveries" in doc["trials"][0]
+        assert "undetected" in report.summary()
+
+    def test_corruption_free_soak_reports_zero_integrity_activity(self):
+        report = small_soak()
+        totals = report.as_dict()["totals"]
+        assert totals["corrupted_deliveries"] == 0
+        assert totals["retransmits"] == 0
+        assert totals["quarantined_links"] == 0

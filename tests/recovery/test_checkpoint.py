@@ -154,3 +154,52 @@ class TestRecoveryPolicy:
             RecoveryPolicy(checkpoint_every=0)
         with pytest.raises(ValueError):
             RecoveryPolicy(max_checkpoints=0)
+
+
+class TestDigestSeal:
+    def test_take_seals_and_validates(self):
+        net = fresh()
+        net.place(0, Block("a", virtual_size=8))
+        ckpt = CheckpointManager().take(net)
+        assert ckpt.digest is not None
+        assert ckpt.validate()
+
+    def test_unsealed_checkpoints_are_trusted(self):
+        net = fresh()
+        ckpt = CheckpointManager().take(net)
+        ckpt.digest = None  # e.g. deserialized from an older format
+        assert ckpt.validate()
+
+    def test_tampered_snapshot_fails_validation(self):
+        net = fresh()
+        net.place(0, Block("a", virtual_size=8))
+        ckpt = CheckpointManager().take(net)
+        ckpt.memories[0]["a"] = Block("a", virtual_size=999)
+        assert not ckpt.validate()
+
+    def test_rollback_skips_corrupted_snapshot(self):
+        net = fresh()
+        net.place(0, Block("a", virtual_size=8))
+        mgr = CheckpointManager(every=1, retain=3)
+        mgr.take(net, cursor=1)
+        mgr.take(net, cursor=2)
+        mgr.latest.memories[0]["a"] = Block("a", virtual_size=999)
+        ckpt = mgr.rollback(net)
+        assert ckpt.cursor == 1  # the damaged newest one was discarded
+        assert net.memories[0].get("a").size == 8
+        assert len(mgr) == 1
+
+    def test_rollback_refuses_when_every_snapshot_is_corrupt(self):
+        from repro.integrity.errors import CorruptedCheckpointError
+
+        net = fresh()
+        net.place(0, Block("a", virtual_size=8))
+        mgr = CheckpointManager(every=1, retain=2)
+        mgr.take(net, cursor=1)
+        mgr.take(net, cursor=2)
+        for ckpt in list(mgr._snapshots):
+            ckpt.memories[0]["a"] = Block("a", virtual_size=999)
+        with pytest.raises(CorruptedCheckpointError) as exc:
+            mgr.rollback(net)
+        assert exc.value.discarded == 2
+        assert len(mgr) == 0

@@ -100,3 +100,24 @@ class TestDeterministicCounters:
         assert counters["rejected"] == 0
         assert counters["recovered"] > 0
         assert counters["failed"] == 0
+
+
+class TestPayloadSpotChecks:
+    def test_sampled_requests_get_payload_byte_checks(self):
+        spec = LoadSpec(seed=7, tenants=2, requests=12, shapes=2,
+                        verify_sample=3)
+        report = run_loadgen(spec, ServerConfig(workers=1))
+        assert report.ok
+        assert report.payload_checked == report.verified == 3
+        doc = report.as_dict()
+        assert doc["verification"]["payload_checked"] == 3
+        assert "payload-byte" in report.summary()
+
+    def test_solo_payload_check_is_bit_exact(self):
+        from repro.service.loadgen import build_workload, solo_payload_check
+
+        spec = LoadSpec(seed=7, tenants=1, requests=1, shapes=1)
+        (request,) = build_workload(spec)
+        verdict = solo_payload_check(request)
+        assert verdict["ok"] is True
+        assert verdict["served_crc"] == verdict["expected_crc"]
