@@ -38,9 +38,17 @@ from repro.layout.partition import (
     two_dim_cyclic,
     two_dim_mixed,
 )
-from repro.machine.engine import CubeNetwork
+from repro.machine.engine import CubeNetwork, EnsembleNetwork
 from repro.machine.params import MachineParams, PortModel
 from repro.machine.presets import connection_machine, custom_machine, intel_ipsc
+from repro.topology import (
+    Hypercube,
+    SwappedDragonfly,
+    Topology,
+    TopologyError,
+    TorusMesh,
+    parse_topology,
+)
 from repro.transpose.exchange import BufferPolicy, convert_layout
 from repro.transpose.planner import (
     TransposeResult,
@@ -86,6 +94,8 @@ __all__ = [
     "CompiledPlan",
     "CubeNetwork",
     "DistributedMatrix",
+    "EnsembleNetwork",
+    "Hypercube",
     "Instrumentation",
     "JsonlSink",
     "Layout",
@@ -97,6 +107,10 @@ __all__ = [
     "RecordingNetwork",
     "RecoveryPolicy",
     "RecoveryReport",
+    "SwappedDragonfly",
+    "Topology",
+    "TopologyError",
+    "TorusMesh",
     "TransposeResult",
     "capture_transpose",
     "classify_transpose",
@@ -109,6 +123,7 @@ __all__ = [
     "default_after_layout",
     "execute_with_recovery",
     "intel_ipsc",
+    "parse_topology",
     "plan_key",
     "plan_surgery",
     "replay_degraded",

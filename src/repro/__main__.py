@@ -102,10 +102,42 @@ def _resolve_problem(args):
         return None
 
 
+def _topology(args):
+    """Resolve ``--topology`` against ``-n``; None means bad input.
+
+    A non-cube topology fixes the node count, so it wins over ``-n``:
+    the cube dimension is re-derived as log2(nodes) and must be exact —
+    the transpose algorithms address nodes by bit fields.
+    """
+    from repro.topology import TopologyError, parse_topology
+
+    try:
+        topo = parse_topology(getattr(args, "topology", None), args.n)
+    except TopologyError as exc:
+        print(f"bad --topology spec: {exc}", file=sys.stderr)
+        return None
+    if topo.num_nodes != 1 << args.n:
+        count = topo.num_nodes
+        derived = count.bit_length() - 1
+        if 1 << derived != count:
+            print(
+                f"topology {topo.spec!r} has {count} nodes, which is not "
+                "a power of two; the transpose algorithms need 2^n nodes",
+                file=sys.stderr,
+            )
+            return None
+        args.n = derived
+    return topo
+
+
 def cmd_run(args) -> int:
     from repro import CubeNetwork, DistributedMatrix, transpose
     from repro.machine.faults import FaultError, FaultPlan, RoutingStalledError
 
+    topo = _topology(args)
+    if topo is None:
+        return 2
+    on_cube = topo.name == "cube"
     resolved = _resolve_problem(args)
     if resolved is None:
         return 2
@@ -114,14 +146,16 @@ def cmd_run(args) -> int:
     faults = None
     if args.faults:
         try:
-            faults = FaultPlan.from_spec(args.n, args.faults)
+            faults = FaultPlan.from_spec(
+                args.n, args.faults, topology=None if on_cube else topo
+            )
         except ValueError as exc:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
             return 2
 
     rng = np.random.default_rng(0)
     A = rng.standard_normal((1 << layout.p, 1 << layout.q))
-    net = CubeNetwork(_machine(args), faults=faults)
+    net = CubeNetwork(_machine(args), faults=faults, topology=topo)
     if args.checkpoint_every:
         from repro.recovery import CheckpointManager
 
@@ -164,6 +198,7 @@ def cmd_run(args) -> int:
             "layout": layout.describe(),
             "machine": net.params.name,
             "port_model": net.params.port_model.value,
+            "topology": topo.spec,
             "algorithm": result.algorithm,
             "comm_class": result.comm_class.value,
             "requested": result.requested,
@@ -183,6 +218,8 @@ def cmd_run(args) -> int:
     print(f"matrix:     {1 << layout.p} x {1 << layout.q} ({args.elements} elements)")
     print(f"layout:     {layout.describe()}")
     print(f"machine:    {net.params.name} ({net.params.port_model.value})")
+    if not on_cube:
+        print(f"topology:   {topo.describe()}")
     print(f"algorithm:  {result.algorithm} ({result.comm_class.value})")
     if faults is not None:
         print(f"faults:     {faults.describe()}")
@@ -202,10 +239,15 @@ def cmd_run(args) -> int:
     print(f"verified:   {ok}")
     print(f"model time: {result.stats.summary()}")
     if args.heatmap:
-        from repro.analysis.report import format_link_heatmap
-
         print()
-        print(format_link_heatmap(result.stats, net.params.n))
+        if on_cube:
+            from repro.analysis.report import format_link_heatmap
+
+            print(format_link_heatmap(result.stats, net.params.n))
+        else:
+            from repro.analysis.report import format_topology_heatmap
+
+            print(format_topology_heatmap(result.stats, topo))
     if recorder is not None:
         from repro.analysis.report import format_congestion_timeline
 
@@ -239,16 +281,23 @@ def cmd_plan(args) -> int:
     from repro.plans import capture_transpose, plan_key, synthetic_matrix
     from repro.plans.cache import PlanCache
 
+    topo = _topology(args)
+    if topo is None:
+        return 2
     resolved = _resolve_problem(args)
     if resolved is None:
         return 2
     before, after = resolved
     params = _machine(args)
     _, plan = capture_transpose(
-        params, synthetic_matrix(before), after, algorithm=args.algorithm
+        params,
+        synthetic_matrix(before),
+        after,
+        algorithm=args.algorithm,
+        topology=topo,
     )
     if args.cache_dir:
-        key = plan_key(params, before, after, plan.algorithm)
+        key = plan_key(params, before, after, plan.algorithm, topology=topo.spec)
         PlanCache(path=args.cache_dir).put(key, plan)
         print(f"cached {plan.describe()}", file=sys.stderr)
         print(key)
@@ -270,6 +319,7 @@ def cmd_replay(args) -> int:
     from repro.machine.faults import FaultError, FaultPlan, RoutingStalledError
     from repro.plans.ir import CompiledPlan, PlanError
     from repro.plans.replay import PlanReplayError, replay_plan
+    from repro.topology import parse_topology
 
     try:
         with open(args.plan) as fh:
@@ -278,17 +328,32 @@ def cmd_replay(args) -> int:
         print(f"cannot load plan: {exc}", file=sys.stderr)
         return 2
 
+    # Replay on the interconnect the plan was compiled for.
+    topo = parse_topology(plan.machine.topology, plan.machine.n)
+    on_cube = topo.name == "cube"
+    if args.recover is not None and not on_cube:
+        print(
+            f"bad --recover: the plan targets topology {topo.spec!r}; "
+            "resume-based recovery rewrites cube schedules only",
+            file=sys.stderr,
+        )
+        return 2
+
     faults = None
     if args.faults:
         try:
-            faults = FaultPlan.from_spec(plan.machine.n, args.faults)
+            faults = FaultPlan.from_spec(
+                plan.machine.n,
+                args.faults,
+                topology=None if on_cube else topo,
+            )
         except ValueError as exc:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
             return 2
 
     recovery_doc = None
     verified = None
-    network = CubeNetwork(plan.machine.to_params(), faults=faults)
+    network = CubeNetwork(plan.machine.to_params(), faults=faults, topology=topo)
     if args.recover is not None:
         from repro.recovery import (
             RecoveryFailedError,
@@ -420,11 +485,18 @@ def cmd_batch(args) -> int:
 def cmd_chaos(args) -> int:
     from repro.recovery import RecoveryPolicy, run_chaos
 
+    topo = _topology(args)
+    if topo is None:
+        return 2
     try:
         policy = RecoveryPolicy.from_spec(args.recover or "")
     except ValueError as exc:
         print(f"bad --recover spec: {exc}", file=sys.stderr)
         return 2
+    if args.modes is None:
+        # Recovery replays rewrite cube schedules, so the default soak
+        # on a non-cube interconnect runs live trials only.
+        args.modes = "live" if topo.name != "cube" else "replay,cached,live"
     modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
     progress = None
     if args.verbose:
@@ -456,6 +528,7 @@ def cmd_chaos(args) -> int:
             corrupt_intensity=args.corrupt_intensity,
             policy=policy,
             progress=progress,
+            topology=topo,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -510,10 +583,13 @@ def cmd_serve(args) -> int:
             docs = json.load(fh)
         if not isinstance(docs, list):
             raise ValueError("requests file must hold a JSON array")
+        base = {"tenant": "default"}
+        if args.topology:
+            # Default interconnect for requests that don't name one; a
+            # request's own "topology" field still wins.
+            base["topology"] = args.topology
         requests = [
-            TransposeRequest.from_dict(
-                {"tenant": "default", "request_id": i, **d}
-            )
+            TransposeRequest.from_dict({**base, "request_id": i, **d})
             for i, d in enumerate(docs)
         ]
     except (OSError, ValueError, TypeError) as exc:
@@ -678,6 +754,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--json", action="store_true", help="machine-readable JSON output"
         )
 
+    def topology_flag(p, *, default=None):
+        p.add_argument(
+            "--topology",
+            default=default,
+            metavar="SPEC",
+            help="interconnect topology: cube (default), torus:4x4x4, "
+            "mesh:8x8, or dragonfly:K,M; a non-cube topology overrides "
+            "-n (node count must be a power of two)",
+        )
+
     def problem(p):
         p.add_argument(
             "--layout", choices=["2d", "1d-rows", "1d-cols"], default="2d"
@@ -696,6 +782,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr = sub.add_parser("run", help="run one simulated transpose")
     common(pr)
     problem(pr)
+    topology_flag(pr)
     json_flag(pr)
     pr.add_argument(
         "--faults",
@@ -742,6 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(pp)
     problem(pp)
+    topology_flag(pp)
     pp.add_argument("--out", default=None, metavar="FILE", help="write plan JSON here")
     pp.add_argument(
         "--cache-dir",
@@ -827,13 +915,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--layout", choices=["2d", "1d-rows", "1d-cols"], default="2d"
     )
     pc.add_argument("--algorithm", default="auto")
+    topology_flag(pc)
     pc.add_argument(
         "--seeds", type=int, default=50, help="fault-plan seeds 0..N-1"
     )
     pc.add_argument(
         "--modes",
-        default="replay,cached,live",
-        help="comma-separated subset of replay, cached, live",
+        default=None,
+        help="comma-separated subset of replay, cached, live "
+        "(default: all three on a cube, live on other topologies)",
     )
     pc.add_argument(
         "--link-rate",
@@ -952,6 +1042,13 @@ def build_parser() -> argparse.ArgumentParser:
         '(e.g. [{"tenant": "a", "elements": 4096, "n": 4}])',
     )
     server_flags(ps)
+    ps.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="default interconnect applied to requests that don't name "
+        "one (cube, torus:4x4x4, mesh:8x8, dragonfly:K,M)",
+    )
     ps.add_argument(
         "--outcomes",
         action="store_true",

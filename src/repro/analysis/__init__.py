@@ -42,6 +42,7 @@ from repro.analysis.report import (
     AlgorithmEstimate,
     estimate_transpose_options,
     format_report,
+    format_topology_heatmap,
 )
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "dpt_min_time",
     "estimate_transpose_options",
     "format_report",
+    "format_topology_heatmap",
     "dpt_time",
     "ipsc_one_dim_buffered_time",
     "ipsc_one_dim_unbuffered_time",

@@ -21,6 +21,7 @@ __all__ = [
     "format_congestion_timeline",
     "format_link_heatmap",
     "format_report",
+    "format_topology_heatmap",
     "report_data",
 ]
 
@@ -223,6 +224,48 @@ def format_link_heatmap(
         "dim totals: "
         + "  ".join(f"d{d}={per_dim[d]}" for d in range(n))
     )
+    lines.append(
+        f"peak link: {hot[0]}->{hot[1]} carrying {peak} element(s); "
+        f"scale '{_SHADES.strip() or _SHADES}' = 1..{peak}"
+    )
+    return "\n".join(lines)
+
+
+def format_topology_heatmap(
+    stats, topology, *, max_nodes: int = 64
+) -> str:
+    """Per-link utilization heatmap for an arbitrary topology.
+
+    The cube heatmap's nodes-x-dimensions grid relies on XOR edge
+    structure; this variant renders one row per node with one shaded
+    cell per *port* (the node's neighbours in the topology's canonical
+    order), so it works for any :class:`~repro.topology.base.Topology`
+    — tori, meshes, swapped dragonflies.  The ramp is the same: the
+    busiest directed link renders ``@``.
+    """
+    links: dict[tuple[int, int], int] = dict(stats.link_elements)
+    if not links:
+        return "link heatmap: no link traffic recorded"
+    peak = max(links.values())
+    hot = max(links, key=links.get)
+    max_degree = max(
+        len(topology.neighbors(v)) for v in range(topology.num_nodes)
+    )
+
+    lines = [
+        f"Per-link element load on {topology.spec} "
+        f"({topology.num_nodes} nodes, ports in canonical "
+        f"neighbour order)",
+        "node  " + " ".join(f"p{p}" for p in range(max_degree)),
+    ]
+    for v in range(min(topology.num_nodes, max_nodes)):
+        neigh = topology.neighbors(v)
+        cells = " ".join(
+            f" {_shade(links.get((v, w), 0), peak)}" for w in neigh
+        )
+        lines.append(f"{v:>4}  {cells}")
+    if topology.num_nodes > max_nodes:
+        lines.append(f"... {topology.num_nodes - max_nodes} more node(s)")
     lines.append(
         f"peak link: {hot[0]}->{hot[1]} carrying {peak} element(s); "
         f"scale '{_SHADES.strip() or _SHADES}' = 1..{peak}"

@@ -34,13 +34,18 @@ from repro.machine.faults import (
     RoutingStalledError,
 )
 from repro.machine.trace import PhaseEvent, TraceRecorder
-from repro.machine.engine import CubeNetwork, LinkConflictError
+from repro.machine.engine import (
+    CubeNetwork,
+    EnsembleNetwork,
+    LinkConflictError,
+)
 from repro.machine.routing import route_messages
 
 __all__ = [
     "Block",
     "CubeNetwork",
     "DisconnectedCubeError",
+    "EnsembleNetwork",
     "FaultError",
     "FaultKind",
     "FaultPlan",

@@ -3,7 +3,9 @@
 Algorithms are sequences of *phases*.  In one phase every node may send
 messages to cube neighbours; the engine
 
-1. validates every message crosses a real cube edge,
+1. validates every message crosses a real interconnect link (the
+   default interconnect is the Boolean n-cube; see
+   :mod:`repro.topology`),
 2. rejects (or, on request, serializes) directed-link conflicts,
 3. physically moves the named blocks between node memories,
 4. charges time under the machine's cost model:
@@ -26,7 +28,6 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Mapping, Sequence
 
-from repro.cube.topology import dimension_of_edge
 from repro.machine.faults import (
     FaultPlan,
     LinkFailureError,
@@ -36,16 +37,23 @@ from repro.machine.memory import NodeMemory
 from repro.machine.message import Block, Message
 from repro.machine.metrics import TransferStats
 from repro.machine.params import MachineParams, PortModel
+from repro.topology import Hypercube, Topology
 
-__all__ = ["CubeNetwork", "LinkConflictError"]
+__all__ = ["CubeNetwork", "EnsembleNetwork", "LinkConflictError"]
 
 
 class LinkConflictError(RuntimeError):
     """Two messages of one phase contend for the same directed link."""
 
 
-class CubeNetwork:
-    """A simulated Boolean n-cube with per-node block memories.
+class EnsembleNetwork:
+    """A simulated ensemble machine over a pluggable interconnect.
+
+    The interconnect is a :class:`~repro.topology.base.Topology`; the
+    default is the Boolean n-cube of the machine's dimension, which
+    preserves the historical :class:`CubeNetwork` behaviour bit-for-bit
+    (``CubeNetwork`` remains as an alias).  The topology's structural
+    invariants are validated at construction.
 
     Messages sharing a directed link within a phase serialize on it (each
     keeps its own start-ups) — that is the §8.1 unbuffered send pattern.
@@ -61,12 +69,35 @@ class CubeNetwork:
         *,
         faults: FaultPlan | None = None,
         integrity=None,
+        topology: Topology | None = None,
     ) -> None:
-        if faults is not None and faults.n != params.n:
+        if topology is None:
+            topology = Hypercube(params.n)
+        topology.validate()
+        if topology.num_nodes != params.num_procs:
             raise ValueError(
-                f"fault plan is for a {faults.n}-cube but the machine is a "
-                f"{params.n}-cube"
+                f"topology {topology.spec!r} has {topology.num_nodes} "
+                f"node(s) but the machine parameters describe "
+                f"{params.num_procs}"
             )
+        #: The interconnect graph every message must respect.
+        self.topology = topology
+        if faults is not None:
+            if faults.n != params.n:
+                raise ValueError(
+                    f"fault plan is for a {faults.n}-cube but the machine "
+                    f"is a {params.n}-cube"
+                )
+            plan_spec = (
+                faults.topology.spec
+                if faults.topology is not None
+                else "cube"
+            )
+            if plan_spec != topology.spec:
+                raise ValueError(
+                    f"fault plan targets topology {plan_spec!r} but the "
+                    f"machine interconnect is {topology.spec!r}"
+                )
         self.params = params
         self.memories = [NodeMemory(x) for x in range(params.num_procs)]
         self.stats = TransferStats()
@@ -135,7 +166,7 @@ class CubeNetwork:
         if not messages:
             return 0.0
         params = self.params
-        n = params.n
+        topology = self.topology
 
         # Fault check first: delivering over a dead resource must fail
         # before any block moves, so an aborted phase leaves every memory
@@ -168,17 +199,13 @@ class CubeNetwork:
                     )
                     integrity.check_link(msg.src, msg.dst, phase_now)
 
-        # Validate edges and gather per-link loads.
+        # Validate links and gather per-link loads.
         link_cost: dict[tuple[int, int], float] = {}
         link_msgs: dict[tuple[int, int], int] = {}
         costed: list[tuple[Message, int, int, float]] = []
         first_sender: dict[Hashable, Message] = {}
         for msg in messages:
-            dimension_of_edge(msg.src, msg.dst)  # raises on non-edges
-            if msg.src >> n or msg.dst >> n:
-                raise ValueError(
-                    f"message {msg.src}->{msg.dst} outside {n}-cube"
-                )
+            topology.check_link(msg.src, msg.dst)  # raises on non-links
             link = (msg.src, msg.dst)
             if link in link_cost and exclusive:
                 raise LinkConflictError(
@@ -334,8 +361,8 @@ class CubeNetwork:
         for node, count in per_node_elements.items():
             if count < 0:
                 raise ValueError("cannot copy a negative number of elements")
-            if node >> self.params.n:
-                raise ValueError(f"node {node} outside cube")
+            if not 0 <= node < self.topology.num_nodes:
+                raise ValueError(f"node {node} outside {self.topology.spec}")
             duration = max(duration, self.params.copy_time(count))
             total += count
         self.stats.record_copy(total, duration)
@@ -381,6 +408,12 @@ class CubeNetwork:
             if key in mem:
                 return x
         raise KeyError(f"block {key!r} is not in any node memory")
+
+
+#: Historical name: every network used to be a Boolean cube.  The alias
+#: keeps two PR-generations of call sites (and subclasses such as
+#: :class:`repro.plans.recorder.RecordingNetwork`) working unchanged.
+CubeNetwork = EnsembleNetwork
 
 
 def exchange_messages(

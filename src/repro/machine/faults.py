@@ -120,11 +120,6 @@ class LinkFault:
             raise ValueError("fault start phase must be non-negative")
         if self.end is not None and self.end <= self.start:
             raise ValueError("fault end phase must exceed its start")
-        if not is_edge(self.src, self.dst):
-            raise ValueError(
-                f"({self.src}, {self.dst}) is not a cube edge; link faults "
-                "apply to directed cube links"
-            )
 
     @property
     def kind(self) -> FaultKind:
@@ -193,11 +188,6 @@ class CorruptionFault:
             raise ValueError("fault start phase must be non-negative")
         if self.end is not None and self.end <= self.start:
             raise ValueError("fault end phase must exceed its start")
-        if not is_edge(self.src, self.dst):
-            raise ValueError(
-                f"({self.src}, {self.dst}) is not a cube edge; corruption "
-                "faults apply to directed cube links"
-            )
         if not 0.0 < self.rate <= 1.0:
             raise ValueError("corruption rate must lie in (0, 1]")
         if self.mode not in CORRUPTION_MODES:
@@ -251,6 +241,14 @@ class FaultPlan:
     a network of a different dimension is rejected by the engine.  The
     ``seed`` records provenance for :meth:`random` plans (it does not
     affect behaviour once the fault lists exist).
+
+    ``topology`` optionally names a non-cube interconnect
+    (:class:`~repro.topology.base.Topology`): link faults are then
+    validated against *its* link set, connectivity queries walk its
+    graph, and the engine rejects attaching the plan to a network over a
+    different interconnect.  ``None`` (the default, and the only form
+    earlier releases could write) means the Boolean ``n``-cube, with all
+    historical validation messages preserved.
     """
 
     n: int
@@ -258,6 +256,7 @@ class FaultPlan:
     node_faults: tuple[NodeFault, ...] = ()
     seed: int | None = None
     corruption_faults: tuple[CorruptionFault, ...] = ()
+    topology: object | None = field(default=None, compare=False)
 
     _links_by_edge: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
@@ -281,21 +280,56 @@ class FaultPlan:
                 self, "corruption_faults", tuple(self.corruption_faults)
             )
         for f in self.link_faults:
-            if f.src >> self.n or f.dst >> self.n:
-                raise ValueError(
-                    f"link fault {f.src}->{f.dst} outside {self.n}-cube"
-                )
+            self._check_link_exists(f.src, f.dst, "link fault")
             self._links_by_edge.setdefault((f.src, f.dst), []).append(f)
         for f in self.node_faults:
-            if f.node >> self.n:
-                raise ValueError(f"node fault {f.node} outside {self.n}-cube")
+            self._check_node_exists(f.node, "node fault")
             self._nodes_by_id.setdefault(f.node, []).append(f)
         for f in self.corruption_faults:
-            if f.src >> self.n or f.dst >> self.n:
-                raise ValueError(
-                    f"corruption fault {f.src}->{f.dst} outside {self.n}-cube"
-                )
+            self._check_link_exists(f.src, f.dst, "corruption fault")
             self._corruption_by_edge.setdefault((f.src, f.dst), []).append(f)
+
+    def _check_node_exists(self, node: int, what: str) -> None:
+        if self.topology is None:
+            if node < 0 or node >> self.n:
+                raise ValueError(f"{what} {node} outside {self.n}-cube")
+        elif not 0 <= node < self.topology.num_nodes:
+            raise ValueError(
+                f"{what} {node} outside {self.topology.spec} "
+                f"(valid ids are 0..{self.topology.num_nodes - 1})"
+            )
+
+    def _check_link_exists(self, src: int, dst: int, what: str) -> None:
+        """Validate a directed link against the plan's interconnect.
+
+        Faults name links by topology-native node ids, so which links
+        exist is this plan's business, not the fault dataclass's: the
+        same ``(0, 3)`` is a torus ring edge but not a cube edge.
+        """
+        if self.topology is None:
+            if src < 0 or dst < 0 or src >> self.n or dst >> self.n:
+                raise ValueError(
+                    f"{what} {src}->{dst} outside {self.n}-cube"
+                )
+            if not is_edge(src, dst):
+                raise ValueError(
+                    f"({src}, {dst}) is not a cube edge; {what}s "
+                    "apply to directed cube links"
+                )
+        else:
+            if not (
+                0 <= src < self.topology.num_nodes
+                and 0 <= dst < self.topology.num_nodes
+            ):
+                raise ValueError(
+                    f"{what} {src}->{dst} outside {self.topology.spec} "
+                    f"(valid ids are 0..{self.topology.num_nodes - 1})"
+                )
+            if not self.topology.has_link(src, dst):
+                raise ValueError(
+                    f"{what} {src}->{dst} is not a link of "
+                    f"{self.topology.spec}"
+                )
 
     # -- queries ---------------------------------------------------------------
 
@@ -373,13 +407,24 @@ class FaultPlan:
         """Is the topology minus *permanent* faults strongly connected?
 
         Transient faults heal, so they do not affect eventual
-        deliverability; permanent ones carve the cube.  Requires every
-        surviving node to reach every other over surviving directed
-        links (both directions checked, since link faults are directed).
+        deliverability; permanent ones carve the interconnect.  Requires
+        every surviving node to reach every other over surviving
+        directed links (both directions checked, since link faults are
+        directed).  Walks the plan's topology's graph — the Boolean
+        ``n``-cube when the plan carries none.
         """
         dead_nodes = self.permanent_nodes()
         dead_links = self.permanent_links()
-        alive = [x for x in range(1 << self.n) if x not in dead_nodes]
+        if self.topology is None:
+            num_nodes = 1 << self.n
+
+            def link_neighbors(x: int) -> list[int]:
+                return [x ^ (1 << d) for d in range(self.n)]
+
+        else:
+            num_nodes = self.topology.num_nodes
+            link_neighbors = self.topology.neighbors
+        alive = [x for x in range(num_nodes) if x not in dead_nodes]
         if not alive:
             return False
         if len(alive) == 1:
@@ -390,8 +435,7 @@ class FaultPlan:
             frontier = [start]
             while frontier:
                 x = frontier.pop()
-                for d in range(self.n):
-                    y = x ^ (1 << d)
+                for y in link_neighbors(x):
                     if y in seen or y in dead_nodes:
                         continue
                     link = (x, y) if forward else (y, x)
@@ -426,6 +470,7 @@ class FaultPlan:
             self.node_faults,
             seed=self.seed,
             corruption_faults=self.corruption_faults,
+            topology=self.topology,
         )
 
     def describe(self) -> str:
@@ -442,6 +487,8 @@ class FaultPlan:
             parts.append(
                 f"{len(self.corruption_faults)} corrupting link(s)"
             )
+        if self.topology is not None:
+            parts.append(f"on {self.topology.spec}")
         tail = f" [seed={self.seed}]" if self.seed is not None else ""
         return ", ".join(parts) + tail
 
@@ -468,10 +515,15 @@ class FaultPlan:
         corrupt_rate: float = 0.0,
         corrupt_intensity: float = 0.4,
         extra_corrupt: tuple[tuple[int, int, int, int], ...] = (),
+        topology: object | None = None,
     ) -> "FaultPlan":
         """A seeded random plan: reproducible fault scenarios.
 
-        Each of the ``N * n`` directed links fails permanently with
+        Each directed link of the interconnect — the ``N * n`` cube
+        links, or ``topology.directed_links()`` in its canonical order
+        when a :class:`~repro.topology.base.Topology` is given (for the
+        hypercube adapter the two streams are byte-identical, so old
+        seeds reproduce old plans) — fails permanently with
         probability ``link_rate``, else transiently with probability
         ``transient_rate`` (a random sub-interval of ``[0, window)``
         phases), else *corrupts silently* with probability
@@ -501,29 +553,33 @@ class FaultPlan:
         rng = random.Random(seed)
         links: list[LinkFault] = []
         corruptions: list[CorruptionFault] = []
-        for x in range(1 << n):
-            for d in range(n):
-                y = x ^ (1 << d)
-                if rng.random() < link_rate:
-                    links.append(LinkFault(x, y))
-                elif transient_rate and rng.random() < transient_rate:
-                    start = rng.randrange(window)
-                    span = 1 + rng.randrange(max(1, window // 8))
-                    links.append(LinkFault(x, y, start, start + span))
-                elif corrupt_rate and rng.random() < corrupt_rate:
-                    start = rng.randrange(window)
-                    span = 1 + rng.randrange(max(1, window // 4))
-                    corruptions.append(
-                        CorruptionFault(
-                            x,
-                            y,
-                            start,
-                            start + span,
-                            rate=corrupt_intensity,
-                            mode=CORRUPTION_MODES[rng.randrange(2)],
-                            seed=rng.randrange(1 << 30),
-                        )
+        if topology is None:
+            directed = (
+                (x, x ^ (1 << d)) for x in range(1 << n) for d in range(n)
+            )
+        else:
+            directed = topology.directed_links()
+        for x, y in directed:
+            if rng.random() < link_rate:
+                links.append(LinkFault(x, y))
+            elif transient_rate and rng.random() < transient_rate:
+                start = rng.randrange(window)
+                span = 1 + rng.randrange(max(1, window // 8))
+                links.append(LinkFault(x, y, start, start + span))
+            elif corrupt_rate and rng.random() < corrupt_rate:
+                start = rng.randrange(window)
+                span = 1 + rng.randrange(max(1, window // 4))
+                corruptions.append(
+                    CorruptionFault(
+                        x,
+                        y,
+                        start,
+                        start + span,
+                        rate=corrupt_intensity,
+                        mode=CORRUPTION_MODES[rng.randrange(2)],
+                        seed=rng.randrange(1 << 30),
                     )
+                )
         for src, dst in extra_links:
             links.append(LinkFault(src, dst))
         for src, dst, start, end in extra_transient:
@@ -541,10 +597,13 @@ class FaultPlan:
             tuple(nodes),
             seed=seed,
             corruption_faults=tuple(corruptions),
+            topology=topology,
         )
 
     @classmethod
-    def from_spec(cls, n: int, spec: str) -> "FaultPlan":
+    def from_spec(
+        cls, n: int, spec: str, *, topology: object | None = None
+    ) -> "FaultPlan":
         """Parse a command-line fault specification.
 
         Comma-separated ``key=value`` items; recognised keys:
@@ -571,12 +630,22 @@ class FaultPlan:
         ``clinks=0-1@0-16`` for a link that delivers damaged payloads
         during the first 16 phases.
 
+        Node and link ids are *topology-native*: against the default
+        cube they are the usual binary addresses, and when a
+        :class:`~repro.topology.base.Topology` is given they are its
+        flat node ids and the link tokens must name links that exist in
+        it.
+
         Malformed tokens raise :class:`ValueError` naming the offending
         token: a bad separator, an out-of-range node id (the cube has
-        nodes ``0 .. 2**n - 1``) or a non-numeric rate all fail here
+        nodes ``0 .. 2**n - 1``), a ``src-dst`` pair that is not a link
+        of the selected topology, or a non-numeric rate all fail here
         rather than as a cryptic downstream error.
         """
-        limit = 1 << n
+        limit = topology.num_nodes if topology is not None else (1 << n)
+        where_net = (
+            f"the {n}-cube" if topology is None else topology.spec
+        )
 
         def parse_int(value: str, key: str, token: str | None = None) -> int:
             try:
@@ -610,7 +679,7 @@ class FaultPlan:
             if not 0 <= node < limit:
                 raise ValueError(
                     f"fault spec {key} token {token!r}: node {node} is "
-                    f"outside the {n}-cube (valid ids are 0..{limit - 1})"
+                    f"outside {where_net} (valid ids are 0..{limit - 1})"
                 )
             return node
 
@@ -624,10 +693,23 @@ class FaultPlan:
                     f"fault spec {key} token {token!r} is not of the form "
                     "src-dst"
                 )
-            return (
-                parse_node(src_text, key, token),
-                parse_node(dst_text, key, token),
-            )
+            src = parse_node(src_text, key, token)
+            dst = parse_node(dst_text, key, token)
+            # Link ids are topology-native: reject tokens naming a link
+            # the selected interconnect does not have, so a typo fails
+            # here with the token named instead of downstream.
+            if topology is None:
+                if not is_edge(src, dst):
+                    raise ValueError(
+                        f"fault spec {key} token {token!r}: ({src}, {dst}) "
+                        "is not a cube edge"
+                    )
+            elif not topology.has_link(src, dst):
+                raise ValueError(
+                    f"fault spec {key} token {token!r}: {src}->{dst} is "
+                    f"not a link of {topology.spec}"
+                )
+            return (src, dst)
 
         def parse_window(
             window_text: str, key: str, token: str
@@ -745,4 +827,5 @@ class FaultPlan:
             corrupt_rate=corrupt_rate,
             corrupt_intensity=corrupt_intensity,
             extra_corrupt=clinks,
+            topology=topology,
         )

@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
-from repro.codes.bits import hamming
 from repro.integrity.errors import CorruptedDeliveryError
 from repro.machine.engine import CubeNetwork
 from repro.machine.faults import (
@@ -38,6 +37,7 @@ from repro.machine.faults import (
 from repro.machine.message import Message
 from repro.machine.params import PortModel
 from repro.obs.instrumentation import instrumentation_of
+from repro.topology import Topology
 
 __all__ = ["route_messages", "RoutedTransfer", "RoutingStalledError"]
 
@@ -60,7 +60,9 @@ class RoutedTransfer:
 class _Pending:
     """Mutable per-transfer routing state."""
 
-    __slots__ = ("cur", "src", "dst", "keys", "hops", "blocked", "prev")
+    __slots__ = (
+        "cur", "src", "dst", "keys", "hops", "blocked", "prev", "fallback"
+    )
 
     def __init__(self, t: RoutedTransfer) -> None:
         self.cur = t.src
@@ -70,6 +72,11 @@ class _Pending:
         self.hops = 0
         self.blocked = 0  # consecutive rounds stuck behind a fault
         self.prev: int | None = None
+        # Sticky last-resort mode: once greedy misrouting is exhausted
+        # the transfer follows shortest paths of the *surviving* graph
+        # (permanent faults and quarantined links removed) until
+        # delivery, so progress is monotone and livelock impossible.
+        self.fallback = False
 
     def describe(self) -> str:
         return (
@@ -110,8 +117,13 @@ def route_messages(
       then misroutes through a healthy unprofitable dimension (one hop
       away from the destination, so the detour costs two extra hops);
     * each transfer may spend at most ``detour_budget`` extra hops beyond
-      its Hamming distance (default ``2 n``); exhausting the budget with
-      no healthy profitable hop raises :class:`RoutingStalledError`;
+      its Hamming distance (default ``2 n``) on *greedy* misrouting;
+      exhausting a positive budget against purely permanent blockage
+      switches the transfer to shortest paths of the surviving graph
+      (permanent faults and quarantined links removed), which delivers
+      whenever the destination is still reachable; a zero budget forbids
+      every non-minimal hop and raises :class:`RoutingStalledError`
+      instead;
     * ``max_rounds`` caps the total rounds (default ``None`` = unlimited);
     * rounds in which nothing advances are *stall rounds*: the engine's
       phase clock still ticks (transient faults heal by phase index), but
@@ -122,14 +134,21 @@ def route_messages(
     A transfer whose source or destination node is permanently dead is
     undeliverable and raises
     :class:`~repro.machine.faults.NodeFailureError` immediately.
+
+    The routing generalizes beyond the cube through the network's
+    :class:`~repro.topology.base.Topology`: "profitable" hops are the
+    topology's minimal next hops (for the hypercube, exactly the
+    dimension-ordered e-cube candidates), misrouting scans the remaining
+    neighbours in canonical order, and the default detour budget is
+    twice the topology's diameter (``2 n`` on the cube, as before).
     """
-    n = network.params.n
+    topo: Topology = network.topology
     one_port = network.params.port_model is PortModel.ONE_PORT
     plan: FaultPlan | None = network.faults
     if plan is not None and plan.is_empty:
         plan = None
     if detour_budget is None:
-        detour_budget = 2 * n
+        detour_budget = 2 * topo.diameter
 
     pending: list[_Pending] = []
     for t in transfers:
@@ -150,6 +169,9 @@ def route_messages(
     pre_stalls = stats.stall_phases
     rounds = 0
     known_quarantined: frozenset = frozenset()
+    # dst -> {node: distance} in the surviving graph, for transfers in
+    # last-resort fallback mode; recomputed when quarantine grows.
+    survivor_cache: dict[int, dict[int, int]] = {}
     with instrumentation_of(network).span(
         "route", category="routing", transfers=len(pending)
     ) as route_span:
@@ -179,6 +201,7 @@ def route_messages(
                     tr.src = tr.cur
                     tr.hops = 0
                     tr.blocked = 0
+                survivor_cache.clear()
             known_quarantined = quarantined
             used_links: set[tuple[int, int]] = set()
             busy_send: set[int] = set()
@@ -187,8 +210,9 @@ def route_messages(
             movers: list[tuple[_Pending, int]] = []
             waiting_on_fault = False
             for tr in pending:
-                nxt = _next_hop(tr, n, plan, phase_now, ascending,
-                                detour_budget, retry_limit, quarantined)
+                nxt = _next_hop(tr, topo, plan, phase_now, ascending,
+                                detour_budget, retry_limit, quarantined,
+                                survivor_cache)
                 if nxt is None:
                     waiting_on_fault = True
                     continue
@@ -235,7 +259,7 @@ def route_messages(
 
             moved = set()
             for tr, nxt in movers:
-                if hamming(nxt, tr.dst) > hamming(tr.cur, tr.dst):
+                if topo.distance(nxt, tr.dst) > topo.distance(tr.cur, tr.dst):
                     network.stats.record_detour()
                 tr.prev = tr.cur
                 tr.cur = nxt
@@ -245,7 +269,7 @@ def route_messages(
             if waiting_on_fault:
                 for tr in pending:
                     if id(tr) not in moved and _is_fault_blocked(
-                        tr, n, plan, phase_now, ascending, quarantined
+                        tr, topo, plan, phase_now, ascending, quarantined
                     ):
                         tr.blocked += 1
                         network.stats.record_retry()
@@ -257,15 +281,6 @@ def route_messages(
             stalls=stats.stall_phases - pre_stalls,
         )
     return rounds
-
-
-def _profitable_dims(cur: int, dst: int, n: int, ascending: bool) -> list[int]:
-    """Dimensions still differing from the destination, in e-cube order."""
-    diff = cur ^ dst
-    dims = [d for d in range(n) if (diff >> d) & 1]
-    if not ascending:
-        dims.reverse()
-    return dims
 
 
 def _hop_usable(
@@ -295,7 +310,7 @@ def _hop_usable(
 
 def _is_fault_blocked(
     tr: _Pending,
-    n: int,
+    topo: Topology,
     plan: FaultPlan | None,
     phase: int,
     ascending: bool,
@@ -304,10 +319,8 @@ def _is_fault_blocked(
     """Did this transfer fail to advance because of faults (vs. contention)?"""
     if plan is None and not quarantined:
         return False
-    for d in _profitable_dims(tr.cur, tr.dst, n, ascending):
-        usable, _ = _hop_usable(
-            plan, tr.cur, tr.cur ^ (1 << d), phase, quarantined
-        )
+    for nxt in topo.minimal_hops(tr.cur, tr.dst, ascending=ascending):
+        usable, _ = _hop_usable(plan, tr.cur, nxt, phase, quarantined)
         if usable:
             return False
     return True
@@ -315,33 +328,37 @@ def _is_fault_blocked(
 
 def _next_hop(
     tr: _Pending,
-    n: int,
+    topo: Topology,
     plan: FaultPlan | None,
     phase: int,
     ascending: bool,
     detour_budget: int,
     retry_limit: int,
     quarantined: frozenset | set = frozenset(),
+    survivor_cache: dict | None = None,
 ) -> int | None:
     """The node this transfer should move to this round, or ``None`` to wait.
 
-    Healthy machine: exactly the oblivious e-cube next hop.  Faulted
-    machine: the first healthy profitable hop; failing that, bounded
-    retries (if any blockage may heal) and then adaptive misrouting
-    through a healthy unprofitable dimension within the hop budget.
-    Skips the node we just came from while any alternative exists, so a
-    misrouted transfer resolves the blocked dimension from its detour
-    position instead of ping-ponging.
+    Healthy machine: exactly the topology's first minimal hop (on the
+    cube, the oblivious e-cube next hop).  Faulted machine: the first
+    healthy minimal hop; failing that, bounded retries (if any blockage
+    may heal) and then adaptive misrouting through a healthy
+    non-minimal neighbour within the hop budget.  Skips the node we
+    just came from while any alternative exists, so a misrouted
+    transfer resolves the blocked link from its detour position instead
+    of ping-ponging.
     """
     cur, dst = tr.cur, tr.dst
-    dims = _profitable_dims(cur, dst, n, ascending)
+    if tr.fallback:
+        return _survivor_hop(tr, topo, plan, phase, quarantined,
+                             survivor_cache)
+    hops = topo.minimal_hops(cur, dst, ascending=ascending)
     if plan is None and not quarantined:
-        return cur ^ (1 << dims[0])
+        return hops[0]
 
     backtrack: int | None = None
     any_transient = False
-    for d in dims:
-        nxt = cur ^ (1 << d)
+    for nxt in hops:
         usable, transient = _hop_usable(plan, cur, nxt, phase, quarantined)
         any_transient = any_transient or transient
         if not usable:
@@ -353,19 +370,22 @@ def _next_hop(
     if backtrack is not None:
         return backtrack
 
-    # Every profitable hop is faulted right now.
+    # Every minimal hop is faulted right now.
     if any_transient and tr.blocked < retry_limit:
         return None  # bounded retry: wait for the fault to heal
 
-    # Adaptive misrouting: one hop away from the destination costs two
-    # extra hops overall, so it must fit in the remaining budget.
-    extra_used = tr.hops + len(dims) - hamming(tr.src, dst)
+    # Adaptive misrouting: a non-minimal hop costs at most two extra
+    # hops overall (one out, one back on course), so it must fit in the
+    # remaining budget.  On the cube every non-minimal hop costs
+    # exactly two; on other topologies a lateral hop may cost less, so
+    # two is a safe bound.
+    extra_used = tr.hops + topo.distance(cur, dst) - topo.distance(tr.src, dst)
     if extra_used + 2 <= detour_budget:
+        minimal = set(hops)
         backtrack = None
-        for d in range(n):
-            if (cur ^ dst) >> d & 1:
+        for nxt in topo.neighbors(cur):
+            if nxt in minimal:
                 continue
-            nxt = cur ^ (1 << d)
             usable, _ = _hop_usable(plan, cur, nxt, phase, quarantined)
             if not usable:
                 continue
@@ -378,7 +398,90 @@ def _next_hop(
 
     if any_transient:
         return None  # out of budget or fully walled in, but it may heal
-    raise RoutingStalledError(
-        "routing stalled: no healthy hop within the detour budget "
-        f"({detour_budget} extra hops) for transfer " + tr.describe()
-    )
+    # Permanent faults walled off every minimal hop and greedy
+    # misrouting is out of budget: switch to surviving-graph shortest
+    # paths for the rest of this transfer's journey.  Never reached on
+    # runs the greedy strategy completes, so their schedules (and the
+    # pinned baselines) are untouched.  A zero budget explicitly
+    # forbids every non-minimal hop, so it forbids the fallback too.
+    if detour_budget <= 0:
+        raise RoutingStalledError(
+            "routing stalled: no healthy hop within the detour budget "
+            f"({detour_budget} extra hops) for transfer " + tr.describe()
+        )
+    tr.fallback = True
+    return _survivor_hop(tr, topo, plan, phase, quarantined, survivor_cache)
+
+
+def _survivor_distances(
+    topo: Topology,
+    plan: FaultPlan | None,
+    quarantined: frozenset | set,
+    dst: int,
+) -> dict[int, int]:
+    """Hop distance to ``dst`` through surviving resources only.
+
+    The surviving graph drops quarantined links, permanently faulted
+    links and permanently dead nodes (transient faults heal, so they
+    stay).  BFS runs from ``dst`` over link *reversals*, giving the
+    forward distance node -> dst for every node that can still reach it.
+    """
+    dead_links = set(quarantined)
+    dead_nodes: set[int] = set()
+    if plan is not None:
+        dead_links.update(
+            (f.src, f.dst) for f in plan.link_faults if f.end is None
+        )
+        dead_nodes.update(
+            f.node for f in plan.node_faults if f.end is None
+        )
+    dist = {dst: 0}
+    frontier = [dst]
+    while frontier:
+        nxt_frontier: list[int] = []
+        for v in frontier:
+            for u in topo.neighbors(v):
+                if u in dist or u in dead_nodes:
+                    continue
+                if not topo.has_link(u, v) or (u, v) in dead_links:
+                    continue
+                dist[u] = dist[v] + 1
+                nxt_frontier.append(u)
+        frontier = nxt_frontier
+    return dist
+
+
+def _survivor_hop(
+    tr: _Pending,
+    topo: Topology,
+    plan: FaultPlan | None,
+    phase: int,
+    quarantined: frozenset | set,
+    survivor_cache: dict | None,
+) -> int | None:
+    """Next hop along a surviving-graph shortest path, or ``None`` to wait.
+
+    Every candidate hop is free of permanent faults by construction, so
+    a blocked round here can only be transient and waiting always
+    terminates; each taken hop strictly decreases the surviving
+    distance, so delivery needs at most ``num_nodes`` further moves.
+    """
+    if survivor_cache is None:
+        survivor_cache = {}
+    dist = survivor_cache.get(tr.dst)
+    if dist is None:
+        dist = _survivor_distances(topo, plan, quarantined, tr.dst)
+        survivor_cache[tr.dst] = dist
+    here = dist.get(tr.cur)
+    if here is None:
+        raise RoutingStalledError(
+            "routing stalled: the surviving topology cannot carry "
+            "transfer " + tr.describe()
+        )
+    for nxt in topo.neighbors(tr.cur):
+        if dist.get(nxt) != here - 1:
+            continue
+        usable, _ = _hop_usable(plan, tr.cur, nxt, phase, quarantined)
+        if usable:
+            return nxt
+    return None  # every shortest surviving hop is transiently blocked

@@ -74,6 +74,9 @@ class BaselineScenario:
     #: field above except ``id`` is ignored.  A string, not a dict, so
     #: the scenario stays hashable and its description JSON-stable.
     service: str | None = None
+    #: Interconnect spec (``repro.topology.parse_topology`` syntax);
+    #: non-cube scenarios pin the routed-universal path per topology.
+    topology: str = "cube"
 
     def describe(self) -> dict:
         return {
@@ -88,6 +91,7 @@ class BaselineScenario:
             "recovery": self.recovery,
             "integrity": self.integrity,
             "service": self.service,
+            "topology": self.topology,
         }
 
 
@@ -140,6 +144,14 @@ DEFAULT_SUITE: tuple[BaselineScenario, ...] = (
                      algorithm="mpt", integrity=True),
     BaselineScenario("integrity_corrupt_n4", "cm", 4, 1 << 8,
                      algorithm="mpt", faults="clinks=0-1@0-2,seed=3"),
+    # Cross-topology pair: the routed-universal floor on a 4x4x4 torus
+    # and on a faulted swapped dragonfly, pinning the topology layer's
+    # routing and fault handling end to end.
+    BaselineScenario("torus_n64", "cm", 6, 1 << 12,
+                     topology="torus:4x4x4"),
+    BaselineScenario("dragonfly_k2m4", "cm", 4, 1 << 8,
+                     topology="dragonfly:2,4",
+                     faults="links=0-1,seed=9"),
 )
 
 
@@ -191,12 +203,20 @@ def run_scenario(
             ServerConfig.from_dict(doc.get("config", {})),
         )
 
+    from repro.topology import parse_topology
+
     params = _params_for(scenario, perturb)
+    topo = parse_topology(scenario.topology, scenario.n)
+    on_cube = topo.name == "cube"
     before, after = resolve_problem(
         scenario.n, scenario.elements, scenario.layout
     )
     faults = (
-        FaultPlan.from_spec(scenario.n, scenario.faults)
+        FaultPlan.from_spec(
+            scenario.n,
+            scenario.faults,
+            topology=None if on_cube else topo,
+        )
         if scenario.faults
         else None
     )
@@ -214,11 +234,16 @@ def run_scenario(
             after,
             faults=faults
             if faults is not None
-            else FaultPlan.from_spec(scenario.n, "seed=0"),
+            else FaultPlan.from_spec(
+                scenario.n,
+                "seed=0",
+                topology=None if on_cube else topo,
+            ),
             algorithm=scenario.algorithm,
             cache=cache,
             observer=observer,
             recovery=recovery,
+            topology=topo,
         )
         stats, algorithm = outcome.stats, outcome.algorithm
         if outcome.recovery is not None:
@@ -231,7 +256,9 @@ def run_scenario(
             from repro.integrity import IntegrityManager
 
             integrity = IntegrityManager()
-        network = CubeNetwork(params, faults=faults, integrity=integrity)
+        network = CubeNetwork(
+            params, faults=faults, integrity=integrity, topology=topo
+        )
         if observer is not None:
             network.observer = observer
         result = transpose(

@@ -79,6 +79,9 @@ class BatchRequest:
     #: Optional fault scenario (``FaultPlan.from_spec`` syntax); faulted
     #: requests are served through :func:`repro.plans.replay.replay_degraded`.
     faults: str | None = None
+    #: Interconnect spec (``repro.topology.parse_topology`` syntax); the
+    #: topology's node count must equal ``2**n``.
+    topology: str = "cube"
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "BatchRequest":
@@ -230,8 +233,11 @@ def run_batch(
     :func:`repro.plans.replay.replay_degraded` against the same cache;
     ``recovery`` (a :class:`~repro.recovery.policy.RecoveryPolicy`)
     switches those requests to resume-based serving, and each outcome
-    then carries the recovery accounting.
+    then carries the recovery accounting.  Recovery applies to cube
+    requests only — plan surgery is cube-specific, so faulted requests
+    on other topologies always serve restart-based.
     """
+    from repro.topology import parse_topology, supported_algorithms
     from repro.transpose.planner import default_after_layout, select_algorithm
 
     if cache is None:
@@ -240,12 +246,27 @@ def run_batch(
     for index, req in enumerate(requests):
         started = perf_counter()
         params = req.machine_params()
+        topo = parse_topology(req.topology, req.n)
+        if topo.num_nodes != 1 << req.n:
+            raise ValueError(
+                f"topology {topo.spec!r} has {topo.num_nodes} nodes but the "
+                f"request needs 2^{req.n} = {1 << req.n}"
+            )
+        on_cube = topo.name == "cube"
         before, after = resolve_problem(req.n, req.elements, req.layout)
         target = after if after is not None else default_after_layout(before)
         name = req.algorithm
         if name == "auto":
-            name = select_algorithm(before, target, params.port_model)
-        key = plan_key(params, before, target, name)
+            name = select_algorithm(
+                before, target, params.port_model, topology=topo
+            )
+        elif name not in supported_algorithms(topo):
+            from repro.topology.capabilities import CUBE_ALGORITHMS
+
+            if name not in CUBE_ALGORITHMS:
+                raise ValueError(f"unknown algorithm {name!r}")
+            name = "routed-universal"
+        key = plan_key(params, before, target, name, topology=topo.spec)
         if req.faults:
             from repro.machine.faults import FaultPlan
             from repro.plans.replay import replay_degraded
@@ -254,10 +275,15 @@ def run_batch(
                 params,
                 before,
                 target,
-                faults=FaultPlan.from_spec(req.n, req.faults),
+                faults=FaultPlan.from_spec(
+                    req.n,
+                    req.faults,
+                    topology=None if on_cube else topo,
+                ),
                 algorithm=name,
                 cache=cache,
-                recovery=recovery,
+                recovery=recovery if on_cube else None,
+                topology=topo,
             )
             rec = served.recovery
             report.outcomes.append(
@@ -283,12 +309,16 @@ def run_batch(
         plan = cache.get(key)
         hit = plan is not None
         if hit:
-            network = CubeNetwork(params)
+            network = CubeNetwork(params, topology=topo)
             replay_plan(plan, network)
             modelled = network.stats.time
         else:
             result, plan = capture_transpose(
-                params, synthetic_matrix(before), target, algorithm=name
+                params,
+                synthetic_matrix(before),
+                target,
+                algorithm=name,
+                topology=topo,
             )
             cache.put(key, plan)
             modelled = result.stats.time

@@ -55,12 +55,15 @@ def plan_key(
     policy=None,
     packet_size: int | None = None,
     dtype: str = "float64",
+    topology: str = "cube",
 ) -> str:
     """Stable content address for the plan these inputs would compile to.
 
     ``after=None`` means the planner's default target layout; it is
     resolved here so explicit and implicit requests for the same pair
-    share one key.
+    share one key.  ``topology`` is the interconnect spec the plan
+    targets; the default ``"cube"`` leaves the serialized machine dict
+    (and therefore every pre-existing key) unchanged.
     """
     if after is None:
         from repro.transpose.planner import default_after_layout
@@ -69,7 +72,9 @@ def plan_key(
     doc = {
         "format": PLAN_FORMAT_VERSION,
         "algorithm": algorithm,
-        "machine": MachineSpec.from_params(params).as_dict(with_name=False),
+        "machine": MachineSpec.from_params(params, topology=topology).as_dict(
+            with_name=False
+        ),
         "before": LayoutSpec.from_layout(before).as_dict(with_name=False),
         "after": LayoutSpec.from_layout(after).as_dict(with_name=False),
         "packet_size": packet_size,

@@ -116,7 +116,14 @@ def _decode_key(obj) -> Hashable:
 
 @dataclass(frozen=True)
 class MachineSpec:
-    """The machine constants a plan was compiled against."""
+    """The machine constants a plan was compiled against.
+
+    ``topology`` is the canonical interconnect spec
+    (:attr:`repro.topology.base.Topology.spec`); ``"cube"`` — the only
+    value earlier releases could produce — is the default and is
+    omitted from the serialized form, so every previously written plan
+    (and its content fingerprint) is unchanged.
+    """
 
     n: int
     tau: float
@@ -126,9 +133,12 @@ class MachineSpec:
     port_model: str
     pipelined: bool
     name: str = "custom"
+    topology: str = "cube"
 
     @classmethod
-    def from_params(cls, params: MachineParams) -> "MachineSpec":
+    def from_params(
+        cls, params: MachineParams, *, topology: str = "cube"
+    ) -> "MachineSpec":
         return cls(
             n=params.n,
             tau=float(params.tau),
@@ -138,6 +148,7 @@ class MachineSpec:
             port_model=params.port_model.value,
             pipelined=params.pipelined,
             name=params.name,
+            topology=topology,
         )
 
     def to_params(self) -> MachineParams:
@@ -174,6 +185,8 @@ class MachineSpec:
             "port_model": self.port_model,
             "pipelined": self.pipelined,
         }
+        if self.topology != "cube":
+            d["topology"] = self.topology
         if with_name:
             d["name"] = self.name
         return d
@@ -189,6 +202,7 @@ class MachineSpec:
             port_model=d["port_model"],
             pipelined=d["pipelined"],
             name=d.get("name", "custom"),
+            topology=d.get("topology", "cube"),
         )
 
 
@@ -432,11 +446,16 @@ class CompiledPlan:
         )
 
     def describe(self) -> str:
+        where = (
+            f"a {self.machine.n}-cube"
+            if self.machine.topology == "cube"
+            else self.machine.topology
+        )
         return (
             f"{self.algorithm} plan: {len(self.ops)} ops, "
             f"{self.num_phases} phases, {self.num_messages} messages, "
-            f"{self.total_message_elements} element-hops on a "
-            f"{self.machine.n}-cube ({self.machine.port_model})"
+            f"{self.total_message_elements} element-hops on "
+            f"{where} ({self.machine.port_model})"
         )
 
     # -- relabeling -------------------------------------------------------
@@ -446,7 +465,14 @@ class CompiledPlan:
 
         XOR-translation preserves edges, loads and therefore modelled
         cost exactly; only the node ids (not the block keys) change.
+        XOR by a constant is an automorphism of the Boolean cube only,
+        so relabeling a plan compiled for another topology is refused.
         """
+        if self.machine.topology != "cube":
+            raise PlanError(
+                "XOR relabeling is a cube automorphism; plan was compiled "
+                f"for topology {self.machine.topology!r}"
+            )
         if not 0 <= mask < (1 << self.machine.n):
             raise PlanError(
                 f"relabel mask {mask} outside the {self.machine.n}-cube"

@@ -133,8 +133,9 @@ class RecordingNetwork(CubeNetwork):
         *,
         faults=None,
         record_payloads: bool = False,
+        topology=None,
     ) -> None:
-        super().__init__(params, faults=faults)
+        super().__init__(params, faults=faults, topology=topology)
         self.ops: list = []
         #: Optional payload ledger: canonical key -> the real arrays each
         #: successive placement of that key carried, in placement order.
@@ -240,7 +241,9 @@ class RecordingNetwork(CubeNetwork):
 
         return CompiledPlan(
             algorithm=algorithm,
-            machine=MachineSpec.from_params(self.params),
+            machine=MachineSpec.from_params(
+                self.params, topology=self.topology.spec
+            ),
             before=LayoutSpec.from_layout(before),
             after=LayoutSpec.from_layout(after),
             ops=tuple(self.ops),
@@ -273,6 +276,7 @@ def capture_transpose(
     policy=None,
     packet_size: int | None = None,
     observer=None,
+    topology=None,
 ):
     """Run one planned transpose on a clean machine and capture its plan.
 
@@ -288,7 +292,7 @@ def capture_transpose(
 
     before = dm.layout
     target = after if after is not None else default_after_layout(before)
-    network = RecordingNetwork(params)
+    network = RecordingNetwork(params, topology=topology)
     if observer is not None:
         network.observer = observer
     result = transpose(

@@ -81,12 +81,18 @@ def replay_plan(
     Fault errors from a faulted network propagate untouched, exactly as
     they would from direct execution, so callers can ladder down.
     """
-    if check_params and not plan.machine.compatible_with(network.params):
-        raise PlanReplayError(
-            f"plan was compiled for {plan.machine.as_dict(with_name=False)} "
-            f"but the network is {network.params.name!r} "
-            f"(n={network.params.n})"
-        )
+    if check_params:
+        if not plan.machine.compatible_with(network.params):
+            raise PlanReplayError(
+                f"plan was compiled for {plan.machine.as_dict(with_name=False)} "
+                f"but the network is {network.params.name!r} "
+                f"(n={network.params.n})"
+            )
+        if plan.machine.topology != network.topology.spec:
+            raise PlanReplayError(
+                f"plan was compiled for topology {plan.machine.topology!r} "
+                f"but the network interconnect is {network.topology.spec!r}"
+            )
     start_time = network.stats.time
     mask = 0
     if checkpoints is not None:
@@ -200,6 +206,7 @@ def replay_degraded(
     packet_size: int | None = None,
     observer=None,
     recovery=None,
+    topology=None,
 ) -> DegradedReplay:
     """Serve a transpose under faults from cached plans where possible.
 
@@ -229,26 +236,48 @@ def replay_degraded(
     fault counters, with the replay/transpose spans nested inside.
     """
     from repro.plans.cache import plan_key
+    from repro.topology import (
+        parse_topology,
+        supported_algorithms,
+    )
+    from repro.topology.capabilities import CUBE_ALGORITHMS
     from repro.transpose.planner import (
         default_after_layout,
         degrade_strategy,
         select_algorithm,
     )
 
+    topo = parse_topology(topology, before.n)
+    on_cube = topo.name == "cube"
+    if recovery is not None and not on_cube:
+        raise ValueError(
+            "resume-based recovery rewrites cube schedules (checkpoint "
+            "surgery, XOR relabeling) and is unavailable on topology "
+            f"{topo.spec!r}; serve with recovery=None instead"
+        )
     target = after if after is not None else default_after_layout(before)
     name = algorithm
     if name == "auto":
-        name = select_algorithm(before, target, params.port_model)
+        name = select_algorithm(
+            before, target, params.port_model, topology=topo
+        )
     requested = name
     skipped: tuple[str, ...] = ()
+    caps = supported_algorithms(topo)
+    if name not in caps:
+        if name not in CUBE_ALGORITHMS:
+            raise ValueError(f"unknown algorithm {name!r}")
+        skipped = (name,)
+        name = "routed-universal"
     if not faults.is_empty:
         if not faults.surviving_connected():
             raise DisconnectedCubeError(
                 "the surviving topology is not strongly connected; no "
                 f"transpose can complete ({faults.describe()})"
             )
-        if recovery is None:
-            name, skipped = degrade_strategy(name, before.n, faults)
+        if recovery is None and on_cube:
+            name, more = degrade_strategy(name, before.n, faults)
+            skipped = (*skipped, *more)
 
     key = plan_key(
         params,
@@ -257,6 +286,7 @@ def replay_degraded(
         name,
         policy=policy,
         packet_size=packet_size,
+        topology=topo.spec,
     )
     instr = (
         observer
@@ -266,14 +296,14 @@ def replay_degraded(
     return _serve(
         instr, cache, key, params, before, target, after, faults,
         name, requested, skipped, policy, packet_size, observer,
-        recovery,
+        recovery, topo,
     )
 
 
 def _serve(
     instr, cache, key, params, before, target, after, faults,
     name, requested, skipped, policy, packet_size, observer,
-    recovery=None,
+    recovery=None, topo=None,
 ) -> DegradedReplay:
     from repro.plans.recorder import capture_transpose, synthetic_matrix
     from repro.transpose.planner import transpose
@@ -300,6 +330,7 @@ def _serve(
                 algorithm=name,
                 policy=policy,
                 packet_size=packet_size,
+                topology=topo,
             )
             if cache is not None:
                 cache.put(key, plan, observer=cache_obs)
@@ -311,7 +342,7 @@ def _serve(
                 cache_hit,
             )
 
-        network = CubeNetwork(params, faults=faults)
+        network = CubeNetwork(params, faults=faults, topology=topo)
         if observer is not None:
             network.observer = observer
         try:
@@ -328,7 +359,7 @@ def _serve(
             # Reactive safety net: one direct fault-tolerant run, exactly as
             # the planner would do when a schedule aborts mid-flight.
             serve_span.annotate(replay_aborted=name)
-            direct = CubeNetwork(params, faults=faults)
+            direct = CubeNetwork(params, faults=faults, topology=topo)
             if observer is not None:
                 direct.observer = observer
             result = transpose(

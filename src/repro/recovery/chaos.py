@@ -113,6 +113,7 @@ class ChaosReport:
     modes: tuple[str, ...]
     corrupt_rate: float = 0.0
     corrupt_intensity: float = 0.4
+    topology: str = "cube"
     trials: list[ChaosTrial] = field(default_factory=list)
 
     @property
@@ -152,6 +153,7 @@ class ChaosReport:
                 "modes": list(self.modes),
                 "corrupt_rate": self.corrupt_rate,
                 "corrupt_intensity": self.corrupt_intensity,
+                "topology": self.topology,
             },
             "outcomes": self.outcome_counts(),
             "resolutions": self.resolution_counts(),
@@ -182,7 +184,8 @@ class ChaosReport:
     def summary(self) -> str:
         lines = [
             f"chaos soak: {self.seeds} seed(s) x {len(self.modes)} mode(s) "
-            f"on n={self.n}, {self.elements} elements, {self.layout} layout",
+            f"on n={self.n} ({self.topology}), {self.elements} elements, "
+            f"{self.layout} layout",
             f"fault model: link_rate={self.link_rate}, "
             f"transient_rate={self.transient_rate}, window={self.window}"
             + (
@@ -238,6 +241,7 @@ def run_chaos(
     policy: RecoveryPolicy | None = None,
     params: MachineParams | None = None,
     progress: Callable[[ChaosTrial], None] | None = None,
+    topology=None,
 ) -> ChaosReport:
     """Soak the recovery machinery over seeded random fault plans.
 
@@ -253,11 +257,33 @@ def run_chaos(
     replay mode's payload-ledger comparison against the fault-free run
     means a single undetected corruption shows up as a ``failed`` trial.
     ``progress`` is called once per finished trial (CLI streaming).
+
+    ``topology`` (spec string or :class:`~repro.topology.base.Topology`)
+    soaks a non-cube interconnect.  Only ``live`` mode is available off
+    the cube: ``replay`` and ``cached`` exercise checkpoint surgery and
+    resume-based serving, which rewrite cube schedules specifically.
     """
+    from repro.topology import parse_topology
+
     for mode in modes:
         if mode not in MODES:
             raise ValueError(
                 f"unknown chaos mode {mode!r}; choose from {MODES}"
+            )
+    topo = parse_topology(topology, n)
+    on_cube = topo.name == "cube"
+    if not on_cube:
+        if topo.num_nodes != 1 << n:
+            raise ValueError(
+                f"topology {topo.spec!r} has {topo.num_nodes} nodes but the "
+                f"soak needs 2^{n} = {1 << n}"
+            )
+        off_cube = [m for m in modes if m != "live"]
+        if off_cube:
+            raise ValueError(
+                f"chaos mode(s) {', '.join(off_cube)} need a Boolean cube "
+                f"(checkpoint surgery is cube-specific); on topology "
+                f"{topo.spec!r} run with modes=('live',)"
             )
     if isinstance(seeds, int):
         seed_list = list(range(seeds))
@@ -273,24 +299,29 @@ def run_chaos(
     target = after
 
     # One clean capture with a real-payload ledger feeds every replay
-    # trial; the clean outcome is the bit-identity reference.
-    from repro.transpose.planner import default_after_layout, transpose
+    # trial; the clean outcome is the bit-identity reference.  Only
+    # the replay mode needs it.
+    plan = payloads = clean_outcome = None
+    if "replay" in modes:
+        from repro.transpose.planner import default_after_layout, transpose
 
-    recorder = RecordingNetwork(params, record_payloads=True)
-    matrix = synthetic_matrix(before)
-    clean_result = transpose(
-        recorder, matrix, target, algorithm=algorithm
-    )
-    plan = recorder.compile(
-        algorithm=clean_result.algorithm,
-        before=before,
-        after=target if target is not None else default_after_layout(before),
-        requested=algorithm,
-    )
-    payloads = recorder.payloads
-    clean_outcome = execute_with_recovery(
-        plan, CubeNetwork(params), policy=policy, payloads=payloads
-    )
+        recorder = RecordingNetwork(params, record_payloads=True)
+        matrix = synthetic_matrix(before)
+        clean_result = transpose(
+            recorder, matrix, target, algorithm=algorithm
+        )
+        plan = recorder.compile(
+            algorithm=clean_result.algorithm,
+            before=before,
+            after=target
+            if target is not None
+            else default_after_layout(before),
+            requested=algorithm,
+        )
+        payloads = recorder.payloads
+        clean_outcome = execute_with_recovery(
+            plan, CubeNetwork(params), policy=policy, payloads=payloads
+        )
 
     cache = PlanCache(capacity=32)
     report = ChaosReport(
@@ -306,6 +337,7 @@ def run_chaos(
         modes=tuple(modes),
         corrupt_rate=corrupt_rate,
         corrupt_intensity=corrupt_intensity,
+        topology=topo.spec,
     )
     for seed in seed_list:
         faults = FaultPlan.random(
@@ -316,6 +348,7 @@ def run_chaos(
             window=window,
             corrupt_rate=corrupt_rate,
             corrupt_intensity=corrupt_intensity,
+            topology=None if on_cube else topo,
         )
         for mode in modes:
             if mode == "replay":
@@ -330,7 +363,8 @@ def run_chaos(
                 )
             else:
                 trial = _live_trial(
-                    seed, params, before, target, faults, algorithm, policy
+                    seed, params, before, target, faults, algorithm, policy,
+                    topo,
                 )
             report.trials.append(trial)
             if progress is not None:
@@ -364,14 +398,14 @@ def _from_report(
 
 
 def _live_verifies(
-    params, before, after, faults, algorithm, policy
+    params, before, after, faults, algorithm, policy, topology=None
 ) -> tuple[bool, str, object]:
     """One direct fault-tolerant run on real data; ``(ok, detail, stats)``."""
     from repro.transpose.planner import transpose
 
     matrix = synthetic_matrix(before)
     original = matrix.to_global()
-    network = CubeNetwork(params, faults=faults)
+    network = CubeNetwork(params, faults=faults, topology=topology)
     network.checkpoints = CheckpointManager(
         every=policy.checkpoint_every, retain=policy.max_checkpoints
     )
@@ -472,10 +506,10 @@ def _cached_trial(
 
 
 def _live_trial(
-    seed, params, before, after, faults, algorithm, policy
+    seed, params, before, after, faults, algorithm, policy, topology=None
 ) -> ChaosTrial:
     ok, detail, stats = _live_verifies(
-        params, before, after, faults, algorithm, policy
+        params, before, after, faults, algorithm, policy, topology
     )
     if ok and detail == "rejected-disconnected":
         return ChaosTrial(seed, "live", "rejected-disconnected")

@@ -42,32 +42,55 @@ class ResolvedRequest:
     #: Concrete algorithm tier (``auto`` resolved through §9 selection).
     algorithm: str
     key: str
+    #: Canonical interconnect spec.  Workers re-parse it per request so
+    #: no Topology instance (or its mutable BFS distance cache) is ever
+    #: shared across worker threads.
+    topology: str = "cube"
 
 
 def resolve_request(request: TransposeRequest) -> ResolvedRequest:
     """Map a request to machine/layouts/algorithm/plan-key, validating it.
 
     Raises :class:`ValueError` on malformed problems (bad element
-    counts, unknown layouts or machines), exactly as the batch layer
-    does — the server turns that into a synchronous rejection rather
-    than a dead queue entry.
+    counts, unknown layouts, machines or topologies), exactly as the
+    batch layer does — the server turns that into a synchronous
+    rejection rather than a dead queue entry.
     """
+    from repro.topology import parse_topology, supported_algorithms
     from repro.transpose.planner import default_after_layout, select_algorithm
 
     problem = request.problem
     params = problem.machine_params()
+    topo = parse_topology(problem.topology, problem.n)
+    if topo.num_nodes != 1 << problem.n:
+        raise ValueError(
+            f"topology {topo.spec!r} has {topo.num_nodes} nodes but the "
+            f"request needs 2^{problem.n} = {1 << problem.n}"
+        )
     before, after = resolve_problem(problem.n, problem.elements, problem.layout)
     target = after if after is not None else default_after_layout(before)
     name = problem.algorithm
     if name == "auto":
-        name = select_algorithm(before, target, params.port_model)
+        name = select_algorithm(
+            before, target, params.port_model, topology=topo
+        )
+    elif name not in supported_algorithms(topo):
+        from repro.topology.capabilities import CUBE_ALGORITHMS
+
+        if name not in CUBE_ALGORITHMS:
+            raise ValueError(f"unknown algorithm {name!r}")
+        name = "routed-universal"
     if problem.faults:
         # Validate the fault spec at admission; workers re-parse it
         # per-request so no fault state is ever shared across machines.
         from repro.machine.faults import FaultPlan
 
-        FaultPlan.from_spec(problem.n, problem.faults)
-    key = plan_key(params, before, target, name)
+        FaultPlan.from_spec(
+            problem.n,
+            problem.faults,
+            topology=None if topo.name == "cube" else topo,
+        )
+    key = plan_key(params, before, target, name, topology=topo.spec)
     return ResolvedRequest(
         request=request,
         params=params,
@@ -75,6 +98,7 @@ def resolve_request(request: TransposeRequest) -> ResolvedRequest:
         after=after,
         algorithm=name,
         key=key,
+        topology=topo.spec,
     )
 
 

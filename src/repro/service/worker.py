@@ -187,6 +187,11 @@ class Worker(threading.Thread):
 
     def _execute_clean(self, resolved: ResolvedRequest) -> ServeOutcome:
         """Fault-free path: shared cache lookup, replay on a fresh machine."""
+        from repro.topology import parse_topology
+
+        # Parsed per request: a Topology's BFS distance cache is mutable,
+        # so instances are never shared across worker threads.
+        topo = parse_topology(resolved.topology, resolved.params.n)
 
         def compile_fn():
             from repro.transpose.planner import default_after_layout
@@ -201,13 +206,14 @@ class Worker(threading.Thread):
                 synthetic_matrix(resolved.before),
                 target,
                 algorithm=resolved.algorithm,
+                topology=topo,
             )
             return plan
 
         plan, hit = self.cache.get_or_compile(
             resolved.key, compile_fn, observer=self.instr
         )
-        network = CubeNetwork(resolved.params)
+        network = CubeNetwork(resolved.params, topology=topo)
         self.instr.attach(network)
         replay_plan(plan, network)
         return ServeOutcome(
@@ -227,11 +233,19 @@ class Worker(threading.Thread):
         """Faulted path: per-request fault state, recovery before ladder."""
         from repro.machine.faults import FaultPlan
         from repro.plans.replay import replay_degraded
+        from repro.topology import parse_topology
 
         problem = resolved.request.problem
-        # Parsed fresh per request: no FaultPlan instance (and none of
-        # its mutable lookup indexes) is ever shared between machines.
-        faults = FaultPlan.from_spec(problem.n, problem.faults)
+        # Parsed fresh per request: no FaultPlan or Topology instance
+        # (none of their mutable lookup/distance caches) is ever shared
+        # between machines.
+        topo = parse_topology(resolved.topology, problem.n)
+        on_cube = topo.name == "cube"
+        faults = FaultPlan.from_spec(
+            problem.n,
+            problem.faults,
+            topology=None if on_cube else topo,
+        )
         served = replay_degraded(
             resolved.params,
             resolved.before,
@@ -240,7 +254,8 @@ class Worker(threading.Thread):
             algorithm=problem.algorithm,
             cache=self.cache,
             observer=self.instr,
-            recovery=self.recovery,
+            recovery=self.recovery if on_cube else None,
+            topology=topo,
         )
         rec = served.recovery
         resolved_how = (

@@ -1,0 +1,300 @@
+"""The :class:`Topology` protocol: one graph abstraction for every network.
+
+The paper's machines are Boolean n-cubes, but the simulator's engine,
+router, fault machinery and planner only ever need a small graph surface:
+which nodes exist, which directed links exist, what the minimal next hops
+towards a destination are, and how far apart two nodes lie.  This module
+defines that surface as an abstract base class; concrete interconnects
+(:class:`~repro.topology.hypercube.Hypercube`,
+:class:`~repro.topology.torus.TorusMesh`,
+:class:`~repro.topology.dragonfly.SwappedDragonfly`) fill in the graph,
+and everything above the engine stays topology-agnostic.
+
+Every topology is a directed graph over nodes ``0..num_nodes-1``.  All
+shipped instances are link-symmetric (``(a, b)`` exists iff ``(b, a)``
+does — the machines' links are bidirectional), but the protocol keeps the
+directed view because fault injection, quarantine and the cost model all
+operate on *directed* links.
+
+:meth:`Topology.validate` checks the structural invariants an instance
+claims — in-range neighbour lists, no self-loops or duplicate links,
+regular degree where ``claims_regular``, link symmetry where
+``claims_symmetric``, and strong connectivity — raising a typed
+:class:`TopologyError`.  The engine runs it at network construction;
+results are memoized per canonical spec so repeated constructions (the
+planner's shadow runs, worker pools) stay cheap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+__all__ = ["Topology", "TopologyError"]
+
+
+class TopologyError(ValueError):
+    """A topology violates a structural invariant it claims to satisfy."""
+
+
+#: Specs whose structural invariants already passed :meth:`Topology.validate`.
+#: Keyed by the canonical spec plus node count, so two differently-sized
+#: hypercubes (both spec ``"cube"``) validate independently.
+_VALIDATED: set[tuple[str, int]] = set()
+
+
+class Topology:
+    """Abstract interconnect: nodes ``0..num_nodes-1`` plus directed links.
+
+    Subclasses must set :attr:`name`, :attr:`spec`, :attr:`num_nodes`,
+    :attr:`claims_regular`, :attr:`claims_symmetric` and implement
+    :meth:`neighbors`.  Everything else has generic (BFS-based) defaults
+    that analytic topologies override for speed.
+    """
+
+    #: Short family name ("cube", "torus", "mesh", "dragonfly").
+    name: str = ""
+    #: Canonical spec string, parseable by
+    #: :func:`repro.topology.parse_topology` (the hypercube's is plain
+    #: ``"cube"`` — its dimension travels with the machine parameters).
+    spec: str = ""
+    #: Total node count.
+    num_nodes: int = 0
+    #: Every node has the same degree.
+    claims_regular: bool = True
+    #: Directed link ``(a, b)`` exists iff ``(b, a)`` does.
+    claims_symmetric: bool = True
+
+    # -- graph surface -----------------------------------------------------
+
+    def neighbors(self, x: int) -> tuple[int, ...]:
+        """Out-neighbours of ``x`` in the topology's canonical order.
+
+        The order is load-bearing: fault-tolerant routing scans detour
+        candidates in it and :meth:`directed_links` derives the seeded
+        fault-sampling order from it, so it must be deterministic.
+        """
+        raise NotImplementedError
+
+    def degree(self, x: int) -> int:
+        """Out-degree of node ``x``."""
+        return len(self.neighbors(x))
+
+    def has_link(self, src: int, dst: int) -> bool:
+        """True iff the directed link ``src -> dst`` exists."""
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            return False
+        return dst in self.neighbors(src)
+
+    def directed_links(self) -> Iterator[tuple[int, int]]:
+        """All directed links in canonical (node, neighbour-order) order.
+
+        Seeded fault sampling iterates this, so the order is part of the
+        reproducibility contract: for the hypercube it must match the
+        historical ``for x: for d: (x, x ^ 2^d)`` stream byte-for-byte.
+        """
+        for x in range(self.num_nodes):
+            for y in self.neighbors(x):
+                yield (x, y)
+
+    def num_links(self) -> int:
+        """Total number of directed links."""
+        return sum(self.degree(x) for x in range(self.num_nodes))
+
+    # -- node / link validation -------------------------------------------
+
+    def check_node(self, x: int) -> None:
+        """Raise :class:`TopologyError` unless ``x`` is a valid node id."""
+        if not (0 <= x < self.num_nodes):
+            raise TopologyError(
+                f"node {x} outside {self.spec or self.name} "
+                f"(valid ids are 0..{self.num_nodes - 1})"
+            )
+
+    def check_link(self, src: int, dst: int) -> None:
+        """Raise :class:`TopologyError` unless ``src -> dst`` is a link."""
+        self.check_node(src)
+        self.check_node(dst)
+        if not self.has_link(src, dst):
+            raise TopologyError(
+                f"nodes {src} and {dst} are not neighbours in "
+                f"{self.spec or self.name}"
+            )
+
+    # -- metric surface ----------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path hop distance from ``a`` to ``b`` (BFS, memoized)."""
+        return self._distances_from(a)[b]
+
+    def minimal_hops(
+        self, cur: int, dst: int, *, ascending: bool = True
+    ) -> list[int]:
+        """Neighbours of ``cur`` on some shortest path to ``dst``.
+
+        This is the topology's routing hook: the generalized e-cube router
+        tries these in order, and the order must be deterministic.  For
+        the hypercube it is exactly the dimension-ordered candidate list,
+        ascending (or descending when ``ascending=False``).  An empty list
+        means ``cur == dst``.
+        """
+        if cur == dst:
+            return []
+        here = self.distance(cur, dst)
+        hops = [y for y in self.neighbors(cur) if self.distance(y, dst) < here]
+        if not ascending:
+            hops.reverse()
+        return hops
+
+    @property
+    def diameter(self) -> int:
+        """Longest shortest path; bounds the router's detour budget."""
+        cached = getattr(self, "_diameter", None)
+        if cached is None:
+            cached = max(
+                max(self._distances_from(x)) for x in range(self.num_nodes)
+            )
+            self._diameter = cached
+        return cached
+
+    def bisection_links(self) -> int:
+        """Directed links crossing the canonical even/odd-half node split.
+
+        Coarse bandwidth metadata for reports and benchmarks: counts the
+        directed links between nodes ``< N/2`` and nodes ``>= N/2``.
+        Subclasses with a meaningful axis structure may override with the
+        topology's true bisection.
+        """
+        half = self.num_nodes // 2
+        return sum(
+            1
+            for x in range(self.num_nodes)
+            for y in self.neighbors(x)
+            if (x < half) != (y < half)
+        )
+
+    # -- invariants --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural invariants; raise :class:`TopologyError`.
+
+        Checks, in order: neighbour lists are in range with no self-loops
+        or duplicates; link symmetry (where claimed); regular degree
+        (where claimed); strong connectivity.  Memoized per canonical
+        spec + node count, so the engine can call this on every network
+        construction at negligible cost.
+        """
+        key = (self.spec or self.name, self.num_nodes)
+        if key in _VALIDATED:
+            return
+        if self.num_nodes < 1:
+            raise TopologyError(
+                f"{self.spec or self.name}: a topology needs at least one "
+                f"node, got {self.num_nodes}"
+            )
+        adjacency: list[tuple[int, ...]] = []
+        for x in range(self.num_nodes):
+            nbrs = tuple(self.neighbors(x))
+            for y in nbrs:
+                if not (0 <= y < self.num_nodes):
+                    raise TopologyError(
+                        f"{self.spec or self.name}: node {x} lists "
+                        f"out-of-range neighbour {y}"
+                    )
+            if x in nbrs:
+                raise TopologyError(
+                    f"{self.spec or self.name}: node {x} lists itself as a "
+                    "neighbour (self-loops are not links)"
+                )
+            if len(set(nbrs)) != len(nbrs):
+                raise TopologyError(
+                    f"{self.spec or self.name}: node {x} lists a duplicate "
+                    "neighbour"
+                )
+            adjacency.append(nbrs)
+        if self.claims_symmetric:
+            for x, nbrs in enumerate(adjacency):
+                for y in nbrs:
+                    if x not in adjacency[y]:
+                        raise TopologyError(
+                            f"{self.spec or self.name}: link {x}->{y} has no "
+                            f"reverse {y}->{x} but the topology claims link "
+                            "symmetry"
+                        )
+        if self.claims_regular:
+            degrees = {len(nbrs) for nbrs in adjacency}
+            if len(degrees) > 1:
+                raise TopologyError(
+                    f"{self.spec or self.name}: degrees {sorted(degrees)} "
+                    "differ but the topology claims a regular degree"
+                )
+        self._check_strongly_connected(adjacency)
+        _VALIDATED.add(key)
+
+    def _check_strongly_connected(
+        self, adjacency: list[tuple[int, ...]]
+    ) -> None:
+        reached = _bfs_reach(adjacency, 0)
+        if len(reached) != self.num_nodes:
+            raise TopologyError(
+                f"{self.spec or self.name}: only {len(reached)} of "
+                f"{self.num_nodes} nodes reachable from node 0 "
+                "(topology is not connected)"
+            )
+        reverse: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for x, nbrs in enumerate(adjacency):
+            for y in nbrs:
+                reverse[y].append(x)
+        back = _bfs_reach(reverse, 0)
+        if len(back) != self.num_nodes:
+            raise TopologyError(
+                f"{self.spec or self.name}: only {len(back)} of "
+                f"{self.num_nodes} nodes can reach node 0 "
+                "(topology is not strongly connected)"
+            )
+
+    # -- description -------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line human summary for reports and CLI output."""
+        return (
+            f"{self.spec or self.name}: {self.num_nodes} nodes, "
+            f"{self.num_links()} directed links, diameter {self.diameter}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.spec!r})"
+
+    # -- internals ---------------------------------------------------------
+
+    def _distances_from(self, src: int) -> list[int]:
+        cache = getattr(self, "_dist_cache", None)
+        if cache is None:
+            cache = {}
+            self._dist_cache = cache
+        dist = cache.get(src)
+        if dist is None:
+            self.check_node(src)
+            dist = [-1] * self.num_nodes
+            dist[src] = 0
+            queue = deque([src])
+            while queue:
+                x = queue.popleft()
+                for y in self.neighbors(x):
+                    if dist[y] < 0:
+                        dist[y] = dist[x] + 1
+                        queue.append(y)
+            cache[src] = dist
+        return dist
+
+
+def _bfs_reach(adjacency, start: int) -> set[int]:
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        x = queue.popleft()
+        for y in adjacency[x]:
+            if y not in seen:
+                seen.add(y)
+                queue.append(y)
+    return seen

@@ -1,0 +1,56 @@
+"""Per-topology planner capability table.
+
+The paper's scheduled algorithms (SPT/DPT/MPT trees, dimension
+exchanges, the pairwise family) prove their conflict-freedom lemmas on
+Boolean-cube structure — edge-disjoint Hamiltonian-path trees, dimension
+permutations, subcube recursion — so they only run on the hypercube.
+The routed tiers make no structural assumption beyond strong
+connectivity: ``router`` hands (source, destination) pairs to minimal-
+path routing, and ``routed-universal`` additionally derives the pairs
+from the layout algebra alone.  ``routed-universal`` is therefore the
+floor available on *every* topology, and the planner's degradation
+ladder lands there whenever a topology (or a fault pattern) rules the
+scheduled tiers out.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+
+__all__ = ["supported_algorithms", "capability_table"]
+
+#: Every algorithm name the planner can execute on a Boolean cube.
+CUBE_ALGORITHMS: tuple[str, ...] = (
+    "mpt",
+    "dpt",
+    "spt",
+    "router",
+    "routed-universal",
+    "exchange",
+    "block-exchange",
+    "block-sbnt",
+    "mixed-combined",
+    "mixed-naive",
+)
+
+#: Algorithms whose correctness needs only strong connectivity.
+UNIVERSAL_ALGORITHMS: tuple[str, ...] = ("routed-universal",)
+
+
+def supported_algorithms(topology: Topology | None) -> tuple[str, ...]:
+    """Algorithm names the planner may run on ``topology``.
+
+    ``None`` means the historical implicit hypercube.  The cube keeps
+    the full ladder; every other topology gets the routed-universal
+    floor (minimal-path routing plus the layout algebra needs nothing
+    cube-shaped).
+    """
+    if topology is None or topology.name == "cube":
+        return CUBE_ALGORITHMS
+    return UNIVERSAL_ALGORITHMS
+
+
+def capability_table(topology: Topology | None) -> dict[str, bool]:
+    """Algorithm -> supported mapping for reports and ``advise`` output."""
+    supported = set(supported_algorithms(topology))
+    return {name: name in supported for name in CUBE_ALGORITHMS}

@@ -1,0 +1,86 @@
+"""Draper's Swapped Dragonfly interconnect.
+
+The Swapped Dragonfly ``D3(K, M)`` (Draper, *Four Algorithms on the
+Swapped Dragonfly*, PAPERS.md) arranges ``M * M`` routers as ``M`` groups
+of ``M``; every group is a complete graph over its ``M`` routers, and
+each router owns ``K`` global ports.  We use the XOR-swap wiring: global
+port ``k`` of router ``(g, r)`` connects to router ``(r ^ k, g ^ k)``.
+That map is an involution — following port ``k`` twice returns to the
+start — so every global link is automatically bidirectional, and ``K``
+ports per router give ``K`` Latin-square-disjoint global matchings.
+The port-0 matching is the classic swapped/OTIS wiring ``(g, r) ->
+(r, g)``; its fixed points ``g == r`` (and in general ``g == r ^ k``)
+would be self-loops and are skipped, which is why the topology is *not*
+degree-regular: routers on a fixed point of some port have one global
+link fewer.
+
+``M`` must be a power of two (the XOR wiring needs it, and the matrix
+workloads need a power-of-two node count); ``1 <= K <= M``.  Diameter is
+small and computed by BFS — for ``K >= 1`` any router reaches any other
+in at most ~3 hops (local, swap, local), which is the point of the
+design: hypercube-like distances from constant per-router global ports.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology, TopologyError
+
+__all__ = ["SwappedDragonfly"]
+
+
+class SwappedDragonfly(Topology):
+    """Swapped Dragonfly ``D3(K, M)``: ``M`` groups x ``M`` routers."""
+
+    name = "dragonfly"
+    claims_regular = False  # fixed-point ports drop a global link
+
+    def __init__(self, K: int, M: int) -> None:
+        if M < 2 or M & (M - 1):
+            raise TopologyError(
+                f"dragonfly group size M must be a power of two >= 2, got {M}"
+            )
+        if not 1 <= K <= M:
+            raise TopologyError(
+                f"dragonfly global port count K must satisfy 1 <= K <= M, "
+                f"got K={K} with M={M}"
+            )
+        self.K = K
+        self.M = M
+        self.spec = f"dragonfly:{K},{M}"
+        self.num_nodes = M * M
+
+    # -- coordinates -------------------------------------------------------
+
+    def group_router(self, x: int) -> tuple[int, int]:
+        """(group, router) coordinates of node ``x``."""
+        self.check_node(x)
+        return divmod(x, self.M)
+
+    def node_at(self, group: int, router: int) -> int:
+        """Flat node id of router ``router`` in group ``group``."""
+        if not (0 <= group < self.M and 0 <= router < self.M):
+            raise TopologyError(
+                f"{self.spec}: (group, router) = ({group}, {router}) outside "
+                f"{self.M} groups of {self.M}"
+            )
+        return group * self.M + router
+
+    # -- graph surface -----------------------------------------------------
+
+    def neighbors(self, x: int) -> tuple[int, ...]:
+        g, r = divmod(x, self.M)
+        base = g * self.M
+        out = [base + r2 for r2 in range(self.M) if r2 != r]
+        for k in range(self.K):
+            tg, tr = r ^ k, g ^ k
+            if tg != g or tr != r:
+                out.append(tg * self.M + tr)
+        return tuple(out)
+
+    def degree(self, x: int) -> int:
+        g, r = divmod(x, self.M)
+        skip = 1 if (g ^ r) < self.K else 0
+        return (self.M - 1) + self.K - skip
+
+    def num_links(self) -> int:
+        return sum(self.degree(x) for x in range(self.num_nodes))

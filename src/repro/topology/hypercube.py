@@ -1,0 +1,95 @@
+"""The Boolean n-cube as a :class:`~repro.topology.base.Topology`.
+
+This adapter wraps the analytic cube functions of
+:mod:`repro.cube.topology` behind the topology protocol *bit-for-bit*:
+neighbour order is lowest dimension first, minimal hops are the e-cube
+dimension-ordered candidates, :meth:`directed_links` reproduces the
+historical ``for x: for d: (x, x ^ 2^d)`` fault-sampling stream, and
+:meth:`check_link` raises the engine's original error messages in the
+original order.  Every pinned baseline and recorded fault plan therefore
+replays identically through the generic engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.codes.bits import hamming
+from repro.cube.topology import dimension_of_edge, is_edge
+from repro.topology.base import Topology
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Topology):
+    """Boolean n-cube: ``2^n`` nodes, XOR adjacency across ``n`` dimensions.
+
+    The canonical spec is plain ``"cube"``: the dimension already travels
+    with :class:`~repro.machine.params.MachineParams` (and in serialized
+    plans with :class:`~repro.plans.ir.MachineSpec`), so two machines
+    agree on the topology exactly when their specs and node counts match.
+    """
+
+    name = "cube"
+    spec = "cube"
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"cube dimension must be non-negative, got {n}")
+        self.n = n
+        self.num_nodes = 1 << n
+
+    # -- graph surface -----------------------------------------------------
+
+    def neighbors(self, x: int) -> tuple[int, ...]:
+        return tuple(x ^ (1 << d) for d in range(self.n))
+
+    def degree(self, x: int) -> int:
+        return self.n
+
+    def has_link(self, src: int, dst: int) -> bool:
+        if src >> self.n or dst >> self.n or src < 0 or dst < 0:
+            return False
+        return is_edge(src, dst)
+
+    def directed_links(self) -> Iterator[tuple[int, int]]:
+        for x in range(self.num_nodes):
+            for d in range(self.n):
+                yield (x, x ^ (1 << d))
+
+    def num_links(self) -> int:
+        return self.num_nodes * self.n
+
+    # -- node / link validation -------------------------------------------
+
+    def check_link(self, src: int, dst: int) -> None:
+        # Preserves the engine's historical check order and messages:
+        # edge-ness first ("... are not cube neighbours"), bounds second.
+        dimension_of_edge(src, dst)
+        if src >> self.n or dst >> self.n or src < 0 or dst < 0:
+            raise ValueError(
+                f"message {src}->{dst} outside {self.n}-cube"
+            )
+
+    # -- metric surface ----------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        return hamming(a, b)
+
+    def minimal_hops(
+        self, cur: int, dst: int, *, ascending: bool = True
+    ) -> list[int]:
+        diff = cur ^ dst
+        hops = [cur ^ (1 << d) for d in range(self.n) if (diff >> d) & 1]
+        if not ascending:
+            hops.reverse()
+        return hops
+
+    @property
+    def diameter(self) -> int:
+        return self.n
+
+    def bisection_links(self) -> int:
+        # Cutting the top dimension severs one directed link pair per
+        # node pair across the cut: N/2 * 2 = N directed links.
+        return self.num_nodes

@@ -1,0 +1,156 @@
+"""k-ary n-dimensional torus / mesh topologies.
+
+A :class:`TorusMesh` lays nodes out on an n-dimensional grid with the
+given per-axis radices; node ids are mixed-radix with axis 0 fastest
+(mirroring the cube's "dimension 0 is the least significant bit").  With
+``wrap=True`` (the default) every axis closes into a ring — a k-ary
+n-cube in the classic taxonomy — and the topology is regular and
+vertex-transitive.  With ``wrap=False`` it is an open mesh: boundary
+nodes lose their wrap links, so the degree is irregular and the
+diameter grows from ``sum(k_i // 2)`` to ``sum(k_i - 1)``.
+
+Distances and minimal hops are analytic (per-axis ring/line distance),
+so routing needs no BFS.  A wrapped radix-2 axis contributes a single
+link (both directions round the 2-ring land on the same neighbour);
+a ``TorusMesh((2,) * n)`` is therefore exactly the Boolean n-cube graph.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Topology, TopologyError
+
+__all__ = ["TorusMesh"]
+
+
+class TorusMesh(Topology):
+    """k-ary n-dimensional torus (``wrap=True``) or open mesh."""
+
+    def __init__(self, dims: Sequence[int], *, wrap: bool = True) -> None:
+        dims = tuple(int(k) for k in dims)
+        if not dims:
+            raise TopologyError("a torus/mesh needs at least one axis")
+        for k in dims:
+            if k < 2:
+                raise TopologyError(
+                    f"torus/mesh axis radices must be >= 2, got {k} in {dims}"
+                )
+        self.dims = dims
+        self.wrap = wrap
+        self.name = "torus" if wrap else "mesh"
+        self.spec = f"{self.name}:" + "x".join(str(k) for k in dims)
+        num = 1
+        strides = []
+        for k in dims:
+            strides.append(num)
+            num *= k
+        self._strides = tuple(strides)
+        self.num_nodes = num
+        # Open meshes have boundary nodes of lower degree; wrapped tori
+        # are regular (a radix-2 axis gives *every* node one link on it).
+        self.claims_regular = wrap
+
+    # -- coordinates -------------------------------------------------------
+
+    def coords(self, x: int) -> tuple[int, ...]:
+        """Per-axis coordinates of node ``x`` (axis 0 first)."""
+        self.check_node(x)
+        return tuple(
+            (x // stride) % k for stride, k in zip(self._strides, self.dims)
+        )
+
+    def node_at(self, coords: Sequence[int]) -> int:
+        """Flat node id of the given per-axis coordinates."""
+        if len(coords) != len(self.dims):
+            raise TopologyError(
+                f"{self.spec}: expected {len(self.dims)} coordinates, "
+                f"got {len(coords)}"
+            )
+        x = 0
+        for c, k, stride in zip(coords, self.dims, self._strides):
+            if not 0 <= c < k:
+                raise TopologyError(
+                    f"{self.spec}: coordinate {c} outside axis of radix {k}"
+                )
+            x += c * stride
+        return x
+
+    def _step(self, x: int, axis: int, delta: int) -> int | None:
+        """Neighbour of ``x`` one step along ``axis``, or ``None`` at an edge."""
+        k = self.dims[axis]
+        stride = self._strides[axis]
+        c = (x // stride) % k
+        nc = c + delta
+        if self.wrap:
+            nc %= k
+        elif not 0 <= nc < k:
+            return None
+        return x + (nc - c) * stride
+
+    # -- graph surface -----------------------------------------------------
+
+    def neighbors(self, x: int) -> tuple[int, ...]:
+        out: list[int] = []
+        for axis in range(len(self.dims)):
+            fwd = self._step(x, axis, +1)
+            bwd = self._step(x, axis, -1)
+            if fwd is not None:
+                out.append(fwd)
+            if bwd is not None and bwd != fwd:
+                out.append(bwd)
+        return tuple(out)
+
+    # -- metric surface ----------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        self.check_node(a)
+        self.check_node(b)
+        total = 0
+        for stride, k in zip(self._strides, self.dims):
+            ca = (a // stride) % k
+            cb = (b // stride) % k
+            d = abs(ca - cb)
+            if self.wrap:
+                d = min(d, k - d)
+            total += d
+        return total
+
+    def minimal_hops(
+        self, cur: int, dst: int, *, ascending: bool = True
+    ) -> list[int]:
+        hops: list[int] = []
+        for axis, (stride, k) in enumerate(zip(self._strides, self.dims)):
+            cc = (cur // stride) % k
+            cd = (dst // stride) % k
+            if cc == cd:
+                continue
+            fwd = (cd - cc) % k
+            bwd = (cc - cd) % k
+            if self.wrap:
+                if fwd <= bwd:
+                    hops.append(self._step(cur, axis, +1))
+                if bwd <= fwd:
+                    nxt = self._step(cur, axis, -1)
+                    # On a radix-2 axis both directions reach the same
+                    # neighbour; list it once.
+                    if not hops or hops[-1] != nxt:
+                        hops.append(nxt)
+            else:
+                hops.append(self._step(cur, axis, +1 if cd > cc else -1))
+        if not ascending:
+            hops.reverse()
+        return hops
+
+    @property
+    def diameter(self) -> int:
+        return sum(k // 2 if self.wrap else k - 1 for k in self.dims)
+
+    def bisection_links(self) -> int:
+        # Cut across the last (slowest-varying) axis between the two
+        # halves of its radix: each of the other-node combinations
+        # contributes 2 directed links per cut plane (2 planes wrapped).
+        last = self.dims[-1]
+        plane = self.num_nodes // last
+        planes = 2 if (self.wrap and last > 2) else 1
+        return 2 * plane * planes

@@ -46,6 +46,8 @@ from repro.machine.faults import (
 from repro.machine.metrics import TransferStats
 from repro.machine.params import PortModel
 from repro.obs.instrumentation import instrumentation_of
+from repro.topology import Topology
+from repro.topology.capabilities import CUBE_ALGORITHMS, supported_algorithms
 from repro.transpose.exchange import BufferPolicy, exchange_transpose
 from repro.transpose.fallback import routed_universal_transpose
 from repro.transpose.mixed import mixed_code_transpose_combined
@@ -244,14 +246,22 @@ def degrade_strategy(
 
 
 def select_algorithm(
-    before: Layout, after: Layout, port_model: PortModel | str
+    before: Layout,
+    after: Layout,
+    port_model: PortModel | str,
+    topology: Topology | None = None,
 ) -> str:
     """The strategy ``algorithm="auto"`` resolves to (§6.1/§6.3/§9).
 
-    Deterministic in the layout pair and port model alone, which makes
-    it usable as a cache-key ingredient: an ``auto`` request and an
-    explicit request for the resolved name address the same plan.
+    Deterministic in the layout pair, port model and topology alone,
+    which makes it usable as a cache-key ingredient: an ``auto`` request
+    and an explicit request for the resolved name address the same plan.
+    On a non-cube topology the paper's scheduled algorithms do not
+    apply, so ``auto`` resolves straight to the routed-universal floor
+    (see :mod:`repro.topology.capabilities`).
     """
+    if topology is not None and topology.name != "cube":
+        return "routed-universal"
     if isinstance(port_model, str):
         port_model = PortModel(port_model)
     n_port = port_model is PortModel.N_PORT
@@ -351,12 +361,28 @@ def transpose(
             "use repro.comm.all_to_some directly with virtual elements"
         )
 
+    topo = network.topology
     name = algorithm
     if algorithm == "auto":
-        name = select_algorithm(before, after, network.params.port_model)
+        name = select_algorithm(
+            before, after, network.params.port_model, topology=topo
+        )
 
     requested = name
     fallbacks: tuple[str, ...] = ()
+    caps = supported_algorithms(topo)
+    if name not in caps:
+        if name not in CUBE_ALGORITHMS:
+            raise ValueError(f"unknown algorithm {name!r}")
+        if not degrade:
+            raise ValueError(
+                f"algorithm {name!r} needs a Boolean cube; topology "
+                f"{topo.spec!r} supports: {', '.join(caps)}"
+            )
+        # Per-topology capability floor: the scheduled tiers' lemmas are
+        # cube-shaped, so the request degrades to routed-universal.
+        fallbacks = (name,)
+        name = "routed-universal"
     plan = network.faults
     if plan is not None and plan.is_empty:
         plan = None
@@ -444,7 +470,7 @@ def transpose(
         )
 
         overhead = 0.0
-        if name != requested:
+        if name != requested and requested in caps:
             overhead = network.stats.time - _clean_run_time(
                 network, requested, dm, after, policy, packet_size
             )
@@ -480,7 +506,7 @@ def _clean_run_time(
     The shadow run is what prices the degradation: recovery overhead is
     the faulted run's actual time minus this baseline.
     """
-    shadow = CubeNetwork(network.params)
+    shadow = CubeNetwork(network.params, topology=network.topology)
     _execute(shadow, name, dm, after, policy, packet_size)
     return shadow.stats.time
 

@@ -20,8 +20,10 @@ from repro.machine import (
 
 class TestFaultDescriptions:
     def test_link_fault_requires_cube_edge(self):
-        with pytest.raises(ValueError):
-            LinkFault(0, 3)  # Hamming distance 2
+        # Edge validation lives in FaultPlan (which knows the topology):
+        # the same (0, 3) is a torus ring link but not a cube edge.
+        with pytest.raises(ValueError, match="not a cube edge"):
+            FaultPlan(4, (LinkFault(0, 3),))  # Hamming distance 2
 
     def test_activity_window(self):
         f = LinkFault(0, 1, start=2, end=5)

@@ -1,0 +1,86 @@
+"""Structural analytics of the concrete topology instances."""
+
+import pytest
+
+from repro.topology import Hypercube, SwappedDragonfly, TopologyError, TorusMesh
+
+
+def _ring_distance(a: int, b: int, k: int, wrap: bool) -> int:
+    d = abs(a - b)
+    return min(d, k - d) if wrap else d
+
+
+class TestTorusMesh:
+    def test_coords_roundtrip(self):
+        topo = TorusMesh((4, 2, 8))
+        for x in range(topo.num_nodes):
+            assert topo.node_at(topo.coords(x)) == x
+
+    @pytest.mark.parametrize("wrap", [True, False])
+    def test_distance_is_per_axis_ring_distance(self, wrap):
+        topo = TorusMesh((4, 4), wrap=wrap)
+        for a in range(topo.num_nodes):
+            for b in range(topo.num_nodes):
+                expected = sum(
+                    _ring_distance(ca, cb, k, wrap)
+                    for ca, cb, k in zip(topo.coords(a), topo.coords(b), (4, 4))
+                )
+                assert topo.distance(a, b) == expected
+
+    def test_diameter_formulas(self):
+        assert TorusMesh((4, 4, 4)).diameter == 6  # sum k//2
+        assert TorusMesh((4, 4), wrap=False).diameter == 6  # sum k-1
+        assert TorusMesh((8, 2)).diameter == 5
+
+    def test_radix2_axis_contributes_one_link(self):
+        # Both directions round a 2-ring land on the same neighbour;
+        # a duplicate link would break validate() and double-charge
+        # fault sampling.
+        topo = TorusMesh((2, 2, 2))
+        assert all(topo.degree(x) == 3 for x in range(8))
+        cube = Hypercube(3)
+        for x in range(8):
+            assert set(topo.neighbors(x)) == set(cube.neighbors(x))
+
+    def test_mesh_boundary_is_irregular(self):
+        mesh = TorusMesh((4, 4), wrap=False)
+        assert not mesh.claims_regular
+        assert mesh.degree(0) == 2  # corner
+        assert mesh.degree(5) == 4  # interior
+        mesh.validate()
+
+    def test_bad_radices_rejected(self):
+        with pytest.raises(TopologyError, match=">= 2"):
+            TorusMesh((4, 1))
+        with pytest.raises(TopologyError, match="at least one axis"):
+            TorusMesh(())
+
+
+class TestSwappedDragonfly:
+    def test_node_count_and_spec(self):
+        topo = SwappedDragonfly(2, 4)
+        assert topo.num_nodes == 16
+        assert topo.spec == "dragonfly:2,4"
+
+    def test_link_symmetry(self):
+        topo = SwappedDragonfly(2, 8)
+        for x in range(topo.num_nodes):
+            for y in topo.neighbors(x):
+                assert x in topo.neighbors(y)
+
+    def test_degree_pattern(self):
+        # M-1 local links plus K global ports, minus one dropped link
+        # where the swap fixes the router; hence claims_regular=False.
+        topo = SwappedDragonfly(2, 4)
+        assert not topo.claims_regular
+        degrees = sorted({topo.degree(x) for x in range(topo.num_nodes)})
+        assert degrees[-1] == (4 - 1) + 2
+        assert len(degrees) > 1
+
+    def test_shipped_sizes_have_diameter_3(self):
+        assert SwappedDragonfly(2, 4).diameter == 3
+        assert SwappedDragonfly(2, 8).diameter == 3
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(TopologyError, match="power of two"):
+            SwappedDragonfly(2, 3)
