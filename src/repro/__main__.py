@@ -547,25 +547,42 @@ def cmd_chaos(args) -> int:
 
 def _server_config(args):
     """Build a ServerConfig from flags or a JSON spec; None on bad input."""
+    from dataclasses import replace
+
     from repro.service import ServerConfig
 
     try:
         if args.config:
             with open(args.config) as fh:
-                return ServerConfig.from_dict(json.load(fh))
-        return ServerConfig(
-            workers=args.workers,
-            queue_capacity=args.queue_capacity,
-            tenant_pending=args.tenant_pending or None,
-            tenant_rate=args.tenant_rate,
-            max_batch=args.max_batch,
-            cache_capacity=args.cache_size,
-            cache_dir=args.cache_dir,
-            recovery=args.recover,
-        )
+                config = ServerConfig.from_dict(json.load(fh))
+        else:
+            config = ServerConfig(
+                workers=args.workers,
+                queue_capacity=args.queue_capacity,
+                tenant_pending=args.tenant_pending or None,
+                tenant_rate=args.tenant_rate,
+                max_batch=args.max_batch,
+                cache_capacity=args.cache_size,
+                cache_dir=args.cache_dir,
+                recovery=args.recover,
+            )
+        # Observability flags compose with either source: asking for a
+        # trace file arms tracing, and --metrics-port always wins.
+        if getattr(args, "trace", None):
+            config = replace(config, trace=True)
+        if getattr(args, "metrics_port", None) is not None:
+            config = replace(config, metrics_port=args.metrics_port)
+        return config
     except (OSError, ValueError, TypeError) as exc:
         print(f"bad server config: {exc}", file=sys.stderr)
         return None
+
+
+def _write_json(path: str, doc, *, label: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {label} {path}", file=sys.stderr)
 
 
 def cmd_serve(args) -> int:
@@ -613,6 +630,18 @@ def cmd_serve(args) -> int:
         for pending in pendings:
             pending.result(timeout=600.0)
     report = server.report()
+    if args.trace:
+        _write_json(args.trace, server.trace_document(), label="trace")
+    if args.flight_out and report.flight_reports:
+        _write_json(
+            args.flight_out, report.flight_reports, label="flight dump"
+        )
+    if args.metrics_out:
+        from repro.obs.ops import format_prometheus
+
+        with open(args.metrics_out, "w") as fh:
+            fh.write(format_prometheus(server.metrics()))
+        print(f"wrote metrics {args.metrics_out}", file=sys.stderr)
     failed = report.slo()["failed"]
     if args.json:
         emit_json("serve", report.as_dict(with_outcomes=args.outcomes))
@@ -666,6 +695,18 @@ def cmd_loadgen(args) -> int:
             json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}", file=sys.stderr)
+    if args.trace and report.trace is not None:
+        _write_json(args.trace, report.trace, label="trace")
+    if args.flight_out and report.server.flight_reports:
+        _write_json(
+            args.flight_out,
+            report.server.flight_reports,
+            label="flight dump",
+        )
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(report.metrics_text)
+        print(f"wrote metrics {args.metrics_out}", file=sys.stderr)
     if args.json:
         emit_json("loadgen", report.as_dict())
     else:
@@ -678,6 +719,84 @@ def cmd_loadgen(args) -> int:
                 f"{t['deadline_missed']}"
             )
     return 0 if report.ok else 1
+
+
+def cmd_top(args) -> int:
+    """Drive a seeded soak and repaint a live ops dashboard over it."""
+    import threading
+
+    from repro.obs.ops import render_top
+    from repro.service import LoadSpec, TransposeServer, build_workload
+    from repro.service.loadgen import _drive_closed, _drive_open
+
+    config = _server_config(args)
+    if config is None:
+        return 2
+    try:
+        spec = LoadSpec(
+            seed=args.seed,
+            tenants=args.tenants,
+            requests=args.requests,
+            mode=args.mode,
+            rate=args.rate,
+            shapes=args.shapes,
+            n=args.n,
+            machine=args.machine,
+            fault_rate=args.fault_rate,
+            deadline=args.deadline,
+            verify_sample=0,
+        )
+    except ValueError as exc:
+        print(f"bad soak spec: {exc}", file=sys.stderr)
+        return 2
+
+    server = TransposeServer(config)
+    requests = build_workload(spec)
+    done = threading.Event()
+
+    def drive() -> None:
+        try:
+            if spec.mode == "closed":
+                _drive_closed(server, requests, spec.tenants)
+            else:
+                _drive_open(server, requests, spec)
+        finally:
+            done.set()
+
+    def frame(*, clear: bool) -> None:
+        doc = server.report().as_dict()
+        print(render_top(doc, title="repro top", clear=clear), end="",
+              flush=True)
+
+    with server:
+        if server.exporter is not None:
+            print(
+                f"metrics on http://127.0.0.1:{server.exporter.port}/metrics",
+                file=sys.stderr,
+            )
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        try:
+            while not done.wait(args.interval):
+                frame(clear=not args.plain)
+        except KeyboardInterrupt:
+            print("\ninterrupted; draining...", file=sys.stderr)
+        driver.join(timeout=1.0)
+    frame(clear=not args.plain)
+    if args.trace:
+        _write_json(args.trace, server.trace_document(), label="trace")
+    report = server.report()
+    if args.flight_out and report.flight_reports:
+        _write_json(
+            args.flight_out, report.flight_reports, label="flight dump"
+        )
+    if args.metrics_out:
+        from repro.obs.ops import format_prometheus
+
+        with open(args.metrics_out, "w") as fh:
+            fh.write(format_prometheus(server.metrics()))
+        print(f"wrote metrics {args.metrics_out}", file=sys.stderr)
+    return 0 if report.slo()["failed"] == 0 else 1
 
 
 def cmd_baseline(args) -> int:
@@ -1029,6 +1148,38 @@ def build_parser() -> argparse.ArgumentParser:
             help="recovery policy for faulted requests "
             "(RecoveryPolicy.from_spec; default every=4)",
         )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="arm request-scoped tracing and write the merged "
+            "dual-axis Perfetto trace (one track per worker) here",
+        )
+        p.add_argument(
+            "--flight-out",
+            dest="flight_out",
+            default=None,
+            metavar="FILE",
+            help="write flight-recorder dumps from requests that ended "
+            "badly (deadline miss, failure, fault escalation) here",
+        )
+        p.add_argument(
+            "--metrics-out",
+            dest="metrics_out",
+            default=None,
+            metavar="FILE",
+            help="write a Prometheus text snapshot of the merged worker "
+            "metrics after the run",
+        )
+        p.add_argument(
+            "--metrics-port",
+            dest="metrics_port",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help="serve GET /metrics (Prometheus text) on this port "
+            "while the server runs (0 = ephemeral)",
+        )
 
     ps = sub.add_parser(
         "serve",
@@ -1123,6 +1274,52 @@ def build_parser() -> argparse.ArgumentParser:
     server_flags(pg)
     json_flag(pg)
     pg.set_defaults(fn=cmd_loadgen)
+
+    pt = sub.add_parser(
+        "top",
+        help="drive a seeded soak and repaint a live ASCII ops "
+        "dashboard (throughput, queue depth, SLO burn, per-tenant "
+        "table) while it runs",
+    )
+    pt.add_argument("--seed", type=int, default=7, help="workload seed")
+    pt.add_argument(
+        "--tenants", type=int, default=4, help="tenant count (round-robin)"
+    )
+    pt.add_argument(
+        "--requests", type=int, default=400, help="total request count"
+    )
+    pt.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="drive mode (see loadgen)",
+    )
+    pt.add_argument(
+        "--rate", type=float, default=200.0,
+        help="open-loop offered load (requests/second)",
+    )
+    pt.add_argument(
+        "--shapes", type=int, default=4, help="distinct problem shapes"
+    )
+    pt.add_argument("-n", type=int, default=4, help="cube dimension")
+    pt.add_argument("--machine", choices=["ipsc", "cm"], default="cm")
+    pt.add_argument(
+        "--fault-rate", dest="fault_rate", type=float, default=0.0,
+        help="probability a request carries a seeded fault spec",
+    )
+    pt.add_argument(
+        "--deadline", type=float, default=None,
+        help="relative deadline in seconds applied to every request",
+    )
+    pt.add_argument(
+        "--interval", type=float, default=0.5,
+        help="seconds between dashboard repaints",
+    )
+    pt.add_argument(
+        "--plain", action="store_true",
+        help="append frames instead of repainting (no ANSI clear; "
+        "for logs and dumb terminals)",
+    )
+    server_flags(pt)
+    pt.set_defaults(fn=cmd_top)
 
     pl = sub.add_parser(
         "baseline",

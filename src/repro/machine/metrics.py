@@ -43,18 +43,24 @@ _COUNTER_FIELDS = (
     "integrity_retransmits",
     "integrity_quarantined_links",
     "integrity_checksum_overhead",
+    "traced_requests",
+    "trace_wall_seconds",
 )
 
 #: Counters omitted from :meth:`TransferStats.as_dict` while zero.  The
 #: integrity counters joined after the first pinned baselines were
-#: recorded; suppressing their zero values keeps every pre-existing
-#: baseline document and clean-run stats fingerprint byte-identical
-#: (``from_dict`` already defaults absent names to zero).
+#: recorded, and the tracing counters after that; suppressing their zero
+#: values keeps every pre-existing baseline document and clean-run stats
+#: fingerprint byte-identical (``from_dict`` already defaults absent
+#: names to zero).  The tracing counters only ever move on hubs with an
+#: armed wall clock, which no baseline scenario has.
 _ZERO_SUPPRESSED = (
     "integrity_corrupted_deliveries",
     "integrity_retransmits",
     "integrity_quarantined_links",
     "integrity_checksum_overhead",
+    "traced_requests",
+    "trace_wall_seconds",
 )
 
 
@@ -158,6 +164,19 @@ class TransferStats:
         if elements < 0:
             raise ValueError("cannot checksum a negative element count")
         self._c["integrity_checksum_overhead"].value += elements
+
+    def record_traced(self, wall_seconds: float = 0.0) -> None:
+        """A request served under an armed trace context.
+
+        ``wall_seconds`` is the request's measured wall-clock execute
+        time; both counters stay zero (and suppressed from
+        :meth:`as_dict`) on untraced runs, so arming tracing never
+        perturbs the pinned baselines.
+        """
+        if wall_seconds < 0:
+            raise ValueError("wall_seconds cannot be negative")
+        self._c["traced_requests"].value += 1
+        self._c["trace_wall_seconds"].value += wall_seconds
 
     def record_plan_event(self, kind: str) -> None:
         """A plan-cache lookup outcome: ``hit``, ``miss`` or ``eviction``."""

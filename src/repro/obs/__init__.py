@@ -11,7 +11,15 @@ The telemetry layer of the simulator (see ``docs/observability.md``):
   router, planner, plan-cache and replay emissions to any number of
   sinks (zero cost when unattached);
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
-  ``chrome://tracing``) and JSONL exporters;
+  ``chrome://tracing``) and JSONL exporters (thread-safe: worker hubs
+  may share one sink);
+* :mod:`repro.obs.trace` — request-scoped distributed tracing:
+  :class:`TraceContext` propagation, the per-worker
+  :class:`FlightRecorder` ring, merged multi-worker dual-axis trace
+  export and the trace well-formedness checker;
+* :mod:`repro.obs.ops` — the live operational surface: Prometheus text
+  exposition, the ``/metrics`` HTTP exporter, SLO burn-rate tracking
+  and the ``repro top`` dashboard renderer;
 * :mod:`repro.obs.baseline` — the perf-regression gate behind
   ``python -m repro baseline record|check``.
 """
@@ -24,19 +32,41 @@ from repro.obs.instrumentation import (
     instrumentation_of,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.ops import (
+    BurnRateTracker,
+    MetricsExporter,
+    format_prometheus,
+    render_top,
+)
 from repro.obs.spans import Event, Span
+from repro.obs.trace import (
+    FlightRecorder,
+    TraceContext,
+    merged_trace_document,
+    spans_from_chrome_document,
+    validate_trace,
+)
 
 __all__ = [
+    "BurnRateTracker",
     "ChromeTraceSink",
     "Counter",
     "Event",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "JsonlSink",
+    "MetricsExporter",
     "MetricsRegistry",
     "NULL_INSTRUMENTATION",
     "NullInstrumentation",
     "Span",
+    "TraceContext",
+    "format_prometheus",
     "instrumentation_of",
+    "merged_trace_document",
+    "render_top",
+    "spans_from_chrome_document",
+    "validate_trace",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
 from repro.obs.spans import Event, Span
@@ -33,14 +34,19 @@ class ChromeTraceSink:
         self.tid = tid
         self.spans: list[Span] = []
         self.events: list[Event] = []
+        # Several worker hubs may legitimately share one sink; guard the
+        # collections so concurrent appends never race a render.
+        self._lock = threading.Lock()
 
     # -- hub hooks -----------------------------------------------------------
 
     def on_span(self, span: Span) -> None:
-        self.spans.append(span)
+        with self._lock:
+            self.spans.append(span)
 
     def on_event(self, event: Event) -> None:
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
 
     # -- rendering -----------------------------------------------------------
 
@@ -52,6 +58,9 @@ class ChromeTraceSink:
         at equal starts; at equal extents the opener (lower span id, the
         parent) wins.
         """
+        with self._lock:
+            spans = list(self.spans)
+            events = list(self.events)
         out: list[dict] = [
             {
                 "ph": "M",
@@ -62,9 +71,16 @@ class ChromeTraceSink:
             }
         ]
         for span in sorted(
-            self.spans,
+            spans,
             key=lambda s: (s.start, -(s.end - s.start), s.span_id),
         ):
+            args = {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                **span.attrs,
+            }
+            if span.trace_id is not None:
+                args["trace_id"] = span.trace_id
             out.append(
                 {
                     "ph": "X",
@@ -74,14 +90,10 @@ class ChromeTraceSink:
                     "cat": span.category,
                     "ts": span.start * _US,
                     "dur": (span.end - span.start) * _US,
-                    "args": {
-                        "span_id": span.span_id,
-                        "parent_id": span.parent_id,
-                        **span.attrs,
-                    },
+                    "args": args,
                 }
             )
-        for event in self.events:
+        for event in events:
             out.append(
                 {
                     "ph": "i",
@@ -121,6 +133,9 @@ class JsonlSink:
     def __init__(self, target=None, *, raw_phases: bool = False) -> None:
         self.lines: list[str] = []
         self.raw_phases = raw_phases
+        # One lock per sink: concurrent worker hubs pointed at a single
+        # file must never interleave partial lines.
+        self._lock = threading.Lock()
         self._fh = None
         self._owns = False
         if target is None:
@@ -133,10 +148,11 @@ class JsonlSink:
 
     def _emit(self, doc: dict) -> None:
         line = json.dumps(doc, sort_keys=True)
-        if self._fh is not None:
-            self._fh.write(line + "\n")
-        else:
-            self.lines.append(line)
+        with self._lock:
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+            else:
+                self.lines.append(line)
 
     # -- hub hooks -----------------------------------------------------------
 

@@ -13,7 +13,16 @@ of the hook methods — and aggregates labelled metrics into a
 The hub maintains a *model-time clock*: every observed phase or local
 charge advances it by the charged duration, so spans and events land on
 the same timeline the engine's :class:`~repro.machine.metrics.TransferStats`
-accumulates, without the engine knowing about spans at all.
+accumulates, without the engine knowing about spans at all.  Passing an
+injectable ``wall_clock`` callable arms a second, independent
+**wall-clock axis**: every span then also records ``wall_start`` /
+``wall_end`` real seconds, which is how queue wait, lock contention and
+compile latency — invisible to the cost model — become observable.
+
+A hub may also carry a stack of
+:class:`~repro.obs.trace.TraceContext` objects (see :meth:`in_trace`);
+spans and events opened inside inherit the innermost ``trace_id``, so a
+request's telemetry is attributable across subsystems.
 
 The zero-observer fast path stays allocation-free: code that may or may
 not be instrumented asks :func:`instrumentation_of` for the hub and gets
@@ -67,6 +76,21 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _NullTraceScope:
+    """Shared, inert trace scope."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_TRACE_SCOPE = _NullTraceScope()
+
+
 class NullInstrumentation:
     """The no-op hub: every call is free and allocation-free."""
 
@@ -74,8 +98,14 @@ class NullInstrumentation:
 
     enabled = False
 
-    def span(self, name, category="span", **attrs):
+    def span(self, name, category="span", *, wall_start=None, **attrs):
         return _NULL_SPAN
+
+    def leaf(self, name, category="span", **kwargs):
+        return _NULL_SPAN
+
+    def in_trace(self, context):
+        return _NULL_TRACE_SCOPE
 
     def event(self, name, category="event", **attrs):
         pass
@@ -102,6 +132,32 @@ def instrumentation_of(network) -> "Instrumentation | NullInstrumentation":
     if isinstance(observer, Instrumentation):
         return observer
     return NULL_INSTRUMENTATION
+
+
+class _TraceScope:
+    """Context manager pushing one trace context onto its hub's stack.
+
+    A ``None`` context is a no-op scope, so call sites don't branch on
+    whether tracing is armed.
+    """
+
+    __slots__ = ("_hub", "context")
+
+    def __init__(self, hub: "Instrumentation", context) -> None:
+        self._hub = hub
+        self.context = context
+
+    def __enter__(self):
+        if self.context is not None:
+            self._hub._traces.append(self.context)
+        return self.context
+
+    def __exit__(self, *exc) -> bool:
+        if self.context is not None:
+            popped = self._hub._traces.pop()
+            if popped is not self.context:
+                raise RuntimeError("trace contexts exited out of order")
+        return False
 
 
 class _SpanContext:
@@ -139,14 +195,18 @@ class Instrumentation:
         *sinks,
         registry: MetricsRegistry | None = None,
         phase_spans: bool = True,
+        wall_clock=None,
     ) -> None:
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.phase_spans = phase_spans
         #: Model-time cursor: total observed duration so far.
         self.clock = 0.0
+        #: Injectable wall clock (seconds); ``None`` disables the axis.
+        self.wall_clock = wall_clock
         self.spans: list[Span] = []  # closed spans, in close order
         self.events: list[Event] = []
         self._stack: list[Span] = []
+        self._traces: list = []  # TraceContext stack (innermost last)
         self._next_id = 0
         self._hooks: dict[str, list] = {hook: [] for hook in _SINK_HOOKS}
         self.sinks: list = []
@@ -170,9 +230,39 @@ class Instrumentation:
 
     # -- span API ------------------------------------------------------------
 
-    def span(self, name: str, category: str = "span", **attrs) -> _SpanContext:
-        """Open a child span of the current one; use as a context manager."""
+    def _wall(self) -> float | None:
+        return None if self.wall_clock is None else self.wall_clock()
+
+    def _trace_id(self) -> str | None:
+        return self._traces[-1].trace_id if self._traces else None
+
+    def in_trace(self, context) -> "_TraceScope":
+        """Scope every span/event opened inside to ``context``.
+
+        ``context`` is a :class:`~repro.obs.trace.TraceContext` (or
+        ``None``, making the scope a no-op); use as a context manager.
+        Scopes nest — the innermost context wins.
+        """
+        return _TraceScope(self, context)
+
+    def span(
+        self,
+        name: str,
+        category: str = "span",
+        *,
+        wall_start: float | None = None,
+        **attrs,
+    ) -> _SpanContext:
+        """Open a child span of the current one; use as a context manager.
+
+        ``wall_start`` backdates the span's wall-clock interval — the
+        serving layer uses this to open a request's root span at its
+        *submission* time, so the synthesized queue-wait leaf stays
+        contained in its parent on the wall axis.
+        """
         parent = self._stack[-1].span_id if self._stack else None
+        if wall_start is None:
+            wall_start = self._wall()
         span = Span(
             span_id=self._next_id,
             parent_id=parent,
@@ -180,10 +270,50 @@ class Instrumentation:
             category=category,
             start=self.clock,
             attrs=attrs,
+            wall_start=wall_start,
+            trace_id=self._trace_id(),
         )
         self._next_id += 1
         self._stack.append(span)
         return _SpanContext(self, span)
+
+    def leaf(
+        self,
+        name: str,
+        category: str = "span",
+        *,
+        start: float | None = None,
+        end: float | None = None,
+        wall_start: float | None = None,
+        wall_end: float | None = None,
+        **attrs,
+    ) -> Span:
+        """Record a pre-closed child span with explicit intervals.
+
+        Defaults put the leaf at the current cursor on both axes
+        (zero-width); the serving layer passes explicit wall intervals
+        for stages it reconstructs after the fact (admission wait,
+        queue wait).  The leaf parents under the currently open span.
+        """
+        now_wall = self._wall()
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            category=category,
+            start=self.clock if start is None else start,
+            end=self.clock if end is None else end,
+            attrs=attrs,
+            wall_start=now_wall if wall_start is None else wall_start,
+            wall_end=now_wall if wall_end is None else wall_end,
+            trace_id=self._trace_id(),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self.metrics.counter("spans", category=span.category).inc()
+        for fn in self._hooks["on_span"]:
+            fn(span)
+        return span
 
     def current_span(self) -> Span | None:
         return self._stack[-1] if self._stack else None
@@ -203,14 +333,22 @@ class Instrumentation:
             )
         self._stack.pop()
         span.end = self.clock
+        if span.wall_start is not None and span.wall_end is None:
+            span.wall_end = self._wall()
         self.spans.append(span)
         self.metrics.counter("spans", category=span.category).inc()
         for fn in self._hooks["on_span"]:
             fn(span)
 
     def _leaf(self, name: str, category: str, start: float, attrs: dict) -> None:
-        """A pre-closed leaf span (synthesized around an observed charge)."""
+        """A pre-closed leaf span (synthesized around an observed charge).
+
+        On the wall axis an observed charge is an instant — the model
+        clock advanced, the wall clock barely did — so both wall bounds
+        read the current wall time.
+        """
         parent = self._stack[-1].span_id if self._stack else None
+        wall = self._wall()
         span = Span(
             span_id=self._next_id,
             parent_id=parent,
@@ -219,6 +357,9 @@ class Instrumentation:
             start=start,
             end=self.clock,
             attrs=attrs,
+            wall_start=wall,
+            wall_end=wall,
+            trace_id=self._trace_id(),
         )
         self._next_id += 1
         self.spans.append(span)
@@ -234,6 +375,8 @@ class Instrumentation:
             time=self.clock,
             span_id=parent,
             attrs=attrs,
+            wall_time=self._wall(),
+            trace_id=self._trace_id(),
         )
         self.events.append(evt)
         for fn in self._hooks["on_event"]:

@@ -1,17 +1,28 @@
-"""Hierarchical spans and instant events on the model-time axis.
+"""Hierarchical spans and instant events on two time axes.
 
 A :class:`Span` is one named interval of a run — the whole planned
 transpose (category ``run``), one algorithm execution (``algorithm``),
 one exchange sequence or pipelined tree level (``exchange`` /
-``tree-level``), one routing invocation (``routing``), or a single
-engine phase (``phase``).  Spans carry a parent id, so exporters can
-reconstruct the tree; times are *model* seconds (the simulator's clock),
-not wall-clock.
+``tree-level``), one routing invocation (``routing``), a single engine
+phase (``phase``), or one serving-stack stage (``request`` /
+``service`` / ``plan`` / ``execute``).  Spans carry a parent id, so
+exporters can reconstruct the tree.
+
+Every span has a **model-time** interval (``start`` / ``end`` — the
+simulator's clock, the sum of charged phase costs) and, when the owning
+hub runs with an injected wall clock, a **wall-clock** interval
+(``wall_start`` / ``wall_end`` — real seconds, the axis queue wait and
+lock contention live on).  The two axes are independent: a queue-wait
+span is wide on the wall axis and zero-width on the model axis.
+
+Spans opened inside a :class:`~repro.obs.trace.TraceContext` carry its
+``trace_id``, so one request's spans can be stitched into a single
+trace tree across worker threads.
 
 Spans are created through
 :class:`~repro.obs.instrumentation.Instrumentation` and closed by its
 context-manager protocol; an :class:`Event` marks an instant (a fault
-encounter, a plan-cache outcome) at the hub's current clock.
+encounter, a plan-cache outcome) at the hub's current clocks.
 """
 
 from __future__ import annotations
@@ -23,7 +34,7 @@ __all__ = ["Event", "Span"]
 
 @dataclass
 class Span:
-    """One named interval on the model-time axis (see module docstring)."""
+    """One named interval on the model-time (and optionally wall) axis."""
 
     span_id: int
     parent_id: int | None
@@ -32,12 +43,24 @@ class Span:
     start: float
     end: float | None = None
     attrs: dict = field(default_factory=dict)
+    #: Wall-clock interval (seconds on the hub's injected clock); both
+    #: stay ``None`` on hubs without a wall axis.
+    wall_start: float | None = None
+    wall_end: float | None = None
+    #: Trace the span belongs to (``None`` outside any trace context).
+    trace_id: str | None = None
 
     @property
     def duration(self) -> float:
         if self.end is None:
             raise ValueError(f"span {self.name!r} is still open")
         return self.end - self.start
+
+    @property
+    def wall_duration(self) -> float:
+        if self.wall_start is None or self.wall_end is None:
+            raise ValueError(f"span {self.name!r} has no wall-clock interval")
+        return self.wall_end - self.wall_start
 
     @property
     def closed(self) -> bool:
@@ -52,7 +75,7 @@ class Span:
         self.attrs[key] = self.attrs.get(key, 0) + amount
 
     def as_dict(self) -> dict:
-        return {
+        doc = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -61,6 +84,12 @@ class Span:
             "end": self.end,
             "attrs": dict(self.attrs),
         }
+        if self.wall_start is not None:
+            doc["wall_start"] = self.wall_start
+            doc["wall_end"] = self.wall_end
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
 
 @dataclass(frozen=True)
@@ -72,12 +101,20 @@ class Event:
     time: float
     span_id: int | None
     attrs: dict = field(default_factory=dict)
+    #: Wall-clock instant (``None`` on hubs without a wall axis).
+    wall_time: float | None = None
+    trace_id: str | None = None
 
     def as_dict(self) -> dict:
-        return {
+        doc = {
             "name": self.name,
             "category": self.category,
             "time": self.time,
             "span_id": self.span_id,
             "attrs": dict(self.attrs),
         }
+        if self.wall_time is not None:
+            doc["wall_time"] = self.wall_time
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc

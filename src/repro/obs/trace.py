@@ -1,0 +1,404 @@
+"""Request-scoped tracing: contexts, flight recording, merged export.
+
+This is the distributed-tracing layer of the serving stack
+(``docs/observability.md`` §5).  A :class:`TraceContext` is minted at
+request submission and propagated through the admission queue, the
+scheduler and the worker that executes the request, so every span and
+event the request produces — on any worker thread — carries one
+``trace_id`` and can be stitched back into a single trace tree.
+
+Three pieces live here:
+
+* :class:`TraceContext` — the identity that rides along with a request;
+* :class:`FlightRecorder` — a bounded ring buffer of the most recent
+  spans/events on one worker, dumped into a structured error report
+  when a request ends badly (deadline exceeded, fault escalation,
+  invariant violation);
+* the merged exporter and well-formedness checker —
+  :func:`merged_trace_document` renders every worker's telemetry into
+  one Perfetto-loadable file (one track per worker on each of the two
+  time axes) and :func:`validate_trace` proves the result is a forest
+  of well-nested trees with exactly one root per trace id.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.spans import Event, Span
+
+__all__ = [
+    "FlightRecorder",
+    "TraceContext",
+    "merged_trace_document",
+    "spans_from_chrome_document",
+    "validate_trace",
+]
+
+#: Model/wall seconds -> trace microseconds (the unit Chrome tooling expects).
+_US = 1e6
+
+#: Absolute slack for interval-containment checks: model times are sums
+#: of float phase costs, so parent/child endpoints may differ in the
+#: last ulp after microsecond scaling.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity one request's telemetry is keyed by.
+
+    Minted once, at submission (see
+    :meth:`repro.service.server.TransposeServer.submit`), and carried on
+    the resolved request through the queue to the worker; every span and
+    event emitted while the worker holds the context (via
+    :meth:`~repro.obs.instrumentation.Instrumentation.in_trace`) is
+    stamped with ``trace_id``.
+    """
+
+    trace_id: str
+    request_id: int
+    tenant: str = ""
+    priority: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+        }
+
+
+class FlightRecorder:
+    """A bounded ring of the most recent telemetry on one worker.
+
+    Registered as a hub sink, it keeps the last ``capacity`` spans and
+    events as compact dicts.  It is *always* cheap to run (append to a
+    bounded deque) and only ever read when something went wrong:
+    :meth:`dump` snapshots the ring into a structured error report that
+    names the failing request, which the server collects and the CLI
+    writes out as an artifact.
+
+    One recorder belongs to one worker thread (like the hub it taps),
+    so no locking is needed on the hot path; dumps happen either on the
+    owning thread or after the pool has drained.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be at least 1")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.recorded = 0
+
+    # -- hub hooks -----------------------------------------------------------
+    # The hot path is a counter bump and a bounded-deque append of the
+    # telemetry object itself; serialization cost is paid only at dump
+    # time, which only happens when a request already went wrong.
+
+    def on_span(self, span: Span) -> None:
+        self.recorded += 1
+        self._ring.append(("span", span))
+
+    def on_event(self, event: Event) -> None:
+        self.recorded += 1
+        self._ring.append(("event", event))
+
+    # -- reading -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(self) -> list[dict]:
+        """The ring contents as dicts, oldest first."""
+        return [
+            {"kind": kind, **item.as_dict()} for kind, item in self._ring
+        ]
+
+    def dump(self, **context) -> dict:
+        """A structured error report around the current ring contents.
+
+        ``context`` names what went wrong — at minimum the failing
+        request (``request_id`` / ``trace_id``), its tenant and status.
+        """
+        records = self.records()
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": max(0, self.recorded - len(records)),
+            "context": dict(context),
+            "records": records,
+        }
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.recorded = 0
+
+
+# -- merged export ----------------------------------------------------------
+
+
+def _span_sort_key(interval):
+    start, length, span_id = interval
+    return (start, -length, span_id)
+
+
+def merged_trace_document(tracks) -> dict:
+    """One Perfetto-loadable document over many workers and both axes.
+
+    ``tracks`` is an iterable of ``(label, spans, events)`` triples —
+    one per worker hub.  The document holds two Chrome "processes":
+    pid 0 is the **wall-clock** axis, pid 1 the **model-time** axis;
+    within each, every worker is one thread (track), named ``label``.
+    Spans appear on the wall axis only when they carry a wall interval,
+    so hubs without an armed wall clock still merge cleanly.
+
+    Wall timestamps are re-based to the earliest wall instant in the
+    document, keeping the trace readable near t=0.
+    """
+    tracks = list(tracks)
+    out: list[dict] = []
+    for pid, axis in ((0, "wall-clock"), (1, "model-time")):
+        out.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"repro {axis}"},
+            }
+        )
+    walls = [
+        s.wall_start
+        for _, spans, _ in tracks
+        for s in spans
+        if s.wall_start is not None
+    ]
+    walls += [
+        e.wall_time for _, _, events in tracks for e in events
+        if e.wall_time is not None
+    ]
+    epoch = min(walls) if walls else 0.0
+    for tid, (label, spans, events) in enumerate(tracks):
+        for pid in (0, 1):
+            out.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": str(label)},
+                }
+            )
+        # Model-time axis: every closed span, ordered so equal-start
+        # parents precede their children (longer first, opener wins).
+        for span in sorted(
+            (s for s in spans if s.end is not None),
+            key=lambda s: _span_sort_key((s.start, s.end - s.start, s.span_id)),
+        ):
+            out.append(_span_event(span, pid=1, tid=tid, ts=span.start,
+                                   dur=span.end - span.start))
+        # Wall-clock axis: spans that actually have a wall interval.
+        for span in sorted(
+            (s for s in spans
+             if s.wall_start is not None and s.wall_end is not None),
+            key=lambda s: _span_sort_key(
+                (s.wall_start, s.wall_end - s.wall_start, s.span_id)
+            ),
+        ):
+            out.append(_span_event(span, pid=0, tid=tid,
+                                   ts=span.wall_start - epoch,
+                                   dur=span.wall_end - span.wall_start))
+        for event in events:
+            instants = [(1, event.time)]
+            if event.wall_time is not None:
+                instants.append((0, event.wall_time - epoch))
+            for pid, ts in instants:
+                args = dict(event.attrs)
+                if event.trace_id is not None:
+                    args["trace_id"] = event.trace_id
+                out.append(
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "pid": pid,
+                        "tid": tid,
+                        "name": event.name,
+                        "cat": event.category,
+                        "ts": ts * _US,
+                        "args": args,
+                    }
+                )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def _span_event(span: Span, *, pid: int, tid: int, ts: float, dur: float) -> dict:
+    args = {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        **span.attrs,
+    }
+    if span.trace_id is not None:
+        args["trace_id"] = span.trace_id
+    return {
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "name": span.name,
+        "cat": span.category,
+        "ts": ts * _US,
+        "dur": dur * _US,
+        "args": args,
+    }
+
+
+def spans_from_chrome_document(doc: dict) -> list[tuple[str, list[Span]]]:
+    """Reconstruct per-track spans from a :func:`merged_trace_document`.
+
+    Returns ``(label, spans)`` per worker track, with model intervals
+    taken from the model-time process (pid 1) and wall intervals — when
+    the track has any — re-attached from the wall-clock process (pid 0).
+    This is the inverse the well-formedness check script runs over a
+    trace file, so what is validated is what was actually exported.
+    """
+    labels: dict[int, str] = {}
+    by_track: dict[int, dict[int, Span]] = {}
+    walls: dict[tuple[int, int], tuple[float, float]] = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            labels.setdefault(ev["tid"], ev["args"]["name"])
+            continue
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {})
+        if "span_id" not in args:
+            continue
+        tid, sid = ev["tid"], args["span_id"]
+        start, dur = ev["ts"] / _US, ev["dur"] / _US
+        if ev["pid"] == 1:
+            attrs = {
+                k: v
+                for k, v in args.items()
+                if k not in ("span_id", "parent_id", "trace_id")
+            }
+            by_track.setdefault(tid, {})[sid] = Span(
+                span_id=sid,
+                parent_id=args.get("parent_id"),
+                name=ev.get("name", ""),
+                category=ev.get("cat", ""),
+                start=start,
+                end=start + dur,
+                attrs=attrs,
+                trace_id=args.get("trace_id"),
+            )
+        elif ev["pid"] == 0:
+            walls[(tid, sid)] = (start, start + dur)
+    for (tid, sid), (ws, we) in walls.items():
+        span = by_track.get(tid, {}).get(sid)
+        if span is not None:
+            span.wall_start, span.wall_end = ws, we
+    return [
+        (labels.get(tid, f"track-{tid}"), list(spans.values()))
+        for tid, spans in sorted(by_track.items())
+    ]
+
+
+# -- well-formedness --------------------------------------------------------
+
+
+def validate_trace(tracks) -> list[str]:
+    """Structural problems in an exported trace (``[]`` = well-formed).
+
+    ``tracks`` is an iterable of ``(label, spans)`` pairs, one per
+    worker.  Checks, per track:
+
+    * span ids are unique and every ``parent_id`` resolves (no orphans);
+    * every parent interval contains its children on the model axis
+      and — where both carry one — on the wall axis;
+    * a child inside a traced span carries the same ``trace_id``.
+
+    And globally: every ``trace_id`` has exactly one root span and all
+    of its spans live on a single track (one request never migrates
+    between workers mid-flight).
+    """
+    problems: list[str] = []
+    trace_roots: dict[str, list[str]] = {}
+    trace_tracks: dict[str, set[str]] = {}
+    for label, spans in tracks:
+        spans = list(spans)
+        by_id: dict[int, Span] = {}
+        for span in spans:
+            if span.span_id in by_id:
+                problems.append(
+                    f"{label}: duplicate span id {span.span_id}"
+                )
+            by_id[span.span_id] = span
+        for span in spans:
+            where = f"{label}: span {span.span_id} ({span.name})"
+            if span.end is None:
+                problems.append(f"{where} never closed")
+                continue
+            if span.trace_id is not None:
+                trace_tracks.setdefault(span.trace_id, set()).add(label)
+            parent = (
+                by_id.get(span.parent_id)
+                if span.parent_id is not None
+                else None
+            )
+            if span.parent_id is not None and parent is None:
+                problems.append(
+                    f"{where} is orphaned: parent {span.parent_id} "
+                    "not in the export"
+                )
+                continue
+            if span.trace_id is not None and (
+                parent is None or parent.trace_id != span.trace_id
+            ):
+                trace_roots.setdefault(span.trace_id, []).append(
+                    f"{label}/{span.span_id}"
+                )
+            if parent is None:
+                continue
+            if parent.trace_id is not None and span.trace_id != parent.trace_id:
+                problems.append(
+                    f"{where} carries trace {span.trace_id!r} inside "
+                    f"parent trace {parent.trace_id!r}"
+                )
+            if parent.end is None:
+                continue
+            if (span.start < parent.start - _EPS
+                    or span.end > parent.end + _EPS):
+                problems.append(
+                    f"{where} model interval [{span.start}, {span.end}] "
+                    f"escapes parent [{parent.start}, {parent.end}]"
+                )
+            if (
+                span.wall_start is not None
+                and span.wall_end is not None
+                and parent.wall_start is not None
+                and parent.wall_end is not None
+                and (
+                    span.wall_start < parent.wall_start - _EPS
+                    or span.wall_end > parent.wall_end + _EPS
+                )
+            ):
+                problems.append(
+                    f"{where} wall interval [{span.wall_start}, "
+                    f"{span.wall_end}] escapes parent "
+                    f"[{parent.wall_start}, {parent.wall_end}]"
+                )
+    for trace_id, roots in sorted(trace_roots.items()):
+        if len(roots) != 1:
+            problems.append(
+                f"trace {trace_id!r} has {len(roots)} roots: "
+                f"{', '.join(roots)}"
+            )
+    for trace_id, where in sorted(trace_tracks.items()):
+        if len(where) != 1:
+            problems.append(
+                f"trace {trace_id!r} spans {len(where)} tracks: "
+                f"{', '.join(sorted(where))}"
+            )
+    return problems

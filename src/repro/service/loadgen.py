@@ -33,6 +33,7 @@ from dataclasses import dataclass, replace
 from typing import Mapping
 
 from repro.machine.engine import CubeNetwork
+from repro.obs.ops import format_prometheus
 from repro.plans.batch import BatchRequest
 from repro.plans.recorder import capture_transpose, synthetic_matrix
 from repro.plans.replay import replay_plan
@@ -234,6 +235,13 @@ class LoadReport:
     mismatches: list | None = None
     #: Sampled requests re-run solo on real data with byte comparison.
     payload_checked: int = 0
+    #: Merged dual-axis Perfetto trace document (None when the server
+    #: ran with tracing off).  Not part of :meth:`as_dict` — the CLI
+    #: writes it to its own file via ``--trace``.
+    trace: dict | None = None
+    #: Prometheus text snapshot of the merged worker registries, taken
+    #: after the drain (``repro loadgen --metrics-out``).
+    metrics_text: str = ""
 
     @property
     def ok(self) -> bool:
@@ -385,6 +393,8 @@ def run_loadgen(
         invariant_violations=violations,
         mismatches=mismatches,
         payload_checked=payload_checked,
+        trace=server.trace_document() if server.config.trace else None,
+        metrics_text=format_prometheus(server.metrics()),
     )
 
 

@@ -65,6 +65,12 @@ class DeadlineExceededError(ServiceError):
         )
 
 
+#: Counters excluded from fingerprints: they measure the *observation*
+#: of a run (wall-clock tracing), not the run itself, so a traced serve
+#: must still hash identically to an untraced solo replay.
+_VOLATILE_COUNTERS = ("traced_requests", "trace_wall_seconds")
+
+
 def stats_fingerprint(stats) -> str:
     """Deterministic content hash of a run's modelled statistics.
 
@@ -72,9 +78,14 @@ def stats_fingerprint(stats) -> str:
     produce bit-identical :class:`~repro.machine.metrics.TransferStats`
     (PR 2's replay guarantee), so equal fingerprints mean the serving
     path did not corrupt the schedule.  The hash covers the canonical
-    JSON of every counter, including the per-link loads.
+    JSON of every counter, including the per-link loads — minus the
+    observation-side tracing counters, which depend on whether anyone
+    was watching.
     """
-    doc = json.dumps(stats.as_dict(), sort_keys=True, separators=(",", ":"))
+    counters = stats.as_dict()
+    for name in _VOLATILE_COUNTERS:
+        counters.pop(name, None)
+    doc = json.dumps(counters, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(doc.encode()).hexdigest()
 
 
@@ -157,6 +168,9 @@ class ServeOutcome:
     error: str = ""
     #: Recovery accounting dict when served resume-based, else None.
     recovery: dict | None = field(default=None)
+    #: Trace the request's spans were stamped with ("" when the server
+    #: ran untraced).
+    trace_id: str = ""
 
     @property
     def served(self) -> bool:
@@ -179,4 +193,5 @@ class ServeOutcome:
             "fingerprint": self.fingerprint,
             "error": self.error,
             "recovery": self.recovery,
+            "trace_id": self.trace_id,
         }

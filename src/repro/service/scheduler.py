@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.layout.fields import Layout
 from repro.machine.params import MachineParams
+from repro.obs.trace import TraceContext
 from repro.plans.batch import resolve_problem
 from repro.plans.cache import plan_key
 from repro.service.queue import AdmissionPolicy, AdmissionQueue, QueueEntry
@@ -46,6 +47,12 @@ class ResolvedRequest:
     #: no Topology instance (or its mutable BFS distance cache) is ever
     #: shared across worker threads.
     topology: str = "cube"
+    #: Trace identity minted by the server at submission (``None`` when
+    #: tracing is off); the worker opens the request's root span in it.
+    trace: TraceContext | None = None
+    #: Wall seconds spent in admission-time resolution — the worker
+    #: backdates the trace's admission leaf by this much.
+    resolve_s: float = 0.0
 
 
 def resolve_request(request: TransposeRequest) -> ResolvedRequest:

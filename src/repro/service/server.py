@@ -19,12 +19,15 @@ rate, cache-hit rate, per-tenant admission statistics.
 
 from __future__ import annotations
 
+import itertools
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Mapping
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.ops import BurnRateTracker, MetricsExporter
+from repro.obs.trace import TraceContext, merged_trace_document
 from repro.plans.cache import PlanCache
 from repro.service.queue import AdmissionPolicy
 from repro.service.request import (
@@ -63,6 +66,18 @@ class ServerConfig:
     #: ``RecoveryPolicy.from_spec`` string for faulted requests
     #: (``None`` serves them through the restart ladder instead).
     recovery: str | None = "every=4"
+    #: Arm request-scoped tracing: mint a TraceContext per submission
+    #: and run worker hubs with the wall-clock axis and phase spans on.
+    trace: bool = False
+    #: Per-worker flight-recorder ring size (spans + events retained).
+    flight_capacity: int = 256
+    #: Serve Prometheus text on ``GET /metrics`` at this port while the
+    #: server runs (``0`` binds an ephemeral port; ``None`` disables).
+    metrics_port: int | None = None
+    #: Availability objective the burn-rate tracker alerts against.
+    slo_objective: float = 0.99
+    #: Request-count window for the burn-rate tracker.
+    slo_window: int = 100
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -97,9 +112,15 @@ class ServerReport:
     queue: dict
     workers: int
     wall_seconds: float
+    #: Burn-rate tracker snapshot (None when the server ran without one).
+    burn: dict | None = None
+    #: Flight-recorder dumps from requests that ended badly.
+    flight_reports: list = field(default_factory=list)
 
     def per_tenant(self) -> dict:
         tenants: dict[str, dict] = {}
+        waits: dict[str, list[float]] = {}
+        execs: dict[str, list[float]] = {}
         for tenant, reasons in self.rejections.items():
             t = tenants.setdefault(tenant, self._blank())
             t["rejected"] = sum(reasons.values())
@@ -109,12 +130,19 @@ class ServerReport:
             t["admitted"] += 1
             if o.status == "served":
                 t["served"] += 1
+                waits.setdefault(o.tenant, []).append(o.queue_wait_s)
+                execs.setdefault(o.tenant, []).append(o.execute_s)
                 if o.cache_hit:
                     t["cache_hits"] += 1
             elif o.status == "deadline_missed":
                 t["deadline_missed"] += 1
             else:
                 t["failed"] += 1
+        for tenant, t in tenants.items():
+            t["latency_s"] = {
+                "queue_wait": self._pcts(waits.get(tenant, [])),
+                "execute": self._pcts(execs.get(tenant, [])),
+            }
         return dict(sorted(tenants.items()))
 
     @staticmethod
@@ -143,7 +171,7 @@ class ServerReport:
             1 for o in self.outcomes if o.status == "deadline_missed"
         )
         hits = sum(1 for o in served if o.cache_hit)
-        return {
+        doc = {
             "requests": admitted + rejected,
             "admitted": admitted,
             "rejected": rejected,
@@ -161,6 +189,9 @@ class ServerReport:
                 "execute": self._pcts(execs),
             },
         }
+        if self.burn is not None:
+            doc["burn"] = self.burn
+        return doc
 
     @staticmethod
     def _pcts(values: list[float]) -> dict:
@@ -180,6 +211,8 @@ class ServerReport:
             "cache": self.cache,
             "queue": self.queue,
         }
+        if self.flight_reports:
+            doc["flight_reports"] = list(self.flight_reports)
         if with_outcomes:
             doc["outcomes"] = [o.as_dict() for o in self.outcomes]
         return doc
@@ -212,6 +245,21 @@ class TransposeServer:
         self._rejections: dict[str, dict[str, int]] = {}
         self._started_at: float | None = None
         self._wall_seconds = 0.0
+        # The clock the admission queue timestamps entries with; trace
+        # resolve times must be measured on the same one, or backdated
+        # wall intervals would mix time bases.
+        import time as _time
+
+        self._clock = clock if clock is not None else _time.monotonic
+        self._trace_seq = itertools.count()
+        self.burn = BurnRateTracker(
+            self.config.slo_objective, window=self.config.slo_window
+        )
+        self.exporter = (
+            MetricsExporter(self.metrics, port=self.config.metrics_port)
+            if self.config.metrics_port is not None
+            else None
+        )
         worker_kwargs = {} if clock is None else {"clock": clock}
         self.workers = [
             Worker(
@@ -220,6 +268,8 @@ class TransposeServer:
                 self.cache,
                 recovery=recovery,
                 on_outcome=self._record,
+                trace=self.config.trace,
+                flight_capacity=self.config.flight_capacity,
                 **worker_kwargs,
             )
             for wid in range(self.config.workers)
@@ -229,6 +279,8 @@ class TransposeServer:
 
     def start(self) -> "TransposeServer":
         self._started_at = perf_counter()
+        if self.exporter is not None:
+            self.exporter.start()
         for worker in self.workers:
             worker.start()
         return self
@@ -241,6 +293,8 @@ class TransposeServer:
         for worker in self.workers:
             if worker.is_alive():
                 worker.join()
+        if self.exporter is not None:
+            self.exporter.stop()
         if self._started_at is not None:
             self._wall_seconds = perf_counter() - self._started_at
             self._started_at = None
@@ -263,7 +317,25 @@ class TransposeServer:
         rejection is counted per tenant and reason either way the
         caller handles it.
         """
-        resolved = resolve_request(request)
+        if self.config.trace:
+            resolve_started = self._clock()
+            resolved = resolve_request(request)
+            # Trace ids come off a plain counter, not a UUID: the same
+            # workload replays to the same ids, which is what lets the
+            # trace tests assert exact shapes.
+            context = TraceContext(
+                trace_id=f"req-{next(self._trace_seq):06d}",
+                request_id=request.request_id,
+                tenant=request.tenant,
+                priority=request.priority,
+            )
+            resolved = replace(
+                resolved,
+                trace=context,
+                resolve_s=max(0.0, self._clock() - resolve_started),
+            )
+        else:
+            resolved = resolve_request(request)
         with self._lock:
             try:
                 pending = self.scheduler.submit(resolved, now)
@@ -275,6 +347,7 @@ class TransposeServer:
         return pending
 
     def _record(self, outcome: ServeOutcome) -> None:
+        self.burn.record_outcome(outcome)
         with self._lock:
             self._outcomes.append(outcome)
             self._outstanding -= 1
@@ -311,4 +384,22 @@ class TransposeServer:
                 queue=self.scheduler.queue.snapshot(),
                 workers=len(self.workers),
                 wall_seconds=wall,
+                burn=self.burn.snapshot(),
+                flight_reports=[
+                    dump
+                    for worker in self.workers
+                    for dump in worker.flight_reports
+                ],
             )
+
+    def trace_document(self) -> dict:
+        """The merged dual-axis Chrome/Perfetto trace over all workers.
+
+        Meaningful after :meth:`stop` (or at least a :meth:`drain`):
+        worker hubs are single-threaded, so their span lists are read
+        here, not on the hot path.  One track per worker on each axis.
+        """
+        return merged_trace_document(
+            (f"worker-{w.wid}", w.instr.spans, w.instr.events)
+            for w in self.workers
+        )

@@ -26,16 +26,30 @@ instruments recorded on the worker's registry:
 - ``service_queue_wait_s`` / ``service_execute_s`` / ``service_total_s``
   — wall-clock latency histograms;
 - ``service_deadline_missed{tenant=}`` — requests shed at dequeue.
+
+With ``trace=True`` the worker's hub runs with the wall-clock axis
+armed and every dequeued request is served inside its
+:class:`~repro.obs.trace.TraceContext`: a root ``request`` span
+(backdated to submission on the wall axis) contains synthesized
+``admission`` and ``queue-wait`` leaves, the ``plan-resolve`` /
+``execute`` stages, and — via the attached network — the engine's own
+phase leaves and any recovery spans, all stamped with the request's
+``trace_id``.  A bounded :class:`~repro.obs.trace.FlightRecorder`
+always rides on the hub; its ring is dumped into
+:attr:`Worker.flight_reports` whenever a request ends badly.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
+from contextlib import nullcontext
 from time import perf_counter
 
 from repro.machine.engine import CubeNetwork
 from repro.obs.instrumentation import Instrumentation
+from repro.obs.trace import FlightRecorder
 from repro.plans.cache import PlanCache
 from repro.plans.recorder import capture_transpose, synthetic_matrix
 from repro.plans.replay import replay_plan
@@ -44,6 +58,9 @@ from repro.service.request import ServeOutcome, stats_fingerprint
 from repro.service.scheduler import ResolvedRequest, Scheduler
 
 __all__ = ["Worker"]
+
+#: Flight dumps retained per worker (each holds one ring snapshot).
+_MAX_FLIGHT_REPORTS = 16
 
 
 class Worker(threading.Thread):
@@ -58,6 +75,8 @@ class Worker(threading.Thread):
         recovery=None,
         on_outcome=None,
         clock=time.monotonic,
+        trace: bool = False,
+        flight_capacity: int = 256,
     ) -> None:
         super().__init__(name=f"repro-serve-{wid}", daemon=True)
         self.wid = wid
@@ -66,9 +85,20 @@ class Worker(threading.Thread):
         self.recovery = recovery
         self.on_outcome = on_outcome
         self.clock = clock
-        # Per-phase leaf spans would dominate memory on long soaks;
-        # metrics and the serve spans themselves are enough.
-        self.instr = Instrumentation(phase_spans=False)
+        self.tracing = trace
+        self.flight = FlightRecorder(flight_capacity)
+        self.flight_reports: deque = deque(maxlen=_MAX_FLIGHT_REPORTS)
+        # Untraced, per-phase leaf spans would dominate memory on long
+        # soaks, so they stay off and the hub has no wall axis — exactly
+        # the seed behaviour the pinned baselines were recorded against.
+        # Tracing arms both: phase leaves give the execute span its
+        # engine-phase children, and the injectable clock gives every
+        # span a wall interval.
+        self.instr = Instrumentation(
+            self.flight,
+            phase_spans=trace,
+            wall_clock=clock if trace else None,
+        )
         self.served = 0
 
     # -- thread loop ---------------------------------------------------------
@@ -91,11 +121,76 @@ class Worker(threading.Thread):
     def serve_entry(self, entry: QueueEntry) -> ServeOutcome:
         resolved = entry.payload
         assert isinstance(resolved, ResolvedRequest)
+        trace = resolved.trace if self.tracing else None
+        with self.instr.in_trace(trace):
+            if trace is None:
+                outcome = self._serve_inner(entry, resolved, traced=False)
+            else:
+                # Root of the request's trace tree.  On the wall axis it
+                # is backdated to when the client called submit(), so the
+                # admission and queue-wait leaves it contains are honest.
+                submitted_wall = entry.submitted - resolved.resolve_s
+                with self.instr.span(
+                    "request",
+                    category="request",
+                    wall_start=submitted_wall,
+                    tenant=trace.tenant,
+                    request_id=trace.request_id,
+                    priority=trace.priority,
+                    worker=self.wid,
+                ) as root:
+                    outcome = self._serve_inner(entry, resolved, traced=True)
+                    root.annotate(status=outcome.status)
+                outcome.trace_id = trace.trace_id
+        # A request "ended badly" when it failed outright, missed its
+        # deadline, or its recovery escalated past in-place resume on
+        # the documented ladder (route-around surgery or a re-plan).
+        if outcome.status in ("failed", "deadline_missed") or (
+            outcome.resolved in ("surgery-detour", "ladder")
+        ):
+            self._dump_flight(outcome)
+        return outcome
+
+    def _dump_flight(self, outcome: ServeOutcome) -> None:
+        """Snapshot the flight ring around a request that ended badly."""
+        self.flight_reports.append(
+            self.flight.dump(
+                worker=self.wid,
+                request_id=outcome.request_id,
+                trace_id=outcome.trace_id,
+                tenant=outcome.tenant,
+                status=outcome.status,
+                resolved=outcome.resolved,
+                error=outcome.error,
+            )
+        )
+
+    def _serve_inner(
+        self, entry: QueueEntry, resolved: ResolvedRequest, *, traced: bool
+    ) -> ServeOutcome:
         request = entry.request
         now = self.clock()
         queue_wait = max(0.0, now - entry.submitted)
         metrics = self.instr.metrics
         metrics.histogram("service_queue_wait_s").observe(queue_wait)
+        if traced:
+            # Stages that happened before this worker saw the request,
+            # reconstructed as leaves: zero-width in model time, honest
+            # wall intervals.
+            self.instr.leaf(
+                "admission",
+                "request",
+                wall_start=entry.submitted - resolved.resolve_s,
+                wall_end=entry.submitted,
+                resolve_s=resolved.resolve_s,
+            )
+            self.instr.leaf(
+                "queue-wait",
+                "request",
+                wall_start=entry.submitted,
+                wall_end=max(now, entry.submitted),
+                waited_s=queue_wait,
+            )
 
         if entry.deadline_at is not None and now > entry.deadline_at:
             metrics.counter(
@@ -129,7 +224,7 @@ class Worker(threading.Thread):
 
         started = perf_counter()
         try:
-            outcome = self._execute(resolved, queue_wait)
+            outcome = self._execute(resolved, queue_wait, traced=traced)
         except Exception as exc:
             execute_s = perf_counter() - started
             metrics.counter(
@@ -161,7 +256,7 @@ class Worker(threading.Thread):
         return outcome
 
     def _execute(
-        self, resolved: ResolvedRequest, queue_wait: float
+        self, resolved: ResolvedRequest, queue_wait: float, *, traced: bool
     ) -> ServeOutcome:
         request = resolved.request
         problem = request.problem
@@ -176,16 +271,18 @@ class Worker(threading.Thread):
         ) as span:
             span.annotate(queue_wait_s=queue_wait)
             if problem.faults:
-                outcome = self._execute_faulted(resolved)
+                outcome = self._execute_faulted(resolved, traced=traced)
             else:
-                outcome = self._execute_clean(resolved)
+                outcome = self._execute_clean(resolved, traced=traced)
             span.annotate(
                 cache_hit=outcome.cache_hit, resolved=outcome.resolved
             )
         outcome.queue_wait_s = queue_wait
         return outcome
 
-    def _execute_clean(self, resolved: ResolvedRequest) -> ServeOutcome:
+    def _execute_clean(
+        self, resolved: ResolvedRequest, *, traced: bool = False
+    ) -> ServeOutcome:
         """Fault-free path: shared cache lookup, replay on a fresh machine."""
         from repro.topology import parse_topology
 
@@ -210,12 +307,28 @@ class Worker(threading.Thread):
             )
             return plan
 
-        plan, hit = self.cache.get_or_compile(
-            resolved.key, compile_fn, observer=self.instr
+        resolve_span = (
+            self.instr.span("plan-resolve", category="plan", key=resolved.key[:16])
+            if traced
+            else nullcontext()
         )
+        with resolve_span as span:
+            plan, hit = self.cache.get_or_compile(
+                resolved.key, compile_fn, observer=self.instr
+            )
+            if traced:
+                span.annotate(cache_hit=hit)
         network = CubeNetwork(resolved.params, topology=topo)
         self.instr.attach(network)
-        replay_plan(plan, network)
+        if traced:
+            exec_start = self.clock()
+            with self.instr.span(
+                "execute", category="execute", algorithm=plan.algorithm
+            ):
+                replay_plan(plan, network)
+            network.stats.record_traced(self.clock() - exec_start)
+        else:
+            replay_plan(plan, network)
         return ServeOutcome(
             request_id=resolved.request.request_id,
             tenant=resolved.request.tenant,
@@ -229,7 +342,9 @@ class Worker(threading.Thread):
             fingerprint=stats_fingerprint(network.stats),
         )
 
-    def _execute_faulted(self, resolved: ResolvedRequest) -> ServeOutcome:
+    def _execute_faulted(
+        self, resolved: ResolvedRequest, *, traced: bool = False
+    ) -> ServeOutcome:
         """Faulted path: per-request fault state, recovery before ladder."""
         from repro.machine.faults import FaultPlan
         from repro.plans.replay import replay_degraded
@@ -246,17 +361,26 @@ class Worker(threading.Thread):
             problem.faults,
             topology=None if on_cube else topo,
         )
-        served = replay_degraded(
-            resolved.params,
-            resolved.before,
-            resolved.after,
-            faults=faults,
-            algorithm=problem.algorithm,
-            cache=self.cache,
-            observer=self.instr,
-            recovery=self.recovery if on_cube else None,
-            topology=topo,
+        exec_span = (
+            self.instr.span("execute", category="execute", faulted=True)
+            if traced
+            else nullcontext()
         )
+        exec_start = self.clock() if traced else 0.0
+        with exec_span:
+            served = replay_degraded(
+                resolved.params,
+                resolved.before,
+                resolved.after,
+                faults=faults,
+                algorithm=problem.algorithm,
+                cache=self.cache,
+                observer=self.instr,
+                recovery=self.recovery if on_cube else None,
+                topology=topo,
+            )
+        if traced:
+            served.stats.record_traced(self.clock() - exec_start)
         rec = served.recovery
         resolved_how = (
             rec.resolved

@@ -1,0 +1,223 @@
+"""Ops surface: Prometheus exposition, HTTP exporter, burn rate, top."""
+
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    BurnRateTracker,
+    MetricsExporter,
+    MetricsRegistry,
+    format_prometheus,
+    render_top,
+)
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("requests_served", tenant="t-a").inc(5)
+    reg.counter("requests_served", tenant="t-b").inc(2)
+    reg.gauge("queue_depth").set(3)
+    hist = reg.histogram("queue_wait_s", tenant="t-a")
+    hist.observe(0.5)
+    hist.observe(1.5)
+    return reg
+
+
+class TestFormatPrometheus:
+    def test_counters_and_gauges_with_type_lines(self):
+        text = format_prometheus(_registry())
+        lines = text.splitlines()
+        assert "# TYPE repro_requests_served counter" in lines
+        assert 'repro_requests_served{tenant="t-a"} 5' in lines
+        assert 'repro_requests_served{tenant="t-b"} 2' in lines
+        assert "# TYPE repro_queue_depth gauge" in lines
+        assert "repro_queue_depth 3" in lines
+        assert text.endswith("\n")
+
+    def test_histogram_expands_to_count_sum_min_max(self):
+        lines = format_prometheus(_registry()).splitlines()
+        assert "# TYPE repro_queue_wait_s_count counter" in lines
+        assert 'repro_queue_wait_s_count{tenant="t-a"} 2' in lines
+        assert 'repro_queue_wait_s_sum{tenant="t-a"} 2.0' in lines
+        assert "# TYPE repro_queue_wait_s_min gauge" in lines
+        assert 'repro_queue_wait_s_max{tenant="t-a"} 1.5' in lines
+
+    def test_each_type_line_appears_once_per_family(self):
+        lines = format_prometheus(_registry()).splitlines()
+        type_lines = [ln for ln in lines if ln.startswith("# TYPE")]
+        assert len(type_lines) == len(set(type_lines))
+
+    def test_names_sanitized_and_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.x", label='a"b\nc\\d').inc()
+        text = format_prometheus(reg)
+        assert "repro_weird_name_x" in text
+        assert r'label="a\"b\nc\\d"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert format_prometheus(MetricsRegistry()) == ""
+
+
+class TestMetricsExporter:
+    def test_live_scrape_on_ephemeral_port(self):
+        with MetricsExporter(_registry) as exporter:
+            port = exporter.port
+            assert port != 0
+            url = f"http://127.0.0.1:{port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                assert resp.status == 200
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                body = resp.read().decode()
+        assert "repro_requests_served" in body
+
+    def test_scrapes_see_fresh_source_state(self):
+        reg = MetricsRegistry()
+        with MetricsExporter(lambda: reg) as exporter:
+            url = f"http://127.0.0.1:{exporter.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                before = resp.read().decode()
+            reg.counter("late_arrival").inc()
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                after = resp.read().decode()
+        assert "late_arrival" not in before
+        assert "repro_late_arrival 1" in after
+
+    def test_unknown_path_is_404(self):
+        with MetricsExporter(_registry) as exporter:
+            url = f"http://127.0.0.1:{exporter.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(url, timeout=5)
+            assert err.value.code == 404
+
+    def test_stop_is_idempotent(self):
+        exporter = MetricsExporter(_registry)
+        exporter.start()
+        exporter.stop()
+        exporter.stop()
+
+
+class TestBurnRateTracker:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            BurnRateTracker(1.0)
+        with pytest.raises(ValueError, match="window"):
+            BurnRateTracker(0.99, window=0)
+
+    def test_burn_is_windowed_bad_rate_over_budget(self):
+        tracker = BurnRateTracker(0.99, window=10)
+        for _ in range(8):
+            tracker.record(True)
+        tracker.record(False)
+        tracker.record(False)
+        # 2 bad in 10 with a 1% budget: burning 20x.
+        assert tracker.burn_rate == pytest.approx(20.0)
+        assert tracker.alert == "page"
+
+    def test_window_slides_and_old_badness_ages_out(self):
+        tracker = BurnRateTracker(0.9, window=4)
+        tracker.record(False)
+        for _ in range(4):
+            tracker.record(True)
+        assert tracker.burn_rate == 0.0
+        assert tracker.alert == "ok"
+        assert tracker.bad_total == 1  # lifetime total survives
+
+    def test_alert_ladder(self):
+        tracker = BurnRateTracker(0.9, window=10, warn=1.0, page=5.0)
+        for _ in range(10):
+            tracker.record(True)
+        assert tracker.alert == "ok"
+        tracker.record(False)  # 1/10 bad = burn 1.0
+        assert tracker.alert == "warn"
+        for _ in range(4):
+            tracker.record(False)  # 5/10 bad = burn 5.0
+        assert tracker.alert == "page"
+
+    def test_snapshot_shape(self):
+        tracker = BurnRateTracker(0.99, window=5)
+        tracker.record(True)
+        tracker.record(False)
+        snap = tracker.snapshot()
+        assert snap["observed"] == 2
+        assert snap["bad_in_window"] == 1
+        assert snap["total"] == 2
+        assert snap["burn_rate"] == pytest.approx(50.0)
+        assert snap["alert"] == "page"
+        assert snap["thresholds"] == {"warn": 1.0, "page": 10.0}
+
+    def test_record_outcome_maps_status(self):
+        class Outcome:
+            def __init__(self, status):
+                self.status = status
+
+        tracker = BurnRateTracker(0.5, window=4)
+        tracker.record_outcome(Outcome("served"))
+        tracker.record_outcome(Outcome("failed"))
+        tracker.record_outcome(Outcome("deadline_missed"))
+        assert tracker.snapshot()["bad_in_window"] == 2
+
+    def test_deterministic_under_replay(self):
+        a = BurnRateTracker(0.99, window=8)
+        b = BurnRateTracker(0.99, window=8)
+        pattern = [True, True, False, True, False, True, True, True]
+        for ok in pattern:
+            a.record(ok)
+            b.record(ok)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestRenderTop:
+    def _report(self):
+        return {
+            "workers": 2,
+            "wall_seconds": 1.5,
+            "slo": {
+                "requests": 40,
+                "admitted": 38,
+                "served": 36,
+                "rejected": 2,
+                "failed": 1,
+                "deadline_missed": 1,
+                "cache_hit_rate": 0.9,
+                "throughput_rps": 123.4,
+                "latency_s": {
+                    "total": {"p50": 0.1, "p95": 0.2, "p99": 0.3,
+                              "max": 0.4},
+                    "queue_wait": {"p50": 0.01, "p95": 0.02, "p99": 0.03,
+                                   "max": 0.04},
+                },
+                "burn": {
+                    "burn_rate": 2.5,
+                    "objective": 0.99,
+                    "alert": "warn",
+                    "thresholds": {"warn": 1.0, "page": 10.0},
+                },
+            },
+            "queue": {"depth": 3, "capacity": 8},
+            "tenants": {
+                "tenant-0": {"admitted": 20, "served": 19,
+                             "deadline_missed": 1, "failed": 0,
+                             "rejected": 1},
+            },
+        }
+
+    def test_frame_carries_the_headline_numbers(self):
+        frame = render_top(self._report())
+        assert "repro top" in frame
+        assert "served     36" in frame
+        assert "hit-rate  90.0%" in frame
+        assert "queue" in frame and "3/8" in frame
+        assert "2.50x budget" in frame and "WARN" in frame
+        assert "queue_wait" in frame
+        assert "tenant-0" in frame
+
+    def test_clear_prefixes_ansi_home(self):
+        plain = render_top(self._report())
+        cleared = render_top(self._report(), clear=True)
+        assert cleared.endswith(plain)
+        assert cleared.startswith("\x1b[2J\x1b[H")
+
+    def test_tolerates_sparse_report(self):
+        frame = render_top({})
+        assert "repro top" in frame  # never raises on missing blocks

@@ -1,0 +1,299 @@
+"""Tracing layer: contexts, flight recorder, merged export, validation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    Instrumentation,
+    TraceContext,
+    merged_trace_document,
+    spans_from_chrome_document,
+    validate_trace,
+)
+from repro.obs.spans import Span
+
+
+class _WallClock:
+    """A hand-cranked wall clock for deterministic dual-axis tests."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, dt):
+        self.now += dt
+        return self.now
+
+
+def _traced_hub(contexts=("req-000000",), *sinks):
+    """A hub that served one traced request per context."""
+    wall = _WallClock()
+    hub = Instrumentation(*sinks, wall_clock=wall)
+    for i, trace_id in enumerate(contexts):
+        ctx = TraceContext(trace_id=trace_id, request_id=i, tenant="t-a")
+        with hub.in_trace(ctx):
+            with hub.span("request", category="request") as root:
+                wall.tick(0.25)
+                with hub.span("execute", category="execute"):
+                    hub.on_phase([(0, 1, 8)], 0.5)
+                    wall.tick(0.5)
+                hub.event("done", "request")
+                root.annotate(status="served")
+        wall.tick(1.0)
+    return hub, wall
+
+
+class TestTraceContext:
+    def test_identity_and_dict(self):
+        ctx = TraceContext(
+            trace_id="req-000007", request_id=7, tenant="t-b", priority=2
+        )
+        assert ctx.as_dict() == {
+            "trace_id": "req-000007",
+            "request_id": 7,
+            "tenant": "t-b",
+            "priority": 2,
+        }
+
+    def test_frozen(self):
+        ctx = TraceContext(trace_id="x", request_id=0)
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "y"
+
+    def test_spans_inside_scope_carry_the_trace_id(self):
+        hub, _ = _traced_hub(["req-000003"])
+        assert {s.trace_id for s in hub.spans} == {"req-000003"}
+        assert {e.trace_id for e in hub.events} == {"req-000003"}
+        # Outside any scope, spans are untraced.
+        with hub.span("untraced"):
+            pass
+        assert hub.spans[-1].trace_id is None
+
+    def test_none_scope_is_a_no_op(self):
+        hub = Instrumentation()
+        with hub.in_trace(None):
+            with hub.span("x"):
+                pass
+        assert hub.spans[0].trace_id is None
+
+
+class TestFlightRecorder:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(0)
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        ring = FlightRecorder(capacity=4)
+        hub = Instrumentation(ring)
+        for i in range(6):
+            hub.event(f"e{i}")
+        assert len(ring) == 4
+        assert ring.recorded == 6
+        dump = ring.dump()
+        assert dump["dropped"] == 2
+        # Oldest entries fell off the front.
+        assert [r["name"] for r in dump["records"]] == [
+            "e2", "e3", "e4", "e5",
+        ]
+
+    def test_records_hold_both_spans_and_events(self):
+        ring = FlightRecorder()
+        _traced_hub(["req-000001"], ring)
+        kinds = [r["kind"] for r in ring.records()]
+        assert "span" in kinds and "event" in kinds
+        spans = [r for r in ring.records() if r["kind"] == "span"]
+        assert {s["trace_id"] for s in spans} == {"req-000001"}
+
+    def test_dump_context_names_the_failing_request(self):
+        ring = FlightRecorder(capacity=8)
+        dump = ring.dump(
+            worker=1, request_id=7, trace_id="req-000007", status="failed"
+        )
+        assert dump["context"] == {
+            "worker": 1,
+            "request_id": 7,
+            "trace_id": "req-000007",
+            "status": "failed",
+        }
+        assert dump["capacity"] == 8
+        json.dumps(dump)  # artifact must serialize as-is
+
+    def test_clear_resets_ring_and_counter(self):
+        ring = FlightRecorder(capacity=2)
+        hub = Instrumentation(ring)
+        hub.event("x")
+        ring.clear()
+        assert len(ring) == 0 and ring.recorded == 0
+
+
+class TestMergedDocument:
+    def test_two_processes_one_thread_per_worker(self):
+        hub_a, _ = _traced_hub(["req-000000"])
+        hub_b, _ = _traced_hub(["req-000001"])
+        doc = merged_trace_document(
+            [
+                ("worker-0", hub_a.spans, hub_a.events),
+                ("worker-1", hub_b.spans, hub_b.events),
+            ]
+        )
+        events = doc["traceEvents"]
+        procs = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert procs == {"repro wall-clock", "repro model-time"}
+        threads = {
+            (e["pid"], e["tid"], e["args"]["name"])
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        # Each worker appears as the same tid on both axes.
+        for tid, label in ((0, "worker-0"), (1, "worker-1")):
+            assert (0, tid, label) in threads
+            assert (1, tid, label) in threads
+        json.dumps(doc)
+
+    def test_every_span_lands_on_both_axes(self):
+        hub, _ = _traced_hub(["req-000000"])
+        doc = merged_trace_document([("w", hub.spans, hub.events)])
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        model = [e for e in xs if e["pid"] == 1]
+        wall = [e for e in xs if e["pid"] == 0]
+        assert len(model) == len(hub.spans)
+        assert len(wall) == len(model)  # wall clock armed -> dual axis
+
+    def test_wall_axis_rebased_to_earliest_instant(self):
+        hub, _ = _traced_hub(["req-000000"])
+        doc = merged_trace_document([("w", hub.spans, hub.events)])
+        wall = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == 0
+        ]
+        assert min(e["ts"] for e in wall) == 0.0
+
+    def test_hub_without_wall_clock_merges_with_model_axis_only(self):
+        hub = Instrumentation()
+        with hub.span("run"):
+            hub.on_phase([(0, 1, 4)], 0.5)
+        doc = merged_trace_document([("w", hub.spans, hub.events)])
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["pid"] == 1 for e in xs)
+
+    def test_round_trip_through_chrome_document(self):
+        hub, _ = _traced_hub(["req-000000", "req-000001"])
+        doc = merged_trace_document([("worker-0", hub.spans, hub.events)])
+        tracks = spans_from_chrome_document(doc)
+        assert [label for label, _ in tracks] == ["worker-0"]
+        (_, spans), = tracks
+        assert len(spans) == len(hub.spans)
+        by_id = {s.span_id: s for s in spans}
+        for original in hub.spans:
+            restored = by_id[original.span_id]
+            assert restored.name == original.name
+            assert restored.trace_id == original.trace_id
+            assert restored.parent_id == original.parent_id
+            assert restored.start == pytest.approx(original.start)
+            assert restored.wall_start is not None
+        assert validate_trace(tracks) == []
+
+
+def _span(sid, parent, start, end, *, trace=None, wall=None, name="s"):
+    span = Span(
+        span_id=sid,
+        parent_id=parent,
+        name=name,
+        category="request",
+        start=start,
+        end=end,
+        trace_id=trace,
+    )
+    if wall is not None:
+        span.wall_start, span.wall_end = wall
+    return span
+
+
+class TestValidateTrace:
+    def test_clean_tree_passes(self):
+        tracks = [
+            ("w0", [
+                _span(1, None, 0.0, 1.0, trace="a", wall=(10.0, 11.0)),
+                _span(2, 1, 0.2, 0.8, trace="a", wall=(10.2, 10.8)),
+            ]),
+        ]
+        assert validate_trace(tracks) == []
+
+    def test_duplicate_ids_and_orphans_flagged(self):
+        tracks = [
+            ("w0", [
+                _span(1, None, 0.0, 1.0),
+                _span(1, None, 0.0, 0.5),
+                _span(9, 404, 0.0, 0.5),
+            ]),
+        ]
+        problems = "\n".join(validate_trace(tracks))
+        assert "duplicate span id 1" in problems
+        assert "orphaned" in problems
+
+    def test_unclosed_span_flagged(self):
+        problems = validate_trace([("w0", [_span(1, None, 0.0, None)])])
+        assert any("never closed" in p for p in problems)
+
+    def test_model_containment_violation(self):
+        tracks = [
+            ("w0", [
+                _span(1, None, 0.0, 1.0, trace="a"),
+                _span(2, 1, 0.5, 1.5, trace="a"),  # escapes parent
+            ]),
+        ]
+        assert any("escapes parent" in p for p in validate_trace(tracks))
+
+    def test_wall_containment_violation(self):
+        tracks = [
+            ("w0", [
+                _span(1, None, 0.0, 1.0, trace="a", wall=(10.0, 11.0)),
+                _span(2, 1, 0.2, 0.8, trace="a", wall=(9.0, 10.5)),
+            ]),
+        ]
+        problems = validate_trace(tracks)
+        assert any("wall interval" in p for p in problems)
+
+    def test_trace_id_must_match_parent(self):
+        tracks = [
+            ("w0", [
+                _span(1, None, 0.0, 1.0, trace="a"),
+                _span(2, 1, 0.2, 0.8, trace="b"),
+            ]),
+        ]
+        problems = "\n".join(validate_trace(tracks))
+        assert "inside parent trace" in problems
+
+    def test_one_root_per_trace(self):
+        tracks = [
+            ("w0", [
+                _span(1, None, 0.0, 1.0, trace="a"),
+                _span(2, None, 2.0, 3.0, trace="a"),
+            ]),
+        ]
+        assert any("2 roots" in p for p in validate_trace(tracks))
+
+    def test_trace_confined_to_one_track(self):
+        tracks = [
+            ("w0", [_span(1, None, 0.0, 1.0, trace="a")]),
+            ("w1", [_span(1, None, 2.0, 3.0, trace="a")]),
+        ]
+        assert any("2 tracks" in p for p in validate_trace(tracks))
+
+    def test_containment_tolerates_float_ulp_slack(self):
+        end = 0.1 + 0.2  # 0.30000000000000004
+        tracks = [
+            ("w0", [
+                _span(1, None, 0.0, 0.3, trace="a"),
+                _span(2, 1, 0.0, end, trace="a"),
+            ]),
+        ]
+        assert validate_trace(tracks) == []

@@ -54,7 +54,8 @@ class TestRunLoadgen:
         assert slo["rejected"] == 0
         # Compile-once/serve-many: 2 shapes -> at most 2+workers misses
         # (the benign double-compile race), everything else hits.
-        assert slo["cache_hit_rate"] > 0.9
+        assert report.server.cache["misses"] <= 2 + 2
+        assert slo["cache_hit_rate"] >= (32 - 4) / 32
         assert report.ok and report.verified == 4
         assert "invariants" in report.summary()
 

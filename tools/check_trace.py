@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Assert a merged trace file is Perfetto-loadable and well-formed.
+
+CI runs this over the trace ``repro loadgen --trace`` exports:
+
+    python tools/check_trace.py artifacts/loadgen.trace.json
+
+Checks, via :func:`repro.obs.trace.validate_trace`, that the document
+parses, that every track's spans form a tree (unique ids, no orphans),
+that parent intervals contain their children on both the model-time and
+wall-clock axes, and that every trace id has exactly one root confined
+to a single worker track.  Optionally asserts a minimum request count
+(``--min-traces``) so a silently-empty trace cannot pass.  Exits
+non-zero listing every problem found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.trace import (  # noqa: E402
+    spans_from_chrome_document,
+    validate_trace,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="merged Chrome/Perfetto trace JSON")
+    parser.add_argument(
+        "--min-traces",
+        type=int,
+        default=1,
+        help="fail unless at least this many distinct trace ids appear",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load trace: {exc}", file=sys.stderr)
+        return 2
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print("trace document has no traceEvents", file=sys.stderr)
+        return 1
+
+    tracks = spans_from_chrome_document(doc)
+    problems = validate_trace(tracks)
+    span_count = sum(len(spans) for _, spans in tracks)
+    trace_ids = {
+        span.trace_id
+        for _, spans in tracks
+        for span in spans
+        if span.trace_id is not None
+    }
+    dual_axis = sum(
+        1
+        for _, spans in tracks
+        for span in spans
+        if span.wall_start is not None
+    )
+    if len(trace_ids) < args.min_traces:
+        problems.append(
+            f"expected at least {args.min_traces} trace id(s), "
+            f"found {len(trace_ids)}"
+        )
+    if span_count and not dual_axis:
+        problems.append("no span carries a wall-clock interval")
+
+    print(
+        f"{args.trace}: {len(tracks)} track(s), {span_count} span(s), "
+        f"{len(trace_ids)} trace id(s), {dual_axis} dual-axis span(s)"
+    )
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        return 1
+    print("trace is well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
