@@ -482,9 +482,81 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def _parse_watchdog(value):
+    """``--watchdog`` seconds, with ``off``/``none`` disabling it."""
+    if value is None:
+        return None
+    text = str(value).strip().lower()
+    if text in ("off", "none", ""):
+        return None
+    return float(value)
+
+
+def cmd_service_chaos(args) -> int:
+    """``repro chaos --service``: batter the serving stack itself."""
+    from repro.service import ServerConfig, ServiceChaosSpec, run_service_chaos
+
+    try:
+        spec = ServiceChaosSpec(
+            seed=args.seed,
+            requests=args.requests,
+            tenants=args.tenants,
+            n=args.n,
+            kill_rate=args.kill_rate,
+            hang_rate=args.hang_rate,
+            hang_seconds=args.hang_seconds,
+            poison_rate=args.poison_rate,
+            crash_rate=args.crash_rate,
+            slow_rate=args.slow_rate,
+            verify_sample=args.verify_sample,
+        )
+        config = ServerConfig(
+            workers=args.workers,
+            retries=args.retries,
+            watchdog=_parse_watchdog(args.watchdog),
+            supervise=None if not args.no_supervise else False,
+            poison_threshold=args.poison_threshold,
+        )
+    except ValueError as exc:
+        print(f"bad service chaos spec: {exc}", file=sys.stderr)
+        return 2
+    report = run_service_chaos(spec, config)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.events_out:
+        _write_json(
+            args.events_out,
+            report.supervisor_events,
+            label="supervisor event log",
+        )
+    ok = report.ok
+    if args.expect_worker_loss:
+        # The disabled-resilience arm: the soak must still resolve
+        # everything exactly once, AND demonstrably lose workers —
+        # proving the supervisor (absent here) is what saves the pool.
+        ok = ok and report.workers_lost > 0
+    if args.json:
+        doc = report.as_dict()
+        doc["ok"] = ok
+        emit_json("chaos", doc)
+    else:
+        print(report.summary())
+        if args.expect_worker_loss and report.workers_lost == 0:
+            print(
+                "expected worker loss with resilience disabled, saw none",
+                file=sys.stderr,
+            )
+    return 0 if ok else 1
+
+
 def cmd_chaos(args) -> int:
     from repro.recovery import RecoveryPolicy, run_chaos
 
+    if args.service:
+        return cmd_service_chaos(args)
     topo = _topology(args)
     if topo is None:
         return 2
@@ -565,6 +637,11 @@ def _server_config(args):
                 cache_capacity=args.cache_size,
                 cache_dir=args.cache_dir,
                 recovery=args.recover,
+                retries=args.retries,
+                watchdog=_parse_watchdog(args.watchdog),
+                poison_threshold=args.poison_threshold,
+                breaker=args.breaker,
+                brownout=args.brownout,
             )
         # Observability flags compose with either source: asking for a
         # trace file arms tracing, and --metrics-port always wins.
@@ -685,6 +762,7 @@ def cmd_loadgen(args) -> int:
             fault_rate=args.fault_rate,
             deadline=args.deadline,
             verify_sample=args.verify_sample,
+            request_timeout=args.request_timeout,
         )
     except ValueError as exc:
         print(f"bad loadgen spec: {exc}", file=sys.stderr)
@@ -757,7 +835,7 @@ def cmd_top(args) -> int:
     def drive() -> None:
         try:
             if spec.mode == "closed":
-                _drive_closed(server, requests, spec.tenants)
+                _drive_closed(server, requests, spec)
             else:
                 _drive_open(server, requests, spec)
         finally:
@@ -1094,6 +1172,108 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream one line per finished trial to stderr",
     )
+    # -- service-level chaos (repro chaos --service) ------------------------
+    pc.add_argument(
+        "--service",
+        action="store_true",
+        help="batter the serving stack instead of the machine: kill/"
+        "hang workers and inject crash/slow/poison requests under a "
+        "seeded schedule, gated on the exactly-once invariant",
+    )
+    pc.add_argument(
+        "--seed", type=int, default=11, help="service chaos schedule seed"
+    )
+    pc.add_argument(
+        "--requests", type=int, default=48, help="service soak request count"
+    )
+    pc.add_argument(
+        "--tenants", type=int, default=3, help="service soak tenant count"
+    )
+    pc.add_argument(
+        "--workers", type=int, default=4, help="serving worker pool size"
+    )
+    pc.add_argument(
+        "--kill-rate",
+        dest="kill_rate",
+        type=float,
+        default=0.08,
+        help="per-execution probability the worker is killed mid-request",
+    )
+    pc.add_argument(
+        "--hang-rate",
+        dest="hang_rate",
+        type=float,
+        default=0.0,
+        help="per-execution probability the worker hangs (watchdog bait)",
+    )
+    pc.add_argument(
+        "--hang-seconds",
+        dest="hang_seconds",
+        type=float,
+        default=0.3,
+        help="how long a chaos hang wedges the worker",
+    )
+    pc.add_argument(
+        "--poison-rate",
+        dest="poison_rate",
+        type=float,
+        default=0.04,
+        help="probability a request is poisonous (kills every worker "
+        "that executes it, until quarantined)",
+    )
+    pc.add_argument(
+        "--crash-rate",
+        dest="crash_rate",
+        type=float,
+        default=0.0,
+        help="probability a request fails with a plain exception",
+    )
+    pc.add_argument(
+        "--slow-rate",
+        dest="slow_rate",
+        type=float,
+        default=0.0,
+        help="probability an execution is slowed (stays under watchdog)",
+    )
+    pc.add_argument(
+        "--verify-sample",
+        dest="verify_sample",
+        type=int,
+        default=6,
+        help="served requests re-run solo for bit-identity",
+    )
+    pc.add_argument(
+        "--retries", type=int, default=2,
+        help="supervisor re-dispatch attempts (0 disables retries)",
+    )
+    pc.add_argument(
+        "--watchdog", default="0.15", metavar="SECONDS",
+        help="hung-worker deadline ('off' disables; default 0.15)",
+    )
+    pc.add_argument(
+        "--poison-threshold", dest="poison_threshold", type=int, default=2,
+        help="consecutive kills before poison quarantine",
+    )
+    pc.add_argument(
+        "--no-supervise",
+        dest="no_supervise",
+        action="store_true",
+        help="force the supervisor off even when retries/watchdog are set",
+    )
+    pc.add_argument(
+        "--events-out",
+        dest="events_out",
+        default=None,
+        metavar="FILE",
+        help="write the supervisor's JSON event log here (CI artifact)",
+    )
+    pc.add_argument(
+        "--expect-worker-loss",
+        dest="expect_worker_loss",
+        action="store_true",
+        help="pass only if the pool demonstrably lost workers (the "
+        "disabled-resilience control arm)",
+    )
     json_flag(pc)
     pc.set_defaults(fn=cmd_chaos)
 
@@ -1180,6 +1360,44 @@ def build_parser() -> argparse.ArgumentParser:
             help="serve GET /metrics (Prometheus text) on this port "
             "while the server runs (0 = ephemeral)",
         )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=2,
+            help="supervisor re-dispatch attempts after a worker death "
+            "(0 disables retries)",
+        )
+        p.add_argument(
+            "--watchdog",
+            default=None,
+            metavar="SECONDS",
+            help="declare a worker hung after one request runs this "
+            "long ('off' disables; default off)",
+        )
+        p.add_argument(
+            "--poison-threshold",
+            dest="poison_threshold",
+            type=int,
+            default=2,
+            help="consecutive worker kills before a request is "
+            "quarantined as poison",
+        )
+        p.add_argument(
+            "--breaker",
+            default=None,
+            metavar="SPEC",
+            help="circuit-breaker policy, e.g. "
+            "'window=16,threshold=0.5,cooldown=1.0,key=plan' "
+            "(BreakerPolicy.from_spec; default off)",
+        )
+        p.add_argument(
+            "--brownout",
+            default=None,
+            metavar="SPEC",
+            help="overload brownout ladder, e.g. "
+            "'slo=0.25,objective=0.9,up=1.0,down=0.25,hold=3' "
+            "(BrownoutPolicy.from_spec; default off)",
+        )
 
     ps = sub.add_parser(
         "serve",
@@ -1264,6 +1482,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="served fault-free requests re-run solo for bit-identity",
+    )
+    pg.add_argument(
+        "--request-timeout",
+        dest="request_timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="closed-loop client patience per request; expiries are "
+        "counted separately in the report (default 120)",
     )
     pg.add_argument(
         "--out",

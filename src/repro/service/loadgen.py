@@ -26,6 +26,7 @@ schedule — the one thing the subsystem must never do.
 
 from __future__ import annotations
 
+import itertools
 import random
 import threading
 import time
@@ -78,6 +79,11 @@ class LoadSpec:
     priority_levels: int = 2
     #: Served fault-free requests re-run solo for bit-identity.
     verify_sample: int = 8
+    #: Closed-loop client patience: how long a client waits for each
+    #: outcome before giving up on it (``repro loadgen
+    #: --request-timeout``).  Expiries are counted separately in the
+    #: report — the request may still resolve server-side later.
+    request_timeout: float = 120.0
 
     def __post_init__(self) -> None:
         if self.mode not in ("closed", "open"):
@@ -88,6 +94,8 @@ class LoadSpec:
             raise ValueError("fault_rate must be within [0, 1]")
         if self.rate <= 0:
             raise ValueError("open-loop rate must be positive")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive seconds")
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "LoadSpec":
@@ -233,6 +241,8 @@ class LoadReport:
     verified: int = 0
     invariant_violations: int = 0
     mismatches: list | None = None
+    #: Closed-loop client waits that hit ``spec.request_timeout``.
+    expired: int = 0
     #: Sampled requests re-run solo on real data with byte comparison.
     payload_checked: int = 0
     #: Merged dual-axis Perfetto trace document (None when the server
@@ -260,6 +270,11 @@ class LoadReport:
             f"{self.verified} spot-checked "
             f"({self.payload_checked} payload-byte), "
             f"{self.invariant_violations} violation(s)"
+            + (
+                f"; {self.expired} client wait(s) expired"
+                if self.expired
+                else ""
+            )
         )
 
     def as_dict(self, *, with_outcomes: bool = False) -> dict:
@@ -271,18 +286,27 @@ class LoadReport:
                 "payload_checked": self.payload_checked,
                 "violations": self.invariant_violations,
                 "mismatches": self.mismatches or [],
+                "expired": self.expired,
             },
             "ok": self.ok,
         }
 
 
 def _drive_closed(
-    server: TransposeServer, requests: list[TransposeRequest], tenants: int
-) -> None:
-    """One client thread per tenant, each waiting out its own requests."""
+    server: TransposeServer, requests: list[TransposeRequest], spec: LoadSpec
+) -> int:
+    """One client thread per tenant, each waiting out its own requests.
+
+    Returns how many waits expired client-side (``spec.request_timeout``
+    elapsed with no outcome) — the request itself may still resolve
+    server-side afterwards, so expiries are an independent count, not a
+    server outcome.
+    """
     by_tenant: dict[str, list[TransposeRequest]] = {}
     for request in requests:
         by_tenant.setdefault(request.tenant, []).append(request)
+    expired = itertools.count()
+    expired_total = 0
 
     def client(mine: list[TransposeRequest]) -> None:
         for request in mine:
@@ -290,7 +314,10 @@ def _drive_closed(
                 pending = server.submit(request)
             except AdmissionRejectedError:
                 continue  # shed: counted by the server, move on
-            pending.result(timeout=120.0)
+            try:
+                pending.result(timeout=spec.request_timeout)
+            except TimeoutError:
+                next(expired)  # count() is GIL-atomic across clients
 
     threads = [
         threading.Thread(target=client, args=(mine,), daemon=True)
@@ -300,6 +327,8 @@ def _drive_closed(
         t.start()
     for t in threads:
         t.join()
+    expired_total = next(expired)
+    return expired_total
 
 
 def _drive_open(
@@ -376,9 +405,10 @@ def run_loadgen(
     """Drive a server with the seeded workload and verify a sample."""
     server = TransposeServer(config)
     requests = build_workload(spec)
+    expired = 0
     with server:
         if spec.mode == "closed":
-            _drive_closed(server, requests, spec.tenants)
+            expired = _drive_closed(server, requests, spec)
         else:
             _drive_open(server, requests, spec)
         server.drain()
@@ -392,6 +422,7 @@ def run_loadgen(
         verified=verified,
         invariant_violations=violations,
         mismatches=mismatches,
+        expired=expired,
         payload_checked=payload_checked,
         trace=server.trace_document() if server.config.trace else None,
         metrics_text=format_prometheus(server.metrics()),
@@ -446,4 +477,27 @@ def deterministic_counters(
     for reason in sorted(rejected):
         counters[f"rejected_{reason}"] = rejected[reason]
     counters["rejected"] = sum(rejected.values())
+    # Resilience counters are zero-suppressed: the pinned baseline
+    # scenarios have no chaos, so their files stay byte-identical,
+    # while a run that did restart workers or quarantine requests
+    # shows it here (and the gate would flag it as a breach).
+    for status in ("poisoned", "stopped"):
+        count = sum(1 for o in report.outcomes if o.status == status)
+        if count:
+            counters[status] = count
+    retried = sum(1 for o in report.outcomes if o.attempts > 1)
+    if retried:
+        counters["retried"] = retried
+    resilience = report.resilience or {}
+    supervisor = resilience.get("supervisor") or {}
+    if supervisor.get("restarts"):
+        counters["worker_restarts"] = supervisor["restarts"]
+    if supervisor.get("quarantined"):
+        counters["poison_quarantined"] = supervisor["quarantined"]
+    breaker = resilience.get("breaker") or {}
+    if breaker.get("trips"):
+        counters["breaker_trips"] = breaker["trips"]
+    brownout = resilience.get("brownout") or {}
+    if brownout.get("steps"):
+        counters["brownout_steps"] = brownout["steps"]
     return counters

@@ -79,6 +79,9 @@ class QueueEntry:
     #: Opaque scheduler payload (the resolved request) riding along.
     payload: object = field(default=None, compare=False)
     taken: bool = field(default=False, compare=False)
+    #: Supervisor re-dispatches this entry has consumed (0 on first
+    #: admission; bumped by the retry budget, never by admission).
+    attempt: int = field(default=0, compare=False)
 
     def sort_key(self) -> tuple:
         deadline = self.deadline_at if self.deadline_at is not None else float("inf")
@@ -173,6 +176,28 @@ class AdmissionQueue:
             return False
         self._buckets[tenant] = (tokens - 1.0, now)
         return True
+
+    def requeue(self, entry: QueueEntry) -> QueueEntry:
+        """Put a previously popped entry back for another attempt.
+
+        Supervisor-side: bypasses every admission gate (the request was
+        already admitted once and the client holds its pending slot)
+        and works even after :meth:`close`, so retries scheduled before
+        shutdown can still drain.  The entry keeps its original
+        ``submitted`` timestamp and absolute deadline — a re-dispatch
+        does not reset the request's latency or its deadline budget —
+        but takes a fresh ``seq`` so heap ordering stays total.
+        """
+        with self._lock:
+            entry.taken = False
+            entry.seq = next(self._seq)
+            heapq.heappush(self._heap, (entry.sort_key(), entry))
+            self._by_key.setdefault(entry.key, []).append(entry)
+            tenant = entry.request.tenant
+            self._pending[tenant] = self._pending.get(tenant, 0) + 1
+            self._depth += 1
+            self._nonempty.notify()
+            return entry
 
     # -- dequeue -------------------------------------------------------------
 

@@ -144,8 +144,12 @@ class ServeOutcome:
     """What happened to one admitted request.
 
     ``status`` is ``"served"``, ``"deadline_missed"`` (shed at dequeue,
-    never executed) or ``"failed"`` (the executor raised; ``error``
-    holds the exception text).  Latencies are wall-clock seconds;
+    never executed), ``"failed"`` (the executor raised, or the retry
+    budget ran out; ``error`` holds the exception text),
+    ``"poisoned"`` (quarantined after killing too many workers — see
+    :class:`~repro.service.resilience.PoisonRequestError`) or
+    ``"stopped"`` (the server stopped or a drain timed out with the
+    request unserved).  Latencies are wall-clock seconds;
     ``modelled_time`` is the simulator's own cost-model time.
     """
 
@@ -171,6 +175,9 @@ class ServeOutcome:
     #: Trace the request's spans were stamped with ("" when the server
     #: ran untraced).
     trace_id: str = ""
+    #: Execution attempts this request consumed (>1 after supervisor
+    #: re-dispatch; 1 for requests resolved without a retry).
+    attempts: int = 1
 
     @property
     def served(self) -> bool:
@@ -194,4 +201,5 @@ class ServeOutcome:
             "error": self.error,
             "recovery": self.recovery,
             "trace_id": self.trace_id,
+            "attempts": self.attempts,
         }

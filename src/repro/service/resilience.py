@@ -1,0 +1,749 @@
+"""Self-healing machinery for the serving layer.
+
+The serving stack up to PR 8 assumed a well-behaved pool: a worker
+thread that died (or wedged) silently shrank the pool forever, every
+admitted request executed at most once, and one poison request could
+walk the pool killing workers one by one.  This module adds the four
+control loops that make :class:`~repro.service.server.TransposeServer`
+survive its own machinery (``docs/resilience.md``):
+
+* :class:`Supervisor` — a monitor thread on an injectable clock that
+  watches per-worker heartbeats, detects **crashed** workers (the
+  thread died, or marked itself dead on an unhandled exception) and
+  **hung** workers (a per-request watchdog deadline), replaces the
+  victim with a fresh worker, and re-dispatches its in-flight
+  requests;
+* :class:`RetryBudget` — bounded re-dispatch attempts per request with
+  exponential backoff and deterministic seeded jitter.  Re-dispatch is
+  idempotent end to end: a request's
+  :class:`~repro.service.scheduler.PendingResult` resolves exactly
+  once even when an abandoned attempt limps home late;
+* :class:`CircuitBreaker` — a per-plan-key (or per-tenant)
+  closed → open → half-open breaker, failure-rate windowed, shedding
+  known-bad work at admission before it burns a worker.  Requests that
+  kill ``poison_threshold`` consecutive workers are quarantined with a
+  typed :class:`PoisonRequestError` instead of being retried forever;
+* :class:`BrownoutController` — turns sustained queue-wait overload
+  (a count-windowed :class:`~repro.obs.ops.BurnRateTracker` signal)
+  into steps up a declared degradation ladder — shed lowest priority,
+  widen batch coalescing, disable wall-clock tracing, reject at
+  admission — and steps back down with hysteresis when pressure
+  clears.
+
+Everything here is deterministic under injected clocks: the breaker
+and brownout state machines are count-windowed, backoff jitter comes
+from a seeded generator keyed on ``(seed, request_id, attempt)``, and
+:meth:`Supervisor.scan` can be driven manually in tests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.service.request import ServeOutcome, ServiceError
+
+__all__ = [
+    "BreakerPolicy",
+    "BrownoutController",
+    "BrownoutPolicy",
+    "CircuitBreaker",
+    "PoisonRequestError",
+    "RetryBudget",
+    "RetryBudgetExhaustedError",
+    "ServerStoppedError",
+    "Supervisor",
+    "WorkerCrashed",
+]
+
+
+class WorkerCrashed(BaseException):
+    """A simulated worker-process crash (chaos injection).
+
+    Deliberately a :class:`BaseException`: the worker's per-request
+    ``except Exception`` must *not* be able to catch it — a crash takes
+    the whole worker down, exactly like a segfault or OOM kill would in
+    a process-per-worker deployment.  Only the worker's outermost
+    supervision wrapper sees it.
+    """
+
+
+class PoisonRequestError(ServiceError):
+    """The request killed too many workers in a row and is quarantined."""
+
+    def __init__(self, request_id: int, tenant: str, kills: int) -> None:
+        self.request_id = request_id
+        self.tenant = tenant
+        self.kills = kills
+        super().__init__(
+            f"request {request_id} from tenant {tenant!r} killed {kills} "
+            f"worker(s) in a row; quarantined instead of retried"
+        )
+
+
+class RetryBudgetExhaustedError(ServiceError):
+    """The request's bounded re-dispatch attempts are spent."""
+
+    def __init__(self, request_id: int, tenant: str, attempts: int) -> None:
+        self.request_id = request_id
+        self.tenant = tenant
+        self.attempts = attempts
+        super().__init__(
+            f"request {request_id} from tenant {tenant!r} failed after "
+            f"{attempts} attempt(s); retry budget exhausted"
+        )
+
+
+class ServerStoppedError(ServiceError):
+    """The server stopped (or a drain timed out) with the request unserved.
+
+    Outcomes carrying this error have status ``"stopped"`` — a terminal
+    outcome, so :meth:`PendingResult.result` never blocks forever on a
+    request the pool will no longer serve.
+    """
+
+    def __init__(self, request_id: int, tenant: str, reason: str) -> None:
+        self.request_id = request_id
+        self.tenant = tenant
+        super().__init__(
+            f"request {request_id} from tenant {tenant!r} not served: "
+            f"{reason}"
+        )
+
+
+# -- retry budget ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryBudget:
+    """Bounded re-dispatch with exponential backoff and seeded jitter.
+
+    ``attempts`` is the number of *re-dispatches* a request may consume
+    after its first execution attempt (0 disables re-dispatch
+    entirely).  The backoff before re-dispatch ``k`` (1-based) is
+    ``backoff * factor**(k-1)`` stretched by a deterministic jitter in
+    ``[1, 1 + jitter)`` drawn from a generator seeded on
+    ``(seed, request_id, k)`` — two runs of the same workload back off
+    identically, which is what lets chaos soaks be replayed.
+    """
+
+    attempts: int = 2
+    backoff: float = 0.05
+    factor: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 0:
+            raise ValueError("retry attempts must be non-negative")
+        if self.backoff < 0 or self.factor < 1.0 or self.jitter < 0:
+            raise ValueError("retry backoff/factor/jitter out of range")
+
+    def delay(self, request_id: int, attempt: int) -> float:
+        """Backoff seconds before re-dispatch ``attempt`` (1-based)."""
+        base = self.backoff * (self.factor ** max(0, attempt - 1))
+        rng = random.Random(
+            (self.seed * 0x9E3779B1) ^ (request_id * 0x85EBCA77) ^ attempt
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Knobs for one :class:`CircuitBreaker` family.
+
+    ``key`` selects the breaker's isolation unit: ``"plan"`` keys on
+    the request's content-addressed plan key (a poisonous *problem*
+    trips it for every tenant), ``"tenant"`` keys on the tenant (a
+    misbehaving client trips it for all its problems).
+    """
+
+    window: int = 16
+    threshold: float = 0.5
+    min_volume: int = 4
+    cooldown: float = 1.0
+    probes: int = 2
+    probe_interval: float = 0.25
+    key: str = "plan"
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.min_volume < 1 or self.probes < 1:
+            raise ValueError("breaker window/min_volume/probes must be >= 1")
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("breaker threshold must be in (0, 1]")
+        if self.cooldown < 0 or self.probe_interval < 0:
+            raise ValueError("breaker cooldown/probe_interval must be >= 0")
+        if self.key not in ("plan", "tenant"):
+            raise ValueError("breaker key must be 'plan' or 'tenant'")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "BreakerPolicy":
+        """Parse ``window=16,threshold=0.5,cooldown=1.0,key=plan``."""
+        return cls(**_parse_spec(spec, {
+            "window": int, "threshold": float, "min_volume": int,
+            "cooldown": float, "probes": int, "probe_interval": float,
+            "key": str,
+        }, what="breaker"))
+
+
+def _parse_spec(spec: str, fields: Mapping, *, what: str) -> dict:
+    out: dict = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, sep, value = token.partition("=")
+        if not sep or name not in fields:
+            known = ", ".join(sorted(fields))
+            raise ValueError(
+                f"bad {what} spec token {token!r} (known: {known})"
+            )
+        try:
+            out[name] = fields[name](value)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad {what} spec value for {name!r}: {exc}"
+            ) from None
+    return out
+
+
+class _BreakerEntry:
+    __slots__ = ("state", "recent", "opened_at", "last_probe",
+                 "successes", "trips")
+
+    def __init__(self) -> None:
+        self.state = "closed"
+        self.recent: list[bool] = []  # True = failure
+        self.opened_at = 0.0
+        self.last_probe: float | None = None
+        self.successes = 0
+        self.trips = 0
+
+
+class CircuitBreaker:
+    """Per-key closed → open → half-open breaker over recent outcomes.
+
+    *Closed*: outcomes stream into a count window; once at least
+    ``min_volume`` outcomes are in the window and the failure fraction
+    reaches ``threshold``, the key **opens**.  *Open*: every
+    :meth:`allow` is refused until ``cooldown`` seconds pass on the
+    injected clock, then the key turns **half-open**.  *Half-open*: one
+    probe request is admitted per ``probe_interval``; ``probes``
+    consecutive successes close the key (window reset), any failure
+    re-opens it.  All transitions are recorded on the optional hub so
+    they land on the trace and in ``breaker_state`` gauges.
+    """
+
+    _STATES = {"closed": 0, "open": 1, "half-open": 2}
+
+    def __init__(self, policy: BreakerPolicy | None = None, *,
+                 clock=None, instr=None) -> None:
+        import time
+
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.clock = clock if clock is not None else time.monotonic
+        self.instr = instr
+        self._lock = threading.Lock()
+        self._keys: dict[str, _BreakerEntry] = {}
+
+    def key_for(self, plan_key: str, tenant: str) -> str:
+        return tenant if self.policy.key == "tenant" else plan_key
+
+    def _transition(self, key: str, entry: _BreakerEntry, state: str) -> None:
+        entry.state = state
+        if state == "open":
+            entry.trips += 1
+            entry.opened_at = self.clock()
+            entry.last_probe = None
+        elif state == "half-open":
+            entry.successes = 0
+        else:  # closed
+            entry.recent.clear()
+        if self.instr is not None:
+            label = key[:16]
+            self.instr.metrics.gauge(
+                "breaker_state", key=label
+            ).set(self._STATES[state])
+            self.instr.event(
+                "breaker-" + state, "service", key=label, trips=entry.trips
+            )
+
+    def allow(self, plan_key: str, tenant: str) -> bool:
+        """May a request for this key be admitted right now?"""
+        key = self.key_for(plan_key, tenant)
+        now = self.clock()
+        with self._lock:
+            entry = self._keys.get(key)
+            if entry is None or entry.state == "closed":
+                return True
+            if entry.state == "open":
+                if now - entry.opened_at < self.policy.cooldown:
+                    return False
+                self._transition(key, entry, "half-open")
+            # half-open: one probe per probe_interval
+            if (
+                entry.last_probe is None
+                or now - entry.last_probe >= self.policy.probe_interval
+            ):
+                entry.last_probe = now
+                return True
+            return False
+
+    def record(self, plan_key: str, tenant: str, ok: bool) -> None:
+        """Feed one terminal outcome into the key's failure window."""
+        key = self.key_for(plan_key, tenant)
+        with self._lock:
+            entry = self._keys.setdefault(key, _BreakerEntry())
+            if entry.state == "half-open":
+                if ok:
+                    entry.successes += 1
+                    if entry.successes >= self.policy.probes:
+                        self._transition(key, entry, "closed")
+                else:
+                    self._transition(key, entry, "open")
+                return
+            entry.recent.append(not ok)
+            if len(entry.recent) > self.policy.window:
+                del entry.recent[: len(entry.recent) - self.policy.window]
+            if (
+                entry.state == "closed"
+                and len(entry.recent) >= self.policy.min_volume
+                and sum(entry.recent) / len(entry.recent)
+                >= self.policy.threshold
+            ):
+                self._transition(key, entry, "open")
+
+    def state(self, plan_key: str, tenant: str = "") -> str:
+        with self._lock:
+            entry = self._keys.get(self.key_for(plan_key, tenant))
+            return entry.state if entry is not None else "closed"
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "key_by": self.policy.key,
+                "keys": {
+                    key: {
+                        "state": e.state,
+                        "trips": e.trips,
+                        "window_failures": sum(e.recent),
+                        "window_observed": len(e.recent),
+                    }
+                    for key, e in sorted(self._keys.items())
+                },
+                "open": sum(
+                    1 for e in self._keys.values() if e.state != "closed"
+                ),
+                "trips": sum(e.trips for e in self._keys.values()),
+            }
+
+
+# -- brownout ----------------------------------------------------------------
+
+#: The declared degradation ladder, one action per level above 0.
+BROWNOUT_LADDER: tuple[str, ...] = (
+    "shed-low-priority",
+    "widen-batching",
+    "disable-tracing",
+    "reject-admission",
+)
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """Knobs for the overload ladder.
+
+    A served outcome is *slow* when its queue wait exceeds
+    ``queue_wait_slo`` seconds; ``objective`` is the fraction of
+    requests allowed to be slow before the error budget burns.  The
+    controller steps **up** one level after ``hold`` consecutive
+    observations with burn rate ≥ ``up``, and **down** one level after
+    ``hold`` consecutive observations with burn ≤ ``down`` — the
+    up/down gap plus the hold count is the hysteresis that keeps the
+    ladder from flapping.
+    """
+
+    queue_wait_slo: float = 0.25
+    objective: float = 0.9
+    window: int = 40
+    up: float = 1.0
+    down: float = 0.25
+    hold: int = 3
+    widen: int = 4
+    shed_priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.queue_wait_slo <= 0:
+            raise ValueError("brownout queue_wait_slo must be positive")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("brownout objective must be in (0, 1)")
+        if self.window < 1 or self.hold < 1 or self.widen < 1:
+            raise ValueError("brownout window/hold/widen must be >= 1")
+        if self.down > self.up:
+            raise ValueError("brownout down threshold must not exceed up")
+        if self.shed_priority < 0:
+            raise ValueError("brownout shed_priority must be >= 0")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "BrownoutPolicy":
+        """Parse ``slo=0.25,objective=0.9,up=1,down=0.25,hold=3``."""
+        fields = _parse_spec(spec, {
+            "slo": float, "objective": float, "window": int, "up": float,
+            "down": float, "hold": int, "widen": int, "shed_priority": int,
+        }, what="brownout")
+        if "slo" in fields:
+            fields["queue_wait_slo"] = fields.pop("slo")
+        return cls(**fields)
+
+
+class BrownoutController:
+    """Queue-wait burn rate → degradation level, with hysteresis.
+
+    Level 0 is normal service; level ``k`` applies the first ``k``
+    actions of :data:`BROWNOUT_LADDER`.  The burn signal is a
+    count-windowed :class:`~repro.obs.ops.BurnRateTracker` over "was
+    this request's queue wait within SLO", so the controller is
+    deterministic under frozen clocks.  ``on_change(old, new)`` fires
+    outside the internal lock whenever the level moves.
+    """
+
+    def __init__(self, policy: BrownoutPolicy | None = None, *,
+                 on_change=None, instr=None) -> None:
+        from repro.obs.ops import BurnRateTracker
+
+        self.policy = policy if policy is not None else BrownoutPolicy()
+        self.on_change = on_change
+        self.instr = instr
+        self.level = 0
+        self.steps = 0
+        self._over = 0
+        self._under = 0
+        self._lock = threading.Lock()
+        self.burn = BurnRateTracker(
+            self.policy.objective, window=self.policy.window
+        )
+
+    @property
+    def max_level(self) -> int:
+        return len(BROWNOUT_LADDER)
+
+    def actions(self) -> tuple[str, ...]:
+        """The ladder actions currently in force."""
+        return BROWNOUT_LADDER[: self.level]
+
+    def admits(self, priority: int) -> bool:
+        """Admission gate: may a request of this priority enter now?"""
+        level = self.level
+        if level >= self.max_level:
+            return False  # reject-admission: shed everything
+        if level >= 1:
+            return priority < self.policy.shed_priority
+        return True
+
+    def observe(self, outcome: ServeOutcome) -> int | None:
+        """Feed one outcome; returns the new level if it changed."""
+        self.burn.record(outcome.queue_wait_s <= self.policy.queue_wait_slo)
+        burn = self.burn.burn_rate
+        changed = None
+        with self._lock:
+            if burn >= self.policy.up:
+                self._over += 1
+                self._under = 0
+                if (
+                    self._over >= self.policy.hold
+                    and self.level < self.max_level
+                ):
+                    self.level += 1
+                    self.steps += 1
+                    self._over = 0
+                    changed = self.level
+            elif burn <= self.policy.down:
+                self._under += 1
+                self._over = 0
+                if self._under >= self.policy.hold and self.level > 0:
+                    self.level -= 1
+                    self.steps += 1
+                    self._under = 0
+                    changed = self.level
+            else:
+                self._over = 0
+                self._under = 0
+        if changed is not None:
+            if self.instr is not None:
+                self.instr.metrics.gauge("brownout_level").set(changed)
+                self.instr.event(
+                    "brownout-step", "service", level=changed,
+                    burn=round(burn, 4), actions=list(BROWNOUT_LADDER[:changed]),
+                )
+            if self.on_change is not None:
+                self.on_change(changed)
+        return changed
+
+    def snapshot(self) -> dict:
+        return {
+            "level": self.level,
+            "actions": list(self.actions()),
+            "steps": self.steps,
+            "burn": self.burn.snapshot(),
+            "ladder": list(BROWNOUT_LADDER),
+        }
+
+
+# -- supervisor --------------------------------------------------------------
+
+
+class Supervisor(threading.Thread):
+    """Monitor thread: replace dead/hung workers, re-dispatch their work.
+
+    The supervisor owns all pool surgery.  Worker threads report their
+    own death through :meth:`notify_death` (the run-loop wrapper calls
+    it on any unhandled exception); crashes that bypass even that —
+    and hung workers, detected by the per-request ``watchdog`` deadline
+    on the injected clock — are caught by the periodic :meth:`scan`.
+    A victim is abandoned (its late results lose the idempotent
+    fulfill race), retired from the pool, and replaced by a fresh
+    worker; its in-flight requests are re-dispatched under the
+    :class:`RetryBudget`, quarantined with
+    :class:`PoisonRequestError` after ``poison_threshold`` worker
+    kills, or failed with :class:`RetryBudgetExhaustedError` when the
+    budget is spent.
+
+    ``server`` is duck-typed (the real :class:`TransposeServer` in
+    production, a light stub in unit tests): the supervisor uses
+    ``scheduler``, ``workers`` / ``retired`` under ``_pool_lock``,
+    ``_spawn_worker()``, ``_record(outcome)`` and ``instr``.
+    """
+
+    def __init__(
+        self,
+        server,
+        *,
+        retry: RetryBudget | None = None,
+        watchdog: float | None = None,
+        poison_threshold: int = 2,
+        interval: float = 0.02,
+        clock=None,
+    ) -> None:
+        super().__init__(name="repro-supervisor", daemon=True)
+        import time
+
+        if poison_threshold < 1:
+            raise ValueError("poison_threshold must be at least 1")
+        self.server = server
+        self.retry = retry if retry is not None else RetryBudget()
+        self.watchdog = watchdog
+        self.poison_threshold = poison_threshold
+        self.interval = interval
+        self.clock = clock if clock is not None else time.monotonic
+        self._halt = threading.Event()
+        self._wake = threading.Event()
+        self._lock = threading.Lock()
+        #: (tenant, request_id) -> workers this request has killed.
+        self.kills: dict[tuple[str, int], int] = {}
+        #: Re-dispatches waiting out their backoff: (due, entry).
+        self._later: list[tuple[float, object]] = []
+        #: JSON-safe supervisor event log (the chaos artifact).
+        self.log: list[dict] = []
+        self.restarts = 0
+        self.redispatches = 0
+        self.quarantined = 0
+        self.exhausted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            self._wake.wait(self.interval)
+            self._wake.clear()
+            if self._halt.is_set():
+                break
+            try:
+                self.scan()
+            except Exception as exc:  # pragma: no cover - last resort
+                self._log("supervisor-error", error=f"{type(exc).__name__}: {exc}")
+
+    def stop(self) -> None:
+        self._halt.set()
+        self._wake.set()
+        if self.is_alive():
+            self.join(timeout=5.0)
+        # Anything still waiting out a backoff will never run: flush it
+        # back to the queue immediately so stop() can account for it.
+        self._flush(force=True)
+
+    def notify_death(self, worker, exc: BaseException) -> None:
+        """Called from the dying worker thread itself; wakes the scan."""
+        self._wake.set()
+
+    # -- detection -----------------------------------------------------------
+
+    def scan(self) -> None:
+        """One detection pass plus due re-dispatches (test-callable)."""
+        now = self.clock()
+        with self.server._pool_lock:
+            workers = list(self.server.workers)
+        queue = self.server.scheduler.queue
+        for worker in workers:
+            if worker.dead:
+                self._handle(worker, "crash", worker.death_error)
+            elif (
+                worker.ident is not None
+                and not worker.is_alive()
+                and not worker.finished
+            ):
+                self._handle(worker, "crash", "thread ended unexpectedly")
+            elif (
+                self.watchdog is not None
+                and worker.executing_since is not None
+                and now - worker.executing_since > self.watchdog
+            ):
+                self._handle(
+                    worker,
+                    "hang",
+                    f"watchdog: request exceeded {self.watchdog:g}s "
+                    f"on worker {worker.wid}",
+                )
+            elif worker.finished and not queue.closed:
+                # Clean-looking exit while the server still serves: the
+                # run loop returned without being told to — treat as a
+                # crash so the pool does not silently shrink.
+                self._handle(worker, "crash", "worker loop exited early")
+        self._flush()
+
+    # -- victim handling -----------------------------------------------------
+
+    def _handle(self, worker, kind: str, error: str | None) -> None:
+        if worker.abandoned:
+            return  # already retired by an earlier pass
+        worker.abandoned = True
+        executing, innocent = worker.take_inflight()
+        with self.server._pool_lock:
+            if worker in self.server.workers:
+                self.server.workers.remove(worker)
+                self.server.retired.append(worker)
+        self.restarts += 1
+        instr = self.server.instr
+        instr.metrics.counter("worker_restarts", kind=kind).inc()
+        victims = [e.request.request_id for e in innocent]
+        if executing is not None:
+            victims.insert(0, executing.request.request_id)
+        self._log(
+            f"worker-{kind}", worker=worker.wid, error=error,
+            inflight=victims,
+        )
+        instr.event(
+            f"worker-{kind}", "service", worker=worker.wid,
+            error=error or "", inflight=len(victims),
+        )
+        replacement = self.server._spawn_worker()
+        if replacement is not None:
+            self._log("worker-replaced", worker=worker.wid,
+                      replacement=replacement.wid)
+        # Batch-mates the victim never started are innocent: requeue
+        # immediately, no budget consumed, no backoff.
+        for entry in innocent:
+            self._requeue(entry, budgeted=False)
+        if executing is not None:
+            self._judge(executing, worker, kind)
+
+    def _judge(self, entry, worker, kind: str) -> None:
+        """Decide a victim request's fate: quarantine, fail, or retry."""
+        request = entry.request
+        key = (request.tenant, request.request_id)
+        with self._lock:
+            self.kills[key] = self.kills.get(key, 0) + 1
+            kills = self.kills[key]
+        instr = self.server.instr
+        if kills >= self.poison_threshold:
+            error = PoisonRequestError(request.request_id, request.tenant,
+                                       kills)
+            self.quarantined += 1
+            instr.metrics.counter(
+                "service_poisoned", tenant=request.tenant
+            ).inc()
+            self._log("poison-quarantine", request_id=request.request_id,
+                      tenant=request.tenant, kills=kills)
+            instr.event("poison-quarantine", "service",
+                        request_id=request.request_id, kills=kills)
+            self._resolve(entry, "poisoned", error)
+        elif entry.attempt >= self.retry.attempts:
+            error = RetryBudgetExhaustedError(
+                request.request_id, request.tenant, entry.attempt + 1
+            )
+            self.exhausted += 1
+            self._log("retries-exhausted", request_id=request.request_id,
+                      tenant=request.tenant, attempts=entry.attempt + 1)
+            self._resolve(entry, "failed", error)
+        else:
+            entry.attempt += 1
+            delay = self.retry.delay(request.request_id, entry.attempt)
+            self.redispatches += 1
+            instr.metrics.counter(
+                "service_retries", tenant=request.tenant
+            ).inc()
+            self._log("redispatch", request_id=request.request_id,
+                      tenant=request.tenant, attempt=entry.attempt,
+                      backoff_s=round(delay, 6), after=kind)
+            instr.event("redispatch", "service",
+                        request_id=request.request_id, attempt=entry.attempt)
+            with self._lock:
+                self._later.append((self.clock() + delay, entry))
+
+    def _requeue(self, entry, *, budgeted: bool) -> None:
+        requeued = self.server.scheduler.requeue(entry)
+        if requeued is None and budgeted:
+            # Pending already resolved elsewhere (late result won) —
+            # nothing to do; exactly-once is preserved by the scheduler.
+            self._log("redispatch-dropped",
+                      request_id=entry.request.request_id)
+
+    def _resolve(self, entry, status: str, error: Exception) -> None:
+        request = entry.request
+        outcome = ServeOutcome(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            status=status,
+            key=entry.key,
+            attempts=entry.attempt + 1,
+            error=f"{type(error).__name__}: {error}",
+        )
+        if self.server.scheduler.resolve(entry, outcome):
+            self.server._record(outcome)
+
+    def _flush(self, *, force: bool = False) -> None:
+        """Requeue re-dispatches whose backoff has elapsed."""
+        now = self.clock()
+        with self._lock:
+            due = [e for at, e in self._later if force or at <= now]
+            self._later = [
+                (at, e) for at, e in self._later if not (force or at <= now)
+            ]
+        for entry in due:
+            self._requeue(entry, budgeted=True)
+
+    # -- reporting -----------------------------------------------------------
+
+    def _log(self, event: str, **attrs) -> None:
+        record = {"event": event, "at": self.clock()}
+        record.update(attrs)
+        self.log.append(record)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            backlog = len(self._later)
+        return {
+            "restarts": self.restarts,
+            "redispatches": self.redispatches,
+            "quarantined": self.quarantined,
+            "exhausted": self.exhausted,
+            "watchdog_s": self.watchdog,
+            "retry_attempts": self.retry.attempts,
+            "poison_threshold": self.poison_threshold,
+            "backoff_backlog": backlog,
+            "events": len(self.log),
+        }

@@ -110,17 +110,30 @@ def resolve_request(request: TransposeRequest) -> ResolvedRequest:
 
 
 class PendingResult:
-    """A slot the submitting thread can wait on for the outcome."""
+    """A slot the submitting thread can wait on for the outcome.
 
-    __slots__ = ("_done", "_outcome")
+    Fulfilment is idempotent, first writer wins: once the supervisor
+    re-dispatches a request, *two* executions can race to resolve the
+    same slot (the retry, and the abandoned original limping home
+    late).  :meth:`fulfill` reports whether this call won, so exactly
+    one side records the outcome and the loser's result is dropped.
+    """
+
+    __slots__ = ("_done", "_lock", "_outcome")
 
     def __init__(self) -> None:
         self._done = threading.Event()
+        self._lock = threading.Lock()
         self._outcome: ServeOutcome | None = None
 
-    def fulfill(self, outcome: ServeOutcome) -> None:
-        self._outcome = outcome
+    def fulfill(self, outcome: ServeOutcome) -> bool:
+        """Resolve the slot; ``False`` when it was already resolved."""
+        with self._lock:
+            if self._outcome is not None:
+                return False
+            self._outcome = outcome
         self._done.set()
+        return True
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -147,7 +160,7 @@ class Scheduler:
         kwargs = {} if clock is None else {"clock": clock}
         self.queue = AdmissionQueue(policy, **kwargs)
         self.max_batch = max_batch
-        self._results: dict[int, PendingResult] = {}
+        self._results: dict[int, tuple[PendingResult, QueueEntry]] = {}
         self._lock = threading.Lock()
 
     def submit(
@@ -163,18 +176,74 @@ class Scheduler:
         )
         pending = PendingResult()
         with self._lock:
-            self._results[entry.seq] = pending
+            self._results[entry.seq] = (pending, entry)
         return pending
 
     def next_batch(self, timeout: float | None = None) -> list[QueueEntry]:
         """Worker-side: the next key-compatible batch (``[]`` on close)."""
         return self.queue.pop_batch(self.max_batch, timeout)
 
-    def fulfill(self, entry: QueueEntry, outcome: ServeOutcome) -> None:
+    def fulfill(self, entry: QueueEntry, outcome: ServeOutcome) -> bool:
+        """Resolve the entry's pending slot; ``False`` when it lost.
+
+        A ``False`` return means some earlier resolution won the slot —
+        the supervisor already failed/re-dispatched the request, or an
+        abandoned attempt beat this one home — and the caller must drop
+        its outcome instead of recording it.
+        """
         with self._lock:
-            pending = self._results.pop(entry.seq, None)
-        if pending is not None:
-            pending.fulfill(outcome)
+            slot = self._results.pop(entry.seq, None)
+        if slot is None:
+            return False
+        return slot[0].fulfill(outcome)
+
+    def requeue(self, entry: QueueEntry) -> QueueEntry | None:
+        """Supervisor-side: put an abandoned entry back for a retry.
+
+        Moves the pending slot to the entry's fresh queue sequence so a
+        late result from the abandoned attempt and the retry race
+        idempotently for the same slot.  Returns ``None`` — and leaves
+        the queue untouched — when the slot is already resolved (the
+        abandoned attempt limped home first), which is not an error.
+        """
+        with self._lock:
+            slot = self._results.pop(entry.seq, None)
+            if slot is None or slot[0].done():
+                return None
+            self.queue.requeue(entry)  # re-keys entry.seq
+            self._results[entry.seq] = slot
+            return entry
+
+    def resolve(self, entry: QueueEntry, outcome: ServeOutcome) -> bool:
+        """Terminally resolve an entry without executing it.
+
+        Supervisor-side: quarantines (poison), budget exhaustion and
+        shutdown aborts land here.  Same first-wins contract as
+        :meth:`fulfill`.
+        """
+        return self.fulfill(entry, outcome)
+
+    def abort_all(self, make_outcome) -> list[ServeOutcome]:
+        """Resolve every outstanding slot with ``make_outcome(entry)``.
+
+        Called on drain timeout / stop so no :class:`PendingResult`
+        blocks forever.  Returns the outcomes that actually won their
+        slots (late results may still beat the abort, which is fine).
+        """
+        with self._lock:
+            slots = list(self._results.values())
+            self._results.clear()
+        aborted: list[ServeOutcome] = []
+        for pending, entry in slots:
+            outcome = make_outcome(entry)
+            if pending.fulfill(outcome):
+                aborted.append(outcome)
+        return aborted
+
+    def outstanding(self) -> int:
+        """Slots not yet resolved (queued, executing, or in backoff)."""
+        with self._lock:
+            return len(self._results)
 
     def close(self) -> None:
         self.queue.close()

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Mapping
 
+from repro.obs.instrumentation import Instrumentation
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.ops import BurnRateTracker, MetricsExporter
 from repro.obs.trace import TraceContext, merged_trace_document
@@ -34,6 +35,15 @@ from repro.service.request import (
     AdmissionRejectedError,
     ServeOutcome,
     TransposeRequest,
+)
+from repro.service.resilience import (
+    BreakerPolicy,
+    BrownoutController,
+    BrownoutPolicy,
+    CircuitBreaker,
+    RetryBudget,
+    ServerStoppedError,
+    Supervisor,
 )
 from repro.service.scheduler import PendingResult, Scheduler, resolve_request
 from repro.service.worker import Worker
@@ -78,10 +88,50 @@ class ServerConfig:
     slo_objective: float = 0.99
     #: Request-count window for the burn-rate tracker.
     slo_window: int = 100
+    #: Re-dispatch attempts per request after a worker death (0 turns
+    #: retries off; the victim request fails on first kill).
+    retries: int = 2
+    #: Base/backoff-jitter/seed for the retry schedule
+    #: (:class:`~repro.service.resilience.RetryBudget`).
+    retry_backoff: float = 0.05
+    retry_jitter: float = 0.5
+    retry_seed: int = 0
+    #: Per-request watchdog: a worker executing one request longer than
+    #: this many wall seconds is declared hung (``None`` disables).
+    watchdog: float | None = None
+    #: Run the supervisor thread.  ``None`` = auto: on when retries or
+    #: the watchdog could ever act (``retries > 0`` or ``watchdog``).
+    supervise: bool | None = None
+    #: Consecutive worker kills before a request is quarantined.
+    poison_threshold: int = 2
+    #: ``BreakerPolicy.from_spec`` string (``None`` = no breaker).
+    breaker: str | None = None
+    #: ``BrownoutPolicy.from_spec`` string (``None`` = no brownout).
+    brownout: str | None = None
+    #: Supervisor scan period in seconds.
+    supervisor_interval: float = 0.02
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("server needs at least one worker")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.watchdog is not None and self.watchdog <= 0:
+            raise ValueError("watchdog must be positive seconds")
+        if self.poison_threshold < 1:
+            raise ValueError("poison_threshold must be at least 1")
+        # Parse the policy specs now so a typo is an input error at
+        # config time, not a traceback when the server is built.
+        if self.breaker is not None:
+            BreakerPolicy.from_spec(self.breaker)
+        if self.brownout is not None:
+            BrownoutPolicy.from_spec(self.brownout)
+
+    @property
+    def supervised(self) -> bool:
+        if self.supervise is not None:
+            return self.supervise
+        return self.retries > 0 or self.watchdog is not None
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "ServerConfig":
@@ -116,6 +166,9 @@ class ServerReport:
     burn: dict | None = None
     #: Flight-recorder dumps from requests that ended badly.
     flight_reports: list = field(default_factory=list)
+    #: Supervisor / breaker / brownout snapshots (None when the server
+    #: ran with every resilience feature off).
+    resilience: dict | None = None
 
     def per_tenant(self) -> dict:
         tenants: dict[str, dict] = {}
@@ -189,6 +242,15 @@ class ServerReport:
                 "execute": self._pcts(execs),
             },
         }
+        # Terminal statuses the resilience layer introduces, zero-
+        # suppressed so pre-existing pinned report shapes stay intact.
+        for status in ("poisoned", "stopped"):
+            count = sum(1 for o in self.outcomes if o.status == status)
+            if count:
+                doc[status] = count
+        retried = sum(1 for o in self.outcomes if o.attempts > 1)
+        if retried:
+            doc["retried"] = retried
         if self.burn is not None:
             doc["burn"] = self.burn
         return doc
@@ -210,6 +272,7 @@ class ServerReport:
             "tenants": self.per_tenant(),
             "cache": self.cache,
             "queue": self.queue,
+            "resilience": self.resilience,
         }
         if self.flight_reports:
             doc["flight_reports"] = list(self.flight_reports)
@@ -238,6 +301,7 @@ class TransposeServer:
             from repro.recovery import RecoveryPolicy
 
             recovery = RecoveryPolicy.from_spec(self.config.recovery)
+        self._recovery = recovery
         self._lock = threading.Lock()
         self._drained = threading.Condition(self._lock)
         self._outstanding = 0
@@ -245,6 +309,7 @@ class TransposeServer:
         self._rejections: dict[str, dict[str, int]] = {}
         self._started_at: float | None = None
         self._wall_seconds = 0.0
+        self._running = False
         # The clock the admission queue timestamps entries with; trace
         # resolve times must be measured on the same one, or backdated
         # wall intervals would mix time bases.
@@ -260,44 +325,147 @@ class TransposeServer:
             if self.config.metrics_port is not None
             else None
         )
-        worker_kwargs = {} if clock is None else {"clock": clock}
-        self.workers = [
-            Worker(
-                wid,
-                self.scheduler,
-                self.cache,
-                recovery=recovery,
-                on_outcome=self._record,
-                trace=self.config.trace,
-                flight_capacity=self.config.flight_capacity,
-                **worker_kwargs,
+        #: Server-level telemetry hub: supervisor/breaker/brownout
+        #: counters and events live here, folded into :meth:`metrics`
+        #: and exposed as a ``supervisor`` trace track.
+        self.instr = Instrumentation()
+        #: Chaos injection hook handed to every worker (including
+        #: supervisor replacements); set before :meth:`start`.
+        self.chaos = None
+        self._worker_clock = clock
+        self._pool_lock = threading.Lock()
+        self._wid = itertools.count(self.config.workers)
+        self._base_max_batch = self.config.max_batch
+        self.retired: list[Worker] = []
+        self.breaker = (
+            CircuitBreaker(
+                BreakerPolicy.from_spec(self.config.breaker),
+                clock=self._clock,
+                instr=self.instr,
             )
-            for wid in range(self.config.workers)
+            if self.config.breaker is not None
+            else None
+        )
+        self.brownout = (
+            BrownoutController(
+                BrownoutPolicy.from_spec(self.config.brownout),
+                on_change=self._apply_brownout,
+                instr=self.instr,
+            )
+            if self.config.brownout is not None
+            else None
+        )
+        self.supervisor = (
+            Supervisor(
+                self,
+                retry=RetryBudget(
+                    attempts=self.config.retries,
+                    backoff=self.config.retry_backoff,
+                    jitter=self.config.retry_jitter,
+                    seed=self.config.retry_seed,
+                ),
+                watchdog=self.config.watchdog,
+                poison_threshold=self.config.poison_threshold,
+                interval=self.config.supervisor_interval,
+                clock=self._clock,
+            )
+            if self.config.supervised
+            else None
+        )
+        self.workers = [
+            self._make_worker(wid) for wid in range(self.config.workers)
         ]
+
+    def _make_worker(self, wid: int) -> Worker:
+        kwargs = (
+            {} if self._worker_clock is None else {"clock": self._worker_clock}
+        )
+        tracing = self.config.trace
+        if self.brownout is not None and self.brownout.level >= 3:
+            tracing = False  # the disable-tracing rung is in force
+        return Worker(
+            wid,
+            self.scheduler,
+            self.cache,
+            recovery=self._recovery,
+            on_outcome=self._record,
+            on_death=(
+                self.supervisor.notify_death
+                if self.supervisor is not None
+                else None
+            ),
+            chaos=self.chaos,
+            trace=tracing,
+            flight_capacity=self.config.flight_capacity,
+            **kwargs,
+        )
+
+    def _spawn_worker(self) -> Worker | None:
+        """Supervisor-side: add a replacement worker to the live pool."""
+        if not self._running or self.scheduler.queue.closed:
+            return None
+        worker = self._make_worker(next(self._wid))
+        with self._pool_lock:
+            self.workers.append(worker)
+        worker.start()
+        return worker
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "TransposeServer":
         self._started_at = perf_counter()
+        self._running = True
         if self.exporter is not None:
             self.exporter.start()
-        for worker in self.workers:
+        with self._pool_lock:
+            pool = list(self.workers)
+        for worker in pool:
             worker.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
         return self
 
     def stop(self, *, wait: bool = True) -> None:
-        """Close admission; optionally wait for queued work to finish."""
+        """Close admission; optionally wait for queued work to finish.
+
+        Whatever happens — drain timeout, dead pool, work still in
+        flight with ``wait=False`` — every outstanding
+        :class:`PendingResult` is resolved with a terminal
+        ``"stopped"`` outcome before this returns, so no client blocks
+        forever on a request the pool will never serve.
+        """
         if wait:
             self.drain()
+        self._running = False
         self.scheduler.close()
-        for worker in self.workers:
-            if worker.is_alive():
-                worker.join()
+        deadline = perf_counter() + 30.0
+        while True:
+            with self._pool_lock:
+                pool = list(self.workers)
+            alive = [
+                w for w in pool if w.is_alive() and not w.abandoned
+            ]
+            if not alive or perf_counter() >= deadline:
+                break
+            for worker in alive:
+                worker.join(timeout=max(0.01, deadline - perf_counter()))
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        # stop(wait=False), drain timeouts, and retries scheduled past
+        # shutdown all leave resolved-less slots behind; abort them.
+        self._abort_outstanding("the server stopped")
         if self.exporter is not None:
             self.exporter.stop()
         if self._started_at is not None:
             self._wall_seconds = perf_counter() - self._started_at
             self._started_at = None
+
+    def set_chaos(self, hook) -> None:
+        """Install a chaos hook on the pool (and future replacements)."""
+        self.chaos = hook
+        with self._pool_lock:
+            for worker in self.workers:
+                worker.chaos = hook
 
     def __enter__(self) -> "TransposeServer":
         return self.start()
@@ -338,6 +506,22 @@ class TransposeServer:
             resolved = resolve_request(request)
         with self._lock:
             try:
+                if self.brownout is not None and not self.brownout.admits(
+                    request.priority
+                ):
+                    raise AdmissionRejectedError(
+                        "brownout",
+                        request.tenant,
+                        f"degradation level {self.brownout.level}",
+                    )
+                if self.breaker is not None and not self.breaker.allow(
+                    resolved.key, request.tenant
+                ):
+                    raise AdmissionRejectedError(
+                        "breaker_open",
+                        request.tenant,
+                        f"circuit open for {self.breaker.key_for(resolved.key, request.tenant)[:16]!r}",
+                    )
                 pending = self.scheduler.submit(resolved, now)
             except AdmissionRejectedError as exc:
                 tenant = self._rejections.setdefault(request.tenant, {})
@@ -348,32 +532,147 @@ class TransposeServer:
 
     def _record(self, outcome: ServeOutcome) -> None:
         self.burn.record_outcome(outcome)
+        if self.breaker is not None and outcome.status != "stopped":
+            # "stopped" says nothing about the work itself; everything
+            # else feeds the key's failure window.
+            self.breaker.record(
+                outcome.key,
+                outcome.tenant,
+                outcome.status not in ("failed", "poisoned"),
+            )
+        if self.brownout is not None:
+            self.brownout.observe(outcome)
         with self._lock:
             self._outcomes.append(outcome)
             self._outstanding -= 1
             if self._outstanding == 0:
                 self._drained.notify_all()
 
-    def drain(self, timeout: float | None = None) -> bool:
-        """Block until every admitted request has an outcome."""
-        with self._lock:
-            return self._drained.wait_for(
-                lambda: self._outstanding == 0, timeout
+    def _apply_brownout(self, level: int) -> None:
+        """Make the ladder's rungs real on the scheduler and pool."""
+        policy = self.brownout.policy
+        self.scheduler.max_batch = self._base_max_batch * (
+            policy.widen if level >= 2 else 1
+        )
+        tracing = self.config.trace and level < 3
+        with self._pool_lock:
+            for worker in self.workers:
+                worker.tracing = tracing
+
+    def _pool_dead(self) -> bool:
+        """No started worker can make progress and nobody will fix it."""
+        if self.supervisor is not None and self.supervisor.is_alive():
+            return False
+        with self._pool_lock:
+            pool = list(self.workers)
+        started = [w for w in pool if w.ident is not None]
+        return bool(started) and all(
+            w.finished or not w.is_alive() for w in started
+        ) and len(started) == len(pool)
+
+    def _abort_outstanding(self, reason: str) -> int:
+        """Resolve every outstanding slot with a ``"stopped"`` outcome."""
+
+        def make(entry) -> ServeOutcome:
+            request = entry.request
+            error = ServerStoppedError(
+                request.request_id, request.tenant, reason
             )
+            return ServeOutcome(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                status="stopped",
+                key=entry.key,
+                attempts=entry.attempt + 1,
+                error=f"{type(error).__name__}: {error}",
+            )
+
+        aborted = self.scheduler.abort_all(make)
+        for outcome in aborted:
+            self._record(outcome)
+        if aborted:
+            self.instr.event(
+                "abort-outstanding", "service",
+                count=len(aborted), reason=reason,
+            )
+        return len(aborted)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request has a terminal outcome.
+
+        On timeout — or when the whole pool is dead with nothing left
+        to revive it (resilience off) — the remaining outstanding
+        requests are resolved with typed ``"stopped"`` outcomes
+        (:class:`~repro.service.resilience.ServerStoppedError`) and
+        ``False`` is returned: a failed drain never leaves a
+        :meth:`PendingResult.result` blocked forever.
+        """
+        deadline = None if timeout is None else perf_counter() + timeout
+        while True:
+            with self._lock:
+                if self._outstanding == 0:
+                    return True
+                remaining = (
+                    None if deadline is None else deadline - perf_counter()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                wait = 0.05 if remaining is None else min(0.05, remaining)
+                self._drained.wait(wait)
+                if self._outstanding == 0:
+                    return True
+            if self._pool_dead():
+                self._abort_outstanding(
+                    "every worker died and supervision is off"
+                )
+                return False
+        self._abort_outstanding(f"drain timed out after {timeout:g}s")
+        return False
 
     # -- reporting -----------------------------------------------------------
 
+    def _all_workers(self) -> list[Worker]:
+        """Live pool plus supervisor-retired workers, in wid order."""
+        with self._pool_lock:
+            return sorted(
+                [*self.workers, *self.retired], key=lambda w: w.wid
+            )
+
     def metrics(self) -> MetricsRegistry:
-        """One registry folding every worker's instruments together."""
+        """One registry folding every worker's instruments together.
+
+        Retired (crashed/hung) workers keep contributing the counters
+        they earned before dying, and the server's own hub contributes
+        the supervisor/breaker/brownout instruments.
+        """
         merged = MetricsRegistry()
-        for worker in self.workers:
+        for worker in self._all_workers():
             merged.merge(worker.instr.metrics)
+        merged.merge(self.instr.metrics)
         return merged
+
+    def resilience_snapshot(self) -> dict | None:
+        """Supervisor/breaker/brownout state (None with everything off)."""
+        if (
+            self.supervisor is None
+            and self.breaker is None
+            and self.brownout is None
+        ):
+            return None
+        doc: dict = {}
+        if self.supervisor is not None:
+            doc["supervisor"] = self.supervisor.snapshot()
+        if self.breaker is not None:
+            doc["breaker"] = self.breaker.snapshot()
+        if self.brownout is not None:
+            doc["brownout"] = self.brownout.snapshot()
+        return doc
 
     def report(self) -> ServerReport:
         wall = self._wall_seconds
         if self._started_at is not None:
             wall = perf_counter() - self._started_at
+        everyone = self._all_workers()
         with self._lock:
             return ServerReport(
                 outcomes=list(self._outcomes),
@@ -382,14 +681,15 @@ class TransposeServer:
                 },
                 cache=self.cache.counters(),
                 queue=self.scheduler.queue.snapshot(),
-                workers=len(self.workers),
+                workers=len(everyone),
                 wall_seconds=wall,
                 burn=self.burn.snapshot(),
                 flight_reports=[
                     dump
-                    for worker in self.workers
+                    for worker in everyone
                     for dump in worker.flight_reports
                 ],
+                resilience=self.resilience_snapshot(),
             )
 
     def trace_document(self) -> dict:
@@ -397,9 +697,14 @@ class TransposeServer:
 
         Meaningful after :meth:`stop` (or at least a :meth:`drain`):
         worker hubs are single-threaded, so their span lists are read
-        here, not on the hot path.  One track per worker on each axis.
+        here, not on the hot path.  One track per worker on each axis
+        (retired workers included), plus a ``supervisor`` track for
+        the server hub's events when it recorded any.
         """
-        return merged_trace_document(
+        tracks = [
             (f"worker-{w.wid}", w.instr.spans, w.instr.events)
-            for w in self.workers
-        )
+            for w in self._all_workers()
+        ]
+        if self.instr.spans or self.instr.events:
+            tracks.append(("supervisor", self.instr.spans, self.instr.events))
+        return merged_trace_document(tracks)

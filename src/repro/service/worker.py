@@ -74,6 +74,8 @@ class Worker(threading.Thread):
         *,
         recovery=None,
         on_outcome=None,
+        on_death=None,
+        chaos=None,
         clock=time.monotonic,
         trace: bool = False,
         flight_capacity: int = 256,
@@ -84,8 +86,29 @@ class Worker(threading.Thread):
         self.cache = cache
         self.recovery = recovery
         self.on_outcome = on_outcome
+        self.on_death = on_death
+        #: Injection hook ``chaos(worker, entry)`` called inside the
+        #: per-request try: a plain ``Exception`` fails the request, a
+        #: :class:`~repro.service.resilience.WorkerCrashed` kills the
+        #: worker, a ``sleep`` hangs it under the watchdog.
+        self.chaos = chaos
         self.clock = clock
         self.tracing = trace
+        # Supervision state.  ``dead``/``death_error`` are set by the
+        # run() wrapper on any unhandled exception; ``finished`` marks a
+        # run loop that returned (cleanly or not); ``abandoned`` is set
+        # by the supervisor when it retires this worker — the loop
+        # checks it between requests so a recovered hang stops serving
+        # work that has been handed to its replacement.
+        self.dead = False
+        self.death_error: str | None = None
+        self.finished = False
+        self.abandoned = False
+        self.last_beat: float | None = None
+        self.executing_since: float | None = None
+        self._executing: QueueEntry | None = None
+        self._assigned: list[QueueEntry] = []
+        self._inflight_lock = threading.Lock()
         self.flight = FlightRecorder(flight_capacity)
         self.flight_reports: deque = deque(maxlen=_MAX_FLIGHT_REPORTS)
         # Untraced, per-phase leaf spans would dominate memory on long
@@ -104,17 +127,93 @@ class Worker(threading.Thread):
     # -- thread loop ---------------------------------------------------------
 
     def run(self) -> None:
-        while True:
+        """Supervised outer loop: any escape marks this worker dead.
+
+        The per-request try inside :meth:`_serve_inner` already turns
+        request-level exceptions into ``"failed"`` outcomes; everything
+        that still reaches here — a crash injected as a
+        ``BaseException``, or a bug *outside* the per-request try such
+        as ``next_batch`` raising — is a worker death, not a request
+        failure.  The worker flags itself and notifies the supervisor
+        instead of silently ending the thread and shrinking the pool.
+        """
+        try:
+            self._run_loop()
+        except BaseException as exc:
+            self.dead = True
+            self.death_error = f"{type(exc).__name__}: {exc}"
+            if self.on_death is not None:
+                try:
+                    self.on_death(self, exc)
+                except Exception:  # pragma: no cover - notify best-effort
+                    pass
+        finally:
+            self.finished = True
+
+    def _run_loop(self) -> None:
+        while not self.abandoned:
+            self.last_beat = self.clock()
             batch = self.scheduler.next_batch(timeout=0.05)
             if not batch:
                 if self.scheduler.queue.closed:
                     return
                 continue
+            with self._inflight_lock:
+                self._assigned = list(batch)
             for entry in batch:
+                if self.abandoned:
+                    # Retired mid-batch (e.g. a hang that came back):
+                    # the rest of the batch now belongs to the
+                    # replacement worker.
+                    return
+                with self._inflight_lock:
+                    self._executing = entry
+                    self.executing_since = self.clock()
                 outcome = self.serve_entry(entry)
-                self.scheduler.fulfill(entry, outcome)
-                if self.on_outcome is not None:
-                    self.on_outcome(outcome)
+                with self._inflight_lock:
+                    self._executing = None
+                    self.executing_since = None
+                    if entry in self._assigned:
+                        self._assigned.remove(entry)
+                self._deliver(entry, outcome)
+            # Cleared only on a batch that completed; a crash escaping
+            # mid-batch must leave the in-flight state for the
+            # supervisor's take_inflight().
+            with self._inflight_lock:
+                self._assigned = []
+
+    def _deliver(self, entry: QueueEntry, outcome: ServeOutcome) -> None:
+        """Idempotent hand-off: only the fulfilment winner records.
+
+        An abandoned attempt limping home after the supervisor already
+        re-dispatched (or terminally resolved) the request loses the
+        race and its outcome is dropped — counted, not recorded, so
+        every request still resolves exactly once.
+        """
+        if self.scheduler.fulfill(entry, outcome):
+            if self.on_outcome is not None:
+                self.on_outcome(outcome)
+        else:
+            self.instr.metrics.counter(
+                "service_late_results", tenant=outcome.tenant
+            ).inc()
+
+    def take_inflight(self) -> tuple[QueueEntry | None, list[QueueEntry]]:
+        """Supervisor-side: harvest and clear this worker's live work.
+
+        Returns ``(executing, innocent)``: the entry that was on the
+        machine when the worker died or hung (``None`` if it was idle),
+        and the batch-mates it had been assigned but never started —
+        they are innocent of the death and are requeued without
+        consuming retry budget.
+        """
+        with self._inflight_lock:
+            executing = self._executing
+            innocent = [e for e in self._assigned if e is not executing]
+            self._executing = None
+            self.executing_since = None
+            self._assigned = []
+        return executing, innocent
 
     # -- one request ---------------------------------------------------------
 
@@ -145,6 +244,7 @@ class Worker(threading.Thread):
         # A request "ended badly" when it failed outright, missed its
         # deadline, or its recovery escalated past in-place resume on
         # the documented ladder (route-around surgery or a re-plan).
+        outcome.attempts = entry.attempt + 1
         if outcome.status in ("failed", "deadline_missed") or (
             outcome.resolved in ("surgery-detour", "ladder")
         ):
@@ -224,6 +324,13 @@ class Worker(threading.Thread):
 
         started = perf_counter()
         try:
+            if self.chaos is not None:
+                # Inside the per-request try on purpose: an injected
+                # plain Exception is a request failure; an injected
+                # WorkerCrashed (a BaseException) escapes this handler
+                # and takes the worker down; a sleep hangs it here
+                # under the supervisor's watchdog.
+                self.chaos(self, entry)
             outcome = self._execute(resolved, queue_wait, traced=traced)
         except Exception as exc:
             execute_s = perf_counter() - started

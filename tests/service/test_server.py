@@ -125,7 +125,7 @@ class TestAggregation:
         doc = server.report().as_dict(with_outcomes=True)
         assert set(doc) == {
             "workers", "wall_seconds", "slo", "tenants", "cache",
-            "queue", "outcomes",
+            "queue", "outcomes", "resilience",
         }
         assert doc["slo"]["served"] == 1
         assert doc["tenants"]["t0"]["admitted"] == 1
