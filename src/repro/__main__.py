@@ -18,9 +18,16 @@ Commands
 ``loadgen``   drive a server with seeded synthetic traffic and verify
               a sample of outcomes bit-identically against solo runs.
 
-``advise``, ``run``, ``machines``, ``replay``, ``batch``, ``chaos``,
-``serve`` and ``loadgen`` accept ``--json`` for machine-readable
-output.  Every ``--json`` document shares one envelope::
+``run`` and ``plan`` also accept ``--workload SPEC`` to execute or
+compile a composite permutation pipeline (``repro.workloads`` grammar,
+e.g. ``pipeline:bitrev+transpose@13x11`` or ``fft@64x64``) instead of a
+plain transpose, and ``loadgen --workload`` mixes pipeline requests
+into the synthetic stream.
+
+``advise``, ``run``, ``machines``, ``plan``, ``replay``, ``batch``,
+``chaos``, ``serve`` and ``loadgen`` accept ``--json`` for
+machine-readable output.  Every ``--json`` document shares one
+envelope::
 
     {"schema_version": 1, "command": "<name>", "result": {...}}
 
@@ -130,6 +137,132 @@ def _topology(args):
     return topo
 
 
+def _build_cli_pipeline(args, topo):
+    """Materialize ``--workload`` against the CLI problem; None = bad input."""
+    from repro.workloads import build_pipeline
+
+    if topo.name != "cube":
+        print(
+            "workload pipelines require the cube topology "
+            f"(requested {topo.spec!r})",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        return build_pipeline(
+            args.workload, args.n, layout=args.layout,
+            elements=args.elements,
+        )
+    except ValueError as exc:
+        print(f"bad --workload spec: {exc}", file=sys.stderr)
+        return None
+
+
+def _run_workload(args, topo) -> int:
+    """``repro run --workload``: execute a pipeline on real data."""
+    from repro import CubeNetwork
+    from repro.machine.faults import FaultError, FaultPlan, RoutingStalledError
+
+    pipeline = _build_cli_pipeline(args, topo)
+    if pipeline is None:
+        return 2
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultPlan.from_spec(args.n, args.faults)
+        except ValueError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+
+    trace_sink = instr = None
+    if args.trace:
+        from repro.obs import ChromeTraceSink, Instrumentation
+
+        trace_sink = ChromeTraceSink()
+        instr = Instrumentation(trace_sink)
+
+    served = None
+    if faults is not None:
+        # Pipelines have no degradation ladder; faulted runs go through
+        # the checkpointed recovery executor, exactly like the server.
+        from repro.plans.cache import PlanCache
+        from repro.recovery import RecoveryFailedError
+        from repro.workloads import serve_workload
+
+        try:
+            served = serve_workload(
+                pipeline,
+                _machine(args),
+                faults=faults,
+                cache=PlanCache(),
+                observer=instr,
+            )
+        except (FaultError, RoutingStalledError, RecoveryFailedError) as exc:
+            print(f"workload failed under faults: {exc}", file=sys.stderr)
+            return 1
+        stats = served.stats
+        ok = bool(served.verified)
+    else:
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((pipeline.shape.rows, pipeline.shape.cols))
+        net = CubeNetwork(_machine(args))
+        if instr is not None:
+            instr.attach(net)
+        result = pipeline.execute(net, A)
+        stats = net.stats
+        ok = bool(np.array_equal(result, pipeline.reference(A)))
+
+    if trace_sink is not None:
+        trace_sink.write(args.trace)
+        print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
+    shape = pipeline.shape
+    if args.json:
+        doc = {
+            "workload": pipeline.spec,
+            "rows": shape.rows,
+            "cols": shape.cols,
+            "padded_rows": shape.padded_rows,
+            "padded_cols": shape.padded_cols,
+            "stages": [s.describe() for s in pipeline.stages],
+            "machine": _machine(args).name,
+            "port_model": _machine(args).port_model.value,
+            "topology": topo.spec,
+            "algorithm": pipeline.algorithm,
+            "faults": None if faults is None else faults.describe(),
+            "verified": ok,
+            "stats": stats.as_dict(),
+        }
+        if served is not None:
+            doc["resolved"] = served.resolved
+            doc["recovery"] = (
+                None if served.recovery is None else served.recovery.as_dict()
+            )
+        emit_json("run", doc)
+        return 0 if ok else 1
+    params = _machine(args)
+    print(
+        f"workload:   {pipeline.spec} "
+        f"({shape.rows} x {shape.cols}, padded to "
+        f"{shape.padded_rows} x {shape.padded_cols})"
+    )
+    print(f"machine:    {params.name} ({params.port_model.value})")
+    print(f"algorithm:  {pipeline.algorithm}")
+    if faults is not None:
+        print(f"faults:     {faults.describe()}")
+    if served is not None:
+        rec = served.recovery
+        print(f"resolved:   {served.resolved}")
+        if rec is not None:
+            print(
+                f"recovery:   {rec.checkpoints_taken} checkpoint(s), "
+                f"{rec.rollbacks} rollback(s), "
+                f"{rec.replayed_phases} replayed phase(s)"
+            )
+    print(f"verified:   {ok}")
+    print(f"model time: {stats.summary()}")
+    return 0 if ok else 1
+
+
 def cmd_run(args) -> int:
     from repro import CubeNetwork, DistributedMatrix, transpose
     from repro.machine.faults import FaultError, FaultPlan, RoutingStalledError
@@ -137,6 +270,8 @@ def cmd_run(args) -> int:
     topo = _topology(args)
     if topo is None:
         return 2
+    if args.workload:
+        return _run_workload(args, topo)
     on_cube = topo.name == "cube"
     resolved = _resolve_problem(args)
     if resolved is None:
@@ -284,20 +419,29 @@ def cmd_plan(args) -> int:
     topo = _topology(args)
     if topo is None:
         return 2
-    resolved = _resolve_problem(args)
-    if resolved is None:
-        return 2
-    before, after = resolved
     params = _machine(args)
-    _, plan = capture_transpose(
-        params,
-        synthetic_matrix(before),
-        after,
-        algorithm=args.algorithm,
-        topology=topo,
-    )
+    if args.workload:
+        pipeline = _build_cli_pipeline(args, topo)
+        if pipeline is None:
+            return 2
+        plan, _ = pipeline.compile(params)
+        key = pipeline.key(params)
+    else:
+        resolved = _resolve_problem(args)
+        if resolved is None:
+            return 2
+        before, after = resolved
+        _, plan = capture_transpose(
+            params,
+            synthetic_matrix(before),
+            after,
+            algorithm=args.algorithm,
+            topology=topo,
+        )
+        key = plan_key(
+            params, before, after, plan.algorithm, topology=topo.spec
+        )
     if args.cache_dir:
-        key = plan_key(params, before, after, plan.algorithm, topology=topo.spec)
         PlanCache(path=args.cache_dir).put(key, plan)
         print(f"cached {plan.describe()}", file=sys.stderr)
         print(key)
@@ -309,6 +453,10 @@ def cmd_plan(args) -> int:
             f"(fingerprint {plan.fingerprint[:16]})",
             file=sys.stderr,
         )
+    elif args.json:
+        doc = json.loads(plan.dumps())
+        doc["key"] = key
+        emit_json("plan", doc)
     else:
         print(plan.dumps(indent=2))
     return 0
@@ -763,6 +911,8 @@ def cmd_loadgen(args) -> int:
             deadline=args.deadline,
             verify_sample=args.verify_sample,
             request_timeout=args.request_timeout,
+            workload=args.workload,
+            workload_every=args.workload_every if args.workload else 0,
         )
     except ValueError as exc:
         print(f"bad loadgen spec: {exc}", file=sys.stderr)
@@ -976,10 +1126,24 @@ def build_parser() -> argparse.ArgumentParser:
     json_flag(pa)
     pa.set_defaults(fn=cmd_advise)
 
+    def workload_flag(p):
+        p.add_argument(
+            "--workload",
+            default=None,
+            metavar="SPEC",
+            help="composite permutation pipeline instead of a plain "
+            "transpose: [pipeline:]stage(+stage)*[@RxC] with stages "
+            "transpose, bitrev, gray, binary, dimperm:<perm>, or the "
+            "fft preset (e.g. pipeline:bitrev+transpose@13x11, "
+            "fft@64x64); --elements supplies a square default shape "
+            "and --algorithm is ignored",
+        )
+
     pr = sub.add_parser("run", help="run one simulated transpose")
     common(pr)
     problem(pr)
     topology_flag(pr)
+    workload_flag(pr)
     json_flag(pr)
     pr.add_argument(
         "--faults",
@@ -1027,6 +1191,8 @@ def build_parser() -> argparse.ArgumentParser:
     common(pp)
     problem(pp)
     topology_flag(pp)
+    workload_flag(pp)
+    json_flag(pp)
     pp.add_argument("--out", default=None, metavar="FILE", help="write plan JSON here")
     pp.add_argument(
         "--cache-dir",
@@ -1491,6 +1657,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="closed-loop client patience per request; expiries are "
         "counted separately in the report (default 120)",
+    )
+    pg.add_argument(
+        "--workload",
+        default=None,
+        metavar="SPEC",
+        help="mix composite-pipeline requests into the stream "
+        "(repro.workloads grammar, e.g. fft@64x64)",
+    )
+    pg.add_argument(
+        "--workload-every",
+        dest="workload_every",
+        type=int,
+        default=4,
+        metavar="K",
+        help="every k-th request becomes a --workload pipeline "
+        "request (default 4; only meaningful with --workload)",
     )
     pg.add_argument(
         "--out",

@@ -8,6 +8,12 @@ the real-processor / virtual-processor address-field algebra (the sets
 requires).
 """
 
+from repro.layout.embed import (
+    EmbeddedShape,
+    embed,
+    extract,
+    padding_overhead,
+)
 from repro.layout.fields import Layout, ProcField
 from repro.layout.partition import (
     column_cyclic,
@@ -29,9 +35,13 @@ from repro.layout.classify import (
 __all__ = [
     "CommClass",
     "DistributedMatrix",
+    "EmbeddedShape",
     "Layout",
     "ProcField",
     "classify_transpose",
+    "embed",
+    "extract",
+    "padding_overhead",
     "column_consecutive",
     "column_cyclic",
     "combined_contiguous",

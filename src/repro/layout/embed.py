@@ -1,0 +1,129 @@
+"""Padded embedding of arbitrary-shape matrices into the cube's domain.
+
+Every layout in :mod:`repro.layout` describes a ``2^p x 2^q`` matrix —
+the address algebra of §2 needs power-of-two extents.  Arbitrary shapes
+become legal by *embedding*: pad each axis up to the next power of two
+(Greenwood's isomorphic grid-in-cube embedding argument), run any plan
+on the padded domain, and slice the true extent back out afterwards.
+The pad cells travel with the real data, so a compiled plan never needs
+to know the true shape — two different shapes that pad to the same
+``(p, q)`` share plans (and cache entries) by construction.
+
+:class:`EmbeddedShape` is the bookkeeping record; :func:`embed` /
+:func:`extract` are the round-trip.  :func:`padding_overhead` quantifies
+the cost of the embedding, mirroring the virtual-processor overhead of
+:mod:`repro.layout.virtual`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.fields import Layout
+from repro.layout.matrix import DistributedMatrix
+
+__all__ = ["EmbeddedShape", "embed", "extract", "padding_overhead"]
+
+
+@dataclass(frozen=True)
+class EmbeddedShape:
+    """A true ``rows x cols`` extent inside a padded ``2^p x 2^q`` domain."""
+
+    rows: int
+    cols: int
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(
+                f"matrix extents must be positive, got {self.rows}x{self.cols}"
+            )
+        if self.rows > (1 << self.p) or self.cols > (1 << self.q):
+            raise ValueError(
+                f"{self.rows}x{self.cols} does not fit the padded "
+                f"2^{self.p} x 2^{self.q} domain"
+            )
+
+    @classmethod
+    def for_shape(
+        cls, rows: int, cols: int, *, min_p: int = 0, min_q: int = 0
+    ) -> "EmbeddedShape":
+        """The tightest power-of-two domain holding ``rows x cols``.
+
+        ``min_p`` / ``min_q`` raise the floor — layouts need at least as
+        many address bits per axis as they place processor dimensions
+        on, so callers pass the partitioning's requirements here.
+        """
+        if rows < 1 or cols < 1:
+            raise ValueError(
+                f"matrix extents must be positive, got {rows}x{cols}"
+            )
+        p = max((rows - 1).bit_length(), min_p)
+        q = max((cols - 1).bit_length(), min_q)
+        return cls(rows, cols, p, q)
+
+    @property
+    def padded_rows(self) -> int:
+        return 1 << self.p
+
+    @property
+    def padded_cols(self) -> int:
+        return 1 << self.q
+
+    @property
+    def exact(self) -> bool:
+        """True when no padding is needed (power-of-two extents)."""
+        return self.rows == self.padded_rows and self.cols == self.padded_cols
+
+    def transposed(self) -> "EmbeddedShape":
+        return EmbeddedShape(self.cols, self.rows, self.q, self.p)
+
+    def as_dict(self) -> dict:
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "p": self.p,
+            "q": self.q,
+        }
+
+
+def embed(
+    a: np.ndarray, shape: EmbeddedShape, layout: Layout, *, fill=0.0
+) -> DistributedMatrix:
+    """Scatter an arbitrary-shape matrix into the padded distributed domain."""
+    a = np.asarray(a)
+    if a.shape != (shape.rows, shape.cols):
+        raise ValueError(
+            f"matrix is {a.shape} but the embedding expects "
+            f"{shape.rows}x{shape.cols}"
+        )
+    if (layout.p, layout.q) != (shape.p, shape.q):
+        raise ValueError(
+            f"layout describes a 2^{layout.p} x 2^{layout.q} domain but the "
+            f"embedding pads to 2^{shape.p} x 2^{shape.q}"
+        )
+    padded = np.full(
+        (shape.padded_rows, shape.padded_cols), fill, dtype=a.dtype
+    )
+    padded[: shape.rows, : shape.cols] = a
+    return DistributedMatrix.from_global(padded, layout)
+
+
+def extract(dm: DistributedMatrix, shape: EmbeddedShape) -> np.ndarray:
+    """Gather the true extent back out of the padded domain."""
+    if (dm.layout.p, dm.layout.q) != (shape.p, shape.q):
+        raise ValueError(
+            f"matrix lives in a 2^{dm.layout.p} x 2^{dm.layout.q} domain but "
+            f"the embedding is 2^{shape.p} x 2^{shape.q}"
+        )
+    return dm.to_global()[: shape.rows, : shape.cols].copy()
+
+
+def padding_overhead(shape: EmbeddedShape) -> float:
+    """Fraction of padded elements that are fill, in ``[0, 1)``."""
+    true = shape.rows * shape.cols
+    padded = shape.padded_rows * shape.padded_cols
+    return (padded - true) / padded

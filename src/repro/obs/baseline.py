@@ -77,9 +77,15 @@ class BaselineScenario:
     #: Interconnect spec (``repro.topology.parse_topology`` syntax);
     #: non-cube scenarios pin the routed-universal path per topology.
     topology: str = "cube"
+    #: Composite-pipeline spec (``repro.workloads`` grammar).  When set
+    #: the scenario is served through
+    #: :func:`repro.workloads.serve_workload` (cached compile + replay,
+    #: recovery-based when ``faults``/``recovery`` are given) and
+    #: ``elements``/``algorithm`` are descriptive only.
+    workload: str | None = None
 
     def describe(self) -> dict:
-        return {
+        doc = {
             "id": self.id,
             "machine": self.machine,
             "n": self.n,
@@ -93,6 +99,11 @@ class BaselineScenario:
             "service": self.service,
             "topology": self.topology,
         }
+        if self.workload is not None:
+            # Omitted when unset so the pre-workload baseline files
+            # re-record byte-identically.
+            doc["workload"] = self.workload
+        return doc
 
 
 #: The pinned suite: one point per paper regime plus the fault-ladder
@@ -152,6 +163,15 @@ DEFAULT_SUITE: tuple[BaselineScenario, ...] = (
     BaselineScenario("dragonfly_k2m4", "cm", 4, 1 << 8,
                      topology="dragonfly:2,4",
                      faults="links=0-1,seed=9"),
+    # Composite-pipeline pair: the served FFT data-movement plan (fused
+    # dimperm+bitrev+transpose) and a faulted rectangular pipeline
+    # recovering through plan surgery — pinning the workloads subsystem
+    # end to end.
+    BaselineScenario("fft_pipeline_n6", "cm", 6, 1 << 12,
+                     workload="fft@64x64"),
+    BaselineScenario("rect_13x11", "cm", 4, 13 * 11,
+                     workload="pipeline:bitrev+transpose@13x11",
+                     faults="links=0-1,seed=3", recovery="every=2"),
 )
 
 
@@ -202,6 +222,43 @@ def run_scenario(
             LoadSpec.from_dict(doc.get("spec", {})),
             ServerConfig.from_dict(doc.get("config", {})),
         )
+
+    if scenario.workload is not None:
+        # Composite-pipeline scenario: cached compile + one serve, the
+        # same path the server's workers take.
+        from repro.workloads import build_pipeline, serve_workload
+
+        params = _params_for(scenario, perturb)
+        pipeline = build_pipeline(
+            scenario.workload, scenario.n, layout=scenario.layout
+        )
+        faults = (
+            FaultPlan.from_spec(scenario.n, scenario.faults)
+            if scenario.faults
+            else None
+        )
+        recovery = None
+        if scenario.recovery is not None:
+            from repro.recovery import RecoveryPolicy
+
+            recovery = RecoveryPolicy.from_spec(scenario.recovery)
+        served = serve_workload(
+            pipeline,
+            params,
+            faults=faults,
+            cache=PlanCache(),
+            observer=observer,
+            recovery=recovery,
+        )
+        counters = {
+            k: v
+            for k, v in served.stats.as_dict().items()
+            if k not in _NON_SCALAR
+        }
+        counters["algorithm_tier"] = served.algorithm
+        if served.recovery is not None:
+            counters["resolved"] = served.resolved
+        return counters
 
     from repro.topology import parse_topology
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.layout.matrix import DistributedMatrix
 from repro.machine.engine import CubeNetwork
+from repro.obs.instrumentation import instrumentation_of
 from repro.transpose.exchange import BufferPolicy, ExchangeExecutor
 
 __all__ = ["bit_reversal_pairs", "bit_reversal_permute"]
@@ -29,14 +30,24 @@ def bit_reversal_permute(
     dm: DistributedMatrix,
     *,
     policy: BufferPolicy | None = None,
+    observer=None,
 ) -> DistributedMatrix:
     """Permute distributed data so element ``w`` lands at address
     ``reverse(w)`` under the same layout.
 
     The layout is unchanged; gathering the result gives
     ``out.flat[reverse(w)] == in.flat[w]`` over the full ``m``-bit
-    address space.
+    address space.  ``observer`` (an
+    :class:`~repro.obs.instrumentation.Instrumentation` hub) is
+    installed on the network so the run's ``bit-reversal`` span and its
+    per-step exchange leaves land in traces and heatmaps exactly like
+    transpose phases.
     """
-    executor = ExchangeExecutor(network, dm, policy=policy)
-    executor.run(bit_reversal_pairs(dm.layout.m))
-    return executor.finish(dm.layout)
+    if observer is not None:
+        observer.attach(network)
+    with instrumentation_of(network).span(
+        "bit-reversal", category="algorithm", m=dm.layout.m
+    ):
+        executor = ExchangeExecutor(network, dm, policy=policy)
+        executor.run(bit_reversal_pairs(dm.layout.m))
+        return executor.finish(dm.layout)

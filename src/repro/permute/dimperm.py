@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.machine.engine import CubeNetwork
 from repro.machine.message import Block, Message
+from repro.obs.instrumentation import instrumentation_of
 
 __all__ = ["decompose_parallel_swappings", "apply_dimension_permutation"]
 
@@ -76,6 +77,8 @@ def apply_dimension_permutation(
     network: CubeNetwork,
     local_data: np.ndarray,
     delta: Sequence[int],
+    *,
+    observer=None,
 ) -> np.ndarray:
     """Physically permute per-node blocks by a dimension permutation.
 
@@ -101,38 +104,56 @@ def apply_dimension_permutation(
             y |= ((x >> delta[i]) & 1) << i
         return y
 
+    if observer is not None:
+        observer.attach(network)
+    instr = instrumentation_of(network)
     cur = np.arange(N, dtype=np.int64)
-    for x in range(N):
-        network.place(x, Block(("dp", x), data=local_data[x]))
     rounds = decompose_parallel_swappings(delta)
-    # Round-local targets: apply this round's transpositions to current
-    # positions; route both dimensions of each transposition in order.
-    for swaps in rounds:
-        target = cur.copy()
-        for a, b in swaps:
-            for x in range(N):
-                t = int(target[x])
-                ba, bb = (t >> a) & 1, (t >> b) & 1
-                if ba != bb:
-                    target[x] = t ^ (1 << a) ^ (1 << b)
-        dims = [d for pair in swaps for d in pair]
-        for d in dims:
-            messages = []
-            movers = []
-            for x in range(N):
-                here = int(cur[x])
-                if ((here >> d) & 1) != ((int(target[x]) >> d) & 1):
-                    dst = here ^ (1 << d)
-                    messages.append(Message(here, dst, (("dp", x),)))
-                    movers.append((x, dst))
-            network.execute_phase(messages, exclusive=True)
-            for x, dst in movers:
-                cur[x] = dst
+    with instr.span(
+        "dimension-permutation",
+        category="algorithm",
+        n=n,
+        rounds=len(rounds),
+    ):
+        for x in range(N):
+            network.place(x, Block(("dp", x), data=local_data[x]))
+        # Round-local targets: apply this round's transpositions to
+        # current positions; route both dimensions of each transposition
+        # in order.
+        for rnd, swaps in enumerate(rounds):
+            target = cur.copy()
+            for a, b in swaps:
+                for x in range(N):
+                    t = int(target[x])
+                    ba, bb = (t >> a) & 1, (t >> b) & 1
+                    if ba != bb:
+                        target[x] = t ^ (1 << a) ^ (1 << b)
+            dims = [d for pair in swaps for d in pair]
+            with instr.span(
+                "parallel-swapping",
+                category="permute",
+                round=rnd,
+                swaps=len(swaps),
+            ):
+                for d in dims:
+                    messages = []
+                    movers = []
+                    for x in range(N):
+                        here = int(cur[x])
+                        if ((here >> d) & 1) != ((int(target[x]) >> d) & 1):
+                            dst = here ^ (1 << d)
+                            messages.append(Message(here, dst, (("dp", x),)))
+                            movers.append((x, dst))
+                    network.execute_phase(messages, exclusive=True)
+                    for x, dst in movers:
+                        cur[x] = dst
 
-    out = np.empty_like(local_data)
-    for x in range(N):
-        final = int(cur[x])
-        out[final] = network.memory(final).pop(("dp", x)).data
-        if final != rho(x):
-            raise AssertionError("parallel swapping did not realize delta")
+        out = np.empty_like(local_data)
+        for x in range(N):
+            final = int(cur[x])
+            out[final] = network.memory(final).pop(("dp", x)).data
+            if final != rho(x):
+                raise AssertionError(
+                    "parallel swapping did not realize delta"
+                )
     return out

@@ -34,6 +34,7 @@ from repro.plans.ir import (
 )
 from repro.plans.recorder import (
     RecordingNetwork,
+    capture_permutation,
     capture_transpose,
     synthetic_matrix,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "SymbolicError",
     "SymbolicState",
     "canonical_key",
+    "capture_permutation",
     "capture_transpose",
     "holdings_to_symbolic",
     "plan_key",

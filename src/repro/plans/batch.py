@@ -68,7 +68,9 @@ def resolve_problem(
 class BatchRequest:
     """One transpose request in CLI vocabulary."""
 
-    elements: int
+    #: Element count (power of two).  Optional for ``workload`` requests
+    #: whose spec carries an explicit ``@RxC`` shape.
+    elements: int = 0
     n: int = 6
     layout: str = "2d"
     machine: str = "ipsc"
@@ -82,6 +84,12 @@ class BatchRequest:
     #: Interconnect spec (``repro.topology.parse_topology`` syntax); the
     #: topology's node count must equal ``2**n``.
     topology: str = "cube"
+    #: Composite pipeline spec (``repro.workloads.parse_workload``
+    #: grammar, e.g. ``pipeline:bitrev+transpose@13x11`` or
+    #: ``fft@64x64``).  When set, the request is served as a compiled
+    #: workload pipeline; ``elements`` supplies a square default shape
+    #: for specs without an ``@RxC`` suffix and ``algorithm`` is ignored.
+    workload: str | None = None
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "BatchRequest":
@@ -217,6 +225,45 @@ class BatchReport:
         }
 
 
+def _serve_workload_request(
+    index: int,
+    req: BatchRequest,
+    params: MachineParams,
+    cache: PlanCache,
+    recovery,
+    started: float,
+) -> BatchOutcome:
+    """Serve one composite-pipeline request against the shared cache."""
+    from repro.machine.faults import FaultPlan
+    from repro.workloads import build_pipeline, serve_workload
+
+    pipeline = build_pipeline(
+        req.workload, req.n, layout=req.layout, elements=req.elements
+    )
+    faults = (
+        FaultPlan.from_spec(req.n, req.faults) if req.faults else None
+    )
+    served = serve_workload(
+        pipeline,
+        params,
+        faults=faults,
+        cache=cache,
+        recovery=recovery,
+    )
+    rec = served.recovery
+    return BatchOutcome(
+        index=index,
+        elements=pipeline.shape.rows * pipeline.shape.cols,
+        algorithm=served.algorithm,
+        cache_hit=served.cache_hit,
+        modelled_time=served.stats.time,
+        wall_seconds=perf_counter() - started,
+        key=pipeline.key(params),
+        resolved=served.resolved,
+        recovery=None if rec is None else rec.as_dict(),
+    )
+
+
 def run_batch(
     requests: Iterable[BatchRequest],
     *,
@@ -253,6 +300,17 @@ def run_batch(
                 f"request needs 2^{req.n} = {1 << req.n}"
             )
         on_cube = topo.name == "cube"
+        if req.workload:
+            if not on_cube:
+                raise ValueError(
+                    "workload pipelines require the cube topology"
+                )
+            report.outcomes.append(
+                _serve_workload_request(
+                    index, req, params, cache, recovery, started
+                )
+            )
+            continue
         before, after = resolve_problem(req.n, req.elements, req.layout)
         target = after if after is not None else default_after_layout(before)
         name = req.algorithm

@@ -49,6 +49,7 @@ from repro.plans.ir import (
 
 __all__ = [
     "RecordingNetwork",
+    "capture_permutation",
     "capture_transpose",
     "synthetic_matrix",
 ]
@@ -309,6 +310,92 @@ def capture_transpose(
         after=target,
         requested=algorithm,
         comm_class=result.comm_class.value,
+        dtype=str(dm.local_data.dtype),
+    )
+    return result, plan
+
+
+def capture_permutation(
+    params: MachineParams,
+    permutation,
+    *,
+    kind: str = "address",
+    dm: DistributedMatrix | None = None,
+    before: Layout | None = None,
+    policy=None,
+    observer=None,
+    topology=None,
+):
+    """Run one :mod:`repro.permute` algorithm and capture its plan.
+
+    The permute counterpart of :func:`capture_transpose` — the
+    algorithms run **unmodified** on a :class:`RecordingNetwork`, so the
+    captured :class:`~repro.plans.ir.CompiledPlan` replays, caches,
+    recovers and serves exactly like a transpose plan.  ``kind`` selects
+    the algorithm family:
+
+    * ``"address"`` — a bit permutation of the element address space,
+      executed by the exchange machinery.  ``permutation`` is either the
+      string ``"reverse"`` (:func:`~repro.permute.bit_reversal.bit_reversal_permute`)
+      or a position-permutation mapping for
+      :func:`~repro.transpose.exchange.plan_exchange_sequence`;
+    * ``"dims"`` — a cube dimension permutation ``delta`` applied by
+      parallel swappings
+      (:func:`~repro.permute.dimperm.apply_dimension_permutation`);
+    * ``"nodes"`` — an arbitrary node permutation ``pi`` via two
+      all-to-all rounds
+      (:func:`~repro.permute.general.arbitrary_node_permutation`).
+
+    Data comes from ``dm`` or, when omitted, a synthetic matrix on
+    ``before``.  Returns ``(result, plan)`` where ``result`` is whatever
+    the algorithm returns (a :class:`DistributedMatrix` for
+    ``"address"``, the permuted per-node array otherwise).
+    """
+    from repro.permute.bit_reversal import bit_reversal_permute
+    from repro.permute.dimperm import apply_dimension_permutation
+    from repro.permute.general import arbitrary_node_permutation
+    from repro.transpose.exchange import (
+        ExchangeExecutor,
+        plan_exchange_sequence,
+    )
+
+    if dm is None:
+        if before is None:
+            raise ValueError("capture_permutation needs dm= or before=")
+        dm = synthetic_matrix(before)
+    layout = dm.layout
+    network = RecordingNetwork(params, topology=topology)
+    if observer is not None:
+        network.observer = observer
+    if kind == "address":
+        if permutation == "reverse":
+            result = bit_reversal_permute(network, dm, policy=policy)
+            algorithm = "permute-reverse"
+        else:
+            executor = ExchangeExecutor(network, dm, policy=policy)
+            executor.run(plan_exchange_sequence(permutation, layout))
+            result = executor.finish(layout)
+            algorithm = "permute-address"
+    elif kind == "dims":
+        result = apply_dimension_permutation(
+            network, dm.local_data, permutation
+        )
+        algorithm = "permute-dims"
+    elif kind == "nodes":
+        result = arbitrary_node_permutation(
+            network, dm.local_data, permutation
+        )
+        algorithm = "permute-nodes"
+    else:
+        raise ValueError(
+            f"unknown permutation kind {kind!r} "
+            "(expected address, dims or nodes)"
+        )
+    plan = network.compile(
+        algorithm=algorithm,
+        before=layout,
+        after=layout,
+        comm_class="permute",
         dtype=str(dm.local_data.dtype),
     )
     return result, plan

@@ -79,6 +79,13 @@ class LoadSpec:
     priority_levels: int = 2
     #: Served fault-free requests re-run solo for bit-identity.
     verify_sample: int = 8
+    #: Composite-pipeline spec (``repro.workloads`` grammar) mixed into
+    #: the stream; ``None`` keeps the workload pure-transpose (the
+    #: pinned service baselines rely on that default).
+    workload: str | None = None
+    #: Every k-th request becomes a ``workload`` pipeline request
+    #: (``0`` = never; must be positive when ``workload`` is set).
+    workload_every: int = 0
     #: Closed-loop client patience: how long a client waits for each
     #: outcome before giving up on it (``repro loadgen
     #: --request-timeout``).  Expiries are counted separately in the
@@ -96,6 +103,17 @@ class LoadSpec:
             raise ValueError("open-loop rate must be positive")
         if self.request_timeout <= 0:
             raise ValueError("request_timeout must be positive seconds")
+        if self.workload_every < 0:
+            raise ValueError("workload_every must be non-negative")
+        if self.workload is not None and self.workload_every < 1:
+            raise ValueError(
+                "workload_every must be positive when a workload is set"
+            )
+        if self.workload is not None:
+            # Surface spec typos at construction, not mid-soak.
+            from repro.workloads import parse_workload
+
+            parse_workload(self.workload)
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "LoadSpec":
@@ -148,6 +166,12 @@ def build_workload(spec: LoadSpec) -> list[TransposeRequest]:
     requests = []
     for rid in range(spec.requests):
         problem = rng.choice(pool)
+        if spec.workload is not None and rid % spec.workload_every == 0:
+            # The pool draw above still happens so the transpose
+            # sub-stream is identical with and without workload mixing.
+            problem = BatchRequest(
+                n=spec.n, machine=spec.machine, workload=spec.workload
+            )
         if spec.fault_rate and rng.random() < spec.fault_rate:
             problem = replace(
                 problem,
@@ -178,6 +202,19 @@ def solo_fingerprint(request: TransposeRequest) -> str:
     from repro.transpose.planner import default_after_layout
 
     resolved = resolve_request(request)
+    if resolved.workload is not None:
+        from repro.workloads import build_pipeline
+
+        pipeline = build_pipeline(
+            request.problem.workload,
+            request.problem.n,
+            layout=request.problem.layout,
+            elements=request.problem.elements,
+        )
+        plan, _ = pipeline.compile(resolved.params)
+        network = CubeNetwork(resolved.params)
+        replay_plan(plan, network)
+        return stats_fingerprint(network.stats)
     target = (
         resolved.after
         if resolved.after is not None
@@ -211,6 +248,33 @@ def solo_payload_check(request: TransposeRequest) -> dict:
     from repro.transpose.planner import default_after_layout, transpose
 
     resolved = resolve_request(request)
+    if resolved.workload is not None:
+        from repro.workloads import build_pipeline
+
+        pipeline = build_pipeline(
+            request.problem.workload,
+            request.problem.n,
+            layout=request.problem.layout,
+            elements=request.problem.elements,
+        )
+        rows, cols = pipeline.shape.rows, pipeline.shape.cols
+        original = np.arange(rows * cols, dtype=np.float64).reshape(
+            rows, cols
+        )
+        network = CubeNetwork(resolved.params)
+        served = pipeline.execute(network, original)
+        served_bytes = np.ascontiguousarray(served).tobytes()
+        expected_bytes = np.ascontiguousarray(
+            pipeline.reference(original)
+        ).tobytes()
+        served_crc = zlib.crc32(served_bytes)
+        expected_crc = zlib.crc32(expected_bytes)
+        return {
+            "ok": served_crc == expected_crc
+            and served_bytes == expected_bytes,
+            "served_crc": served_crc,
+            "expected_crc": expected_crc,
+        }
     target = (
         resolved.after
         if resolved.after is not None

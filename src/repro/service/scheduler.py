@@ -47,6 +47,10 @@ class ResolvedRequest:
     #: no Topology instance (or its mutable BFS distance cache) is ever
     #: shared across worker threads.
     topology: str = "cube"
+    #: Canonical composite-pipeline spec for ``workload=`` requests
+    #: (``None`` for ordinary transposes).  Workers re-parse it per
+    #: request — a Pipeline is cheap and never shared across threads.
+    workload: str | None = None
     #: Trace identity minted by the server at submission (``None`` when
     #: tracing is off); the worker opens the request's root span in it.
     trace: TraceContext | None = None
@@ -73,6 +77,37 @@ def resolve_request(request: TransposeRequest) -> ResolvedRequest:
         raise ValueError(
             f"topology {topo.spec!r} has {topo.num_nodes} nodes but the "
             f"request needs 2^{problem.n} = {1 << problem.n}"
+        )
+    if problem.workload:
+        # Composite pipeline: the spec is parsed (typed per-token
+        # errors), the pipeline built (layout fit / stage ordering
+        # errors) and keyed — all at admission, like the transpose path.
+        from repro.workloads import build_pipeline
+
+        if topo.name != "cube":
+            raise ValueError(
+                "workload pipelines require the cube topology "
+                f"(requested {topo.spec!r})"
+            )
+        pipeline = build_pipeline(
+            problem.workload,
+            problem.n,
+            layout=problem.layout,
+            elements=problem.elements,
+        )
+        if problem.faults:
+            from repro.machine.faults import FaultPlan
+
+            FaultPlan.from_spec(problem.n, problem.faults)
+        return ResolvedRequest(
+            request=request,
+            params=params,
+            before=pipeline.before,
+            after=pipeline.after,
+            algorithm=pipeline.algorithm,
+            key=pipeline.key(params),
+            topology=topo.spec,
+            workload=pipeline.spec,
         )
     before, after = resolve_problem(problem.n, problem.elements, problem.layout)
     target = after if after is not None else default_after_layout(before)

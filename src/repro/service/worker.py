@@ -398,6 +398,17 @@ class Worker(threading.Thread):
         topo = parse_topology(resolved.topology, resolved.params.n)
 
         def compile_fn():
+            if resolved.workload is not None:
+                from repro.workloads import build_pipeline
+
+                pipeline = build_pipeline(
+                    resolved.workload,
+                    resolved.params.n,
+                    layout=resolved.request.problem.layout,
+                    elements=resolved.request.problem.elements,
+                )
+                plan, _ = pipeline.compile(resolved.params)
+                return plan
             from repro.transpose.planner import default_after_layout
 
             target = (
@@ -468,6 +479,9 @@ class Worker(threading.Thread):
             problem.faults,
             topology=None if on_cube else topo,
         )
+        if resolved.workload is not None:
+            return self._execute_workload_faulted(resolved, faults,
+                                                  traced=traced)
         exec_span = (
             self.instr.span("execute", category="execute", faulted=True)
             if traced
@@ -504,6 +518,53 @@ class Worker(threading.Thread):
             algorithm=served.algorithm,
             cache_hit=served.cache_hit,
             resolved=resolved_how,
+            modelled_time=served.stats.time,
+            key=resolved.key,
+            fingerprint=stats_fingerprint(served.stats),
+            recovery=None if rec is None else rec.as_dict(),
+        )
+
+    def _execute_workload_faulted(
+        self, resolved: ResolvedRequest, faults, *, traced: bool = False
+    ) -> ServeOutcome:
+        """Faulted pipeline path: checkpointed recovery, no ladder."""
+        from repro.workloads import build_pipeline, serve_workload
+
+        pipeline = build_pipeline(
+            resolved.workload,
+            resolved.params.n,
+            layout=resolved.request.problem.layout,
+            elements=resolved.request.problem.elements,
+        )
+        exec_span = (
+            self.instr.span(
+                "execute", category="execute", faulted=True,
+                workload=pipeline.algorithm,
+            )
+            if traced
+            else nullcontext()
+        )
+        exec_start = self.clock() if traced else 0.0
+        with exec_span:
+            served = serve_workload(
+                pipeline,
+                resolved.params,
+                faults=faults,
+                cache=self.cache,
+                observer=self.instr,
+                recovery=self.recovery,
+            )
+        if traced:
+            served.stats.record_traced(self.clock() - exec_start)
+        rec = served.recovery
+        return ServeOutcome(
+            request_id=resolved.request.request_id,
+            tenant=resolved.request.tenant,
+            status="served",
+            worker=self.wid,
+            algorithm=served.algorithm,
+            cache_hit=served.cache_hit,
+            resolved=served.resolved,
             modelled_time=served.stats.time,
             key=resolved.key,
             fingerprint=stats_fingerprint(served.stats),

@@ -42,6 +42,7 @@ from repro.obs.instrumentation import instrumentation_of
 __all__ = [
     "BufferPolicy",
     "ExchangeExecutor",
+    "bit_permutation_for_map",
     "conversion_bit_permutation",
     "convert_layout",
     "exchange_transpose",
@@ -344,6 +345,22 @@ def _bit_permutation_from_map(before: Layout, after: Layout, remap) -> dict[int,
             raise AssertionError("layout map is not a bit permutation")
         perm[d] = image.bit_length() - 1
     return perm
+
+
+def bit_permutation_for_map(
+    before: Layout, after: Layout, remap
+) -> dict[int, int]:
+    """Position permutation realizing an arbitrary address map.
+
+    ``remap`` maps each flat address ``w`` of the *before* frame to the
+    address whose *after*-layout position the datum must occupy; both
+    layouts must be binary-encoded and the induced location map must be
+    a bit permutation.  :func:`transpose_bit_permutation` and
+    :func:`conversion_bit_permutation` are the two classic instances;
+    :mod:`repro.workloads` uses this directly to plan whole *composed*
+    stage pipelines as a single exchange sequence.
+    """
+    return _bit_permutation_from_map(before, after, remap)
 
 
 def transpose_bit_permutation(before: Layout, after: Layout) -> dict[int, int]:

@@ -1,0 +1,116 @@
+"""Serve compiled pipelines: cache, replay, and checkpointed recovery.
+
+The pipeline analogue of :func:`repro.plans.replay.replay_degraded`.
+A pipeline has no §9 degradation ladder — there is no slower tier of
+"the same pipeline" to fall back to — so the fault story is exactly the
+recovery executor's: transient faults resume from checkpoints, permanent
+faults go through plan surgery, and when recovery is exhausted the
+request fails (the server's retry budget takes it from there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.engine import CubeNetwork
+from repro.machine.faults import FaultPlan
+from repro.machine.metrics import TransferStats
+from repro.machine.params import MachineParams
+from repro.plans.cache import PlanCache
+from repro.plans.replay import replay_plan
+from repro.recovery.executor import execute_with_recovery
+from repro.recovery.policy import RecoveryPolicy
+from repro.transpose.exchange import BufferPolicy
+from repro.workloads.pipeline import Pipeline
+
+__all__ = ["WorkloadServe", "serve_workload"]
+
+
+@dataclass
+class WorkloadServe:
+    """Outcome of one served pipeline request."""
+
+    #: Canonical pipeline algorithm (the plan identity).
+    algorithm: str
+    #: Full spec including the true shape, as requested.
+    requested: str
+    stats: TransferStats
+    cache_hit: bool
+    #: True when the compiled plan ran to completion (always, on
+    #: success — pipelines have no direct-fallback tier).
+    replayed: bool
+    #: Recovery accounting when the run went through the executor.
+    recovery: object | None = None
+    #: Recovery self-verification verdict (None off the recovery path).
+    verified: bool | None = None
+
+    @property
+    def resolved(self) -> str:
+        if self.recovery is None:
+            return "clean"
+        return self.recovery.resolved
+
+
+def serve_workload(
+    pipeline: Pipeline,
+    params: MachineParams,
+    *,
+    faults: FaultPlan | None = None,
+    cache: PlanCache | None = None,
+    policy: BufferPolicy | None = None,
+    packet_size: int | None = None,
+    observer=None,
+    recovery: RecoveryPolicy | None = None,
+    dtype: str = "float64",
+) -> WorkloadServe:
+    """Compile-or-fetch the pipeline's plan and run it once.
+
+    Mirrors the serving layer's clean/faulted split: fault-free requests
+    replay the cached plan on a fresh machine; faulted ones run through
+    :func:`~repro.recovery.executor.execute_with_recovery` —  under
+    ``recovery`` when given, else the default
+    :class:`~repro.recovery.policy.RecoveryPolicy`.
+    """
+    key = pipeline.key(
+        params, policy=policy, packet_size=packet_size, dtype=dtype
+    )
+
+    def compile_fn():
+        plan, _ = pipeline.compile(
+            params, policy=policy, dtype=dtype
+        )
+        return plan
+
+    if cache is not None:
+        plan, hit = cache.get_or_compile(
+            key, compile_fn, observer=observer
+        )
+    else:
+        plan, hit = compile_fn(), False
+
+    network = CubeNetwork(
+        params, faults=None if faults is None else faults.fork()
+    )
+    if observer is not None:
+        observer.attach(network)
+    if faults is not None:
+        outcome = execute_with_recovery(
+            plan, network, policy=recovery or RecoveryPolicy()
+        )
+        return WorkloadServe(
+            algorithm=pipeline.algorithm,
+            requested=pipeline.spec,
+            stats=network.stats,
+            cache_hit=hit,
+            replayed=True,
+            recovery=outcome.report,
+            verified=outcome.verified,
+        )
+    replay_plan(plan, network)
+    return WorkloadServe(
+        algorithm=pipeline.algorithm,
+        requested=pipeline.spec,
+        stats=network.stats,
+        cache_hit=hit,
+        replayed=True,
+    )

@@ -1,0 +1,221 @@
+"""The ``pipeline:`` workload spec grammar and its typed validation.
+
+::
+
+    spec   := [ "pipeline:" ] stages [ "@" shape ]
+    stages := stage ( "+" stage )*
+    stage  := "transpose" | "bitrev" | "gray" | "binary"
+            | "dimperm:" ( "shuffle" | "unshuffle" | INT ("," INT)* )
+            | "fft"                      -- preset, expands in place
+    shape  := ROWS "x" COLS              -- arbitrary positive extents
+
+Examples: ``pipeline:bitrev+transpose@13x11``, ``fft@64x64``,
+``pipeline:dimperm:2,0,1,3+transpose``.  The ``fft`` preset is the APE
+schedule (Lippert et al.): dimension permutation (the perfect shuffle)
++ bit-reversal + transpose, chained as one data-movement plan.
+
+Every malformed token raises :class:`WorkloadSpecError` — a
+:class:`ValueError` subclass carrying the offending token and its
+position, so CLI and server admission reject requests synchronously
+with a per-token message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.embed import EmbeddedShape
+from repro.workloads.pipeline import Pipeline
+from repro.workloads.stages import (
+    BitReversalStage,
+    DimPermStage,
+    GrayConvertStage,
+    Stage,
+    TransposeStage,
+)
+
+__all__ = [
+    "PRESETS",
+    "Workload",
+    "WorkloadSpecError",
+    "build_pipeline",
+    "parse_workload",
+]
+
+#: Named composite workloads, expanded in place during parsing.
+PRESETS: dict[str, tuple[str, ...]] = {
+    "fft": ("dimperm:shuffle", "bitrev", "transpose"),
+}
+
+_STAGE_VOCABULARY = (
+    "transpose|bitrev|gray|binary|dimperm:<perm>|" + "|".join(sorted(PRESETS))
+)
+
+
+class WorkloadSpecError(ValueError):
+    """A workload spec failed validation at one specific token.
+
+    ``token`` is the offending text, ``position`` its 1-based index in
+    the stage list (or the string ``"shape"`` for the ``@...`` suffix).
+    """
+
+    def __init__(self, spec: str, token: str, position, reason: str) -> None:
+        self.spec = spec
+        self.token = token
+        self.position = position
+        self.reason = reason
+        super().__init__(
+            f"workload spec {spec!r}, token {position} ({token!r}): {reason}"
+        )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A parsed, canonicalized workload spec."""
+
+    stages: tuple[Stage, ...]
+    #: True (unpadded) extents, ``None`` when the spec omitted ``@RxC``.
+    rows: int | None
+    cols: int | None
+
+    @property
+    def canonical(self) -> str:
+        base = "pipeline:" + "+".join(s.token for s in self.stages)
+        if self.rows is not None:
+            base += f"@{self.rows}x{self.cols}"
+        return base
+
+
+def _parse_stage(spec: str, token: str, position: int) -> Stage:
+    if token == "transpose":
+        return TransposeStage()
+    if token == "bitrev":
+        return BitReversalStage()
+    if token == "gray":
+        return GrayConvertStage(to_gray=True)
+    if token == "binary":
+        return GrayConvertStage(to_gray=False)
+    if token.startswith("dimperm:"):
+        arg = token[len("dimperm:") :]
+        if arg in ("shuffle", "unshuffle"):
+            return DimPermStage(named=arg)
+        if not arg:
+            raise WorkloadSpecError(
+                spec, token, position,
+                "dimperm needs an argument: shuffle, unshuffle or a "
+                "comma-separated bit permutation",
+            )
+        entries = []
+        for part in arg.split(","):
+            part = part.strip()
+            try:
+                entries.append(int(part))
+            except ValueError:
+                raise WorkloadSpecError(
+                    spec, token, position,
+                    f"dimperm entry {part!r} is not an integer",
+                ) from None
+        if sorted(entries) != list(range(len(entries))):
+            raise WorkloadSpecError(
+                spec, token, position,
+                f"{entries} is not a permutation of 0..{len(entries) - 1}",
+            )
+        return DimPermStage(order=tuple(entries))
+    raise WorkloadSpecError(
+        spec, token, position,
+        f"unknown stage (expected {_STAGE_VOCABULARY})",
+    )
+
+
+def _parse_shape(spec: str, text: str) -> tuple[int, int]:
+    parts = text.split("x")
+    if len(parts) != 2:
+        raise WorkloadSpecError(
+            spec, text, "shape", "shape must be ROWSxCOLS, e.g. 13x11"
+        )
+    extents = []
+    for part in parts:
+        try:
+            extents.append(int(part))
+        except ValueError:
+            raise WorkloadSpecError(
+                spec, text, "shape",
+                f"extent {part!r} is not an integer",
+            ) from None
+    rows, cols = extents
+    if rows < 1 or cols < 1:
+        raise WorkloadSpecError(
+            spec, text, "shape", "extents must be positive"
+        )
+    return rows, cols
+
+
+def parse_workload(spec: str) -> Workload:
+    """Parse and canonicalize a workload spec (typed per-token errors)."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise WorkloadSpecError(
+            str(spec), str(spec), 1, "empty workload spec"
+        )
+    body = spec.strip()
+    if body.startswith("pipeline:"):
+        body = body[len("pipeline:") :]
+    rows = cols = None
+    if "@" in body:
+        body, shape_text = body.split("@", 1)
+        rows, cols = _parse_shape(spec, shape_text)
+    tokens: list[str] = []
+    for raw in body.split("+"):
+        token = raw.strip()
+        if token in PRESETS:
+            tokens.extend(PRESETS[token])
+        else:
+            tokens.append(token)
+    stages = []
+    for position, token in enumerate(tokens, start=1):
+        if not token:
+            raise WorkloadSpecError(
+                spec, token, position, "empty stage token"
+            )
+        stages.append(_parse_stage(spec, token, position))
+    return Workload(stages=tuple(stages), rows=rows, cols=cols)
+
+
+def build_pipeline(
+    workload: Workload | str,
+    n: int,
+    *,
+    layout: str = "2d",
+    elements: int | None = None,
+) -> Pipeline:
+    """Materialize a parsed spec on a concrete cube and layout.
+
+    ``elements`` supplies a square default shape when the spec carries
+    no ``@RxC`` suffix (exactly the CLI's element vocabulary); layout
+    fit and stage ordering problems surface here as ``ValueError``.
+    """
+    if isinstance(workload, str):
+        workload = parse_workload(workload)
+    rows, cols = workload.rows, workload.cols
+    if rows is None:
+        if not elements or elements < 1:
+            raise ValueError(
+                "workload spec has no @RxC shape; pass an element count"
+            )
+        bits = elements.bit_length() - 1
+        if 1 << bits != elements:
+            raise ValueError("element count must be a power of two")
+        rows, cols = 1 << (bits // 2), 1 << (bits - bits // 2)
+    # Floor the padded extents so the partitioning fits — and, when any
+    # stage transposes, so its mirrored layout fits too.
+    if layout == "2d":
+        min_p = min_q = n // 2
+    elif layout == "1d-rows":
+        min_p, min_q = n, 0
+    elif layout == "1d-cols":
+        min_p, min_q = 0, n
+    else:
+        raise ValueError(f"unknown layout {layout!r}")
+    if any(isinstance(s, TransposeStage) for s in workload.stages):
+        min_p = min_q = max(min_p, min_q)
+    shape = EmbeddedShape.for_shape(rows, cols, min_p=min_p, min_q=min_q)
+    return Pipeline(workload.stages, shape, n, layout=layout)

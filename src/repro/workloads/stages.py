@@ -1,0 +1,299 @@
+"""Typed stage IR for composite permutation pipelines (§6-§7).
+
+Each stage describes one data-movement step of a composite workload as
+three coupled views:
+
+* an **address map** on the flat ``m``-bit element address space — the
+  mathematical meaning (what :meth:`Stage.reference` computes in numpy);
+* a **shape/layout effect** — whether the stage transposes the extents,
+  re-encodes processor fields, or leaves the frame alone;
+* a **fusibility class** — stages whose address map is a *bit
+  permutation* of the address space compose algebraically, so adjacent
+  runs of them compile to a single exchange sequence
+  (:mod:`repro.workloads.pipeline`); Gray re-encodings are not bit
+  rearrangements (§2) and act as fusion barriers.
+
+The four concrete stages cover the paper's repertoire: transposition
+(§4-§5), bit-reversal and dimension permutation (§7), and storage-scheme
+conversion between binary and Gray encodings (§2, §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.fields import Layout
+from repro.layout.partition import two_dim_cyclic
+
+__all__ = [
+    "BitReversalStage",
+    "DimPermStage",
+    "GrayConvertStage",
+    "Stage",
+    "TransposeStage",
+    "axis_permutation_order",
+]
+
+
+class Stage:
+    """Base protocol: one pipeline step on a ``2^p x 2^q`` domain."""
+
+    #: Spec-grammar token (:mod:`repro.workloads.spec`).
+    token: str = ""
+    #: Bit-permutation stages fuse; barrier stages run standalone.
+    fusible: bool = True
+
+    def out_shape(self, p: int, q: int) -> tuple[int, int]:
+        """The ``(p, q)`` extents after this stage."""
+        return (p, q)
+
+    def address_map(self, p: int, q: int):
+        """``w -> w'`` on flat addresses: datum ``w`` ends at ``w'``.
+
+        The flat address of element ``(u, v)`` is ``u * 2^q + v`` —
+        exactly the row-major index, so :meth:`reference` and this map
+        agree by construction.
+        """
+        raise NotImplementedError
+
+    def reference(self, a: np.ndarray) -> np.ndarray:
+        """Numpy semantics on the (padded) global matrix."""
+        raise NotImplementedError
+
+    def out_layout(self, layout: Layout) -> Layout | None:
+        """Target layout for barrier stages (``None`` = unchanged)."""
+        return None
+
+    def describe(self) -> str:
+        return self.token
+
+
+@dataclass(frozen=True)
+class TransposeStage(Stage):
+    """Matrix transposition: ``(u || v) -> (v || u)``, extents mirrored."""
+
+    token = "transpose"
+    fusible = True
+
+    def out_shape(self, p: int, q: int) -> tuple[int, int]:
+        return (q, p)
+
+    def address_map(self, p: int, q: int):
+        mask = (1 << q) - 1
+
+        def remap(w: int) -> int:
+            return ((w & mask) << p) | (w >> q)
+
+        return remap
+
+    def reference(self, a: np.ndarray) -> np.ndarray:
+        return a.T.copy()
+
+
+@dataclass(frozen=True)
+class BitReversalStage(Stage):
+    """Radix-2 FFT reordering: datum ``w`` moves to ``reverse_m(w)``."""
+
+    token = "bitrev"
+    fusible = True
+
+    def address_map(self, p: int, q: int):
+        m = p + q
+
+        def remap(w: int) -> int:
+            out = 0
+            for i in range(m):
+                out |= ((w >> i) & 1) << (m - 1 - i)
+            return out
+
+        return remap
+
+    def reference(self, a: np.ndarray) -> np.ndarray:
+        m = a.size.bit_length() - 1
+        flat = a.reshape(-1)
+        out = np.empty_like(flat)
+        idx = np.arange(a.size)
+        rev = np.zeros(a.size, dtype=np.int64)
+        for i in range(m):
+            rev |= ((idx >> i) & 1) << (m - 1 - i)
+        out[rev] = flat
+        return out.reshape(a.shape)
+
+
+def axis_permutation_order(
+    axis_bits: tuple[int, ...], axes: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Address-bit gather order induced by a d-dimensional axis permutation.
+
+    A ``2^{b_0} x ... x 2^{b_{d-1}}`` array stores axis 0 in the top
+    ``b_0`` address bits (row-major).  ``numpy.transpose(a, axes)``
+    then rearranges whole *bit fields*; this returns the flat
+    ``order`` tuple (``order[i]`` = source bit of output bit ``i``,
+    LSB first) for :class:`DimPermStage`.
+    """
+    d = len(axis_bits)
+    if sorted(axes) != list(range(d)):
+        raise ValueError(f"{list(axes)} is not a permutation of 0..{d - 1}")
+    if any(b < 0 for b in axis_bits):
+        raise ValueError("axis bit widths must be non-negative")
+    m = sum(axis_bits)
+    # starts[k] = LSB position of axis k's field in the input address.
+    starts: list[int] = []
+    pos = m
+    for b in axis_bits:
+        pos -= b
+        starts.append(pos)
+    order: list[int] = [0] * m
+    out_pos = m
+    for axis in axes:
+        b = axis_bits[axis]
+        out_pos -= b
+        for i in range(b):
+            order[out_pos + i] = starts[axis] + i
+    return tuple(order)
+
+
+@dataclass(frozen=True)
+class DimPermStage(Stage):
+    """General dimension permutation of the address space (§7, Def. 17).
+
+    ``order`` gathers: output address bit ``i`` takes input address bit
+    ``order[i]`` (LSB first), so datum ``w`` moves to the address built
+    by that gather.  Must be a full permutation of the ``m`` address
+    bits.  The named forms ``shuffle`` / ``unshuffle`` (the FFT perfect
+    shuffle: rotate the address left / right by one) resolve against the
+    concrete ``m`` at compile time.
+    """
+
+    order: tuple[int, ...] | None = None
+    #: ``None``, ``"shuffle"`` or ``"unshuffle"``.
+    named: str | None = None
+    fusible = True
+
+    def __post_init__(self) -> None:
+        if (self.order is None) == (self.named is None):
+            raise ValueError(
+                "DimPermStage needs exactly one of order= or named="
+            )
+        if self.named is not None and self.named not in (
+            "shuffle",
+            "unshuffle",
+        ):
+            raise ValueError(f"unknown named dimension permutation "
+                             f"{self.named!r}")
+        if self.order is not None and sorted(self.order) != list(
+            range(len(self.order))
+        ):
+            raise ValueError(
+                f"{list(self.order)} is not a permutation of "
+                f"0..{len(self.order) - 1}"
+            )
+
+    @classmethod
+    def from_axes(
+        cls, axis_bits: tuple[int, ...], axes: tuple[int, ...]
+    ) -> "DimPermStage":
+        """The stage realizing ``numpy.transpose(a, axes)`` on a
+        power-of-two d-dimensional view of the matrix."""
+        return cls(order=axis_permutation_order(axis_bits, axes))
+
+    @property
+    def token(self) -> str:  # type: ignore[override]
+        if self.named is not None:
+            return f"dimperm:{self.named}"
+        return "dimperm:" + ",".join(str(d) for d in self.order)
+
+    def _resolved_order(self, m: int) -> tuple[int, ...]:
+        if self.named == "shuffle":
+            # Rotate the address left by one: bit i <- bit i-1 (mod m).
+            return tuple((i - 1) % m for i in range(m))
+        if self.named == "unshuffle":
+            return tuple((i + 1) % m for i in range(m))
+        assert self.order is not None
+        if len(self.order) != m:
+            raise ValueError(
+                f"dimension permutation covers {len(self.order)} bits but "
+                f"the address space has {m}"
+            )
+        return self.order
+
+    def address_map(self, p: int, q: int):
+        order = self._resolved_order(p + q)
+
+        def remap(w: int) -> int:
+            out = 0
+            for i, src in enumerate(order):
+                out |= ((w >> src) & 1) << i
+            return out
+
+        return remap
+
+    def reference(self, a: np.ndarray) -> np.ndarray:
+        m = a.size.bit_length() - 1
+        order = self._resolved_order(m)
+        flat = a.reshape(-1)
+        out = np.empty_like(flat)
+        idx = np.arange(a.size)
+        dst = np.zeros(a.size, dtype=np.int64)
+        for i, src in enumerate(order):
+            dst |= ((idx >> src) & 1) << i
+        out[dst] = flat
+        return out.reshape(a.shape)
+
+    def describe(self) -> str:
+        return self.token
+
+
+@dataclass(frozen=True)
+class GrayConvertStage(Stage):
+    """Binary <-> Gray storage-scheme re-encoding (§2) — a fusion barrier.
+
+    The global matrix is unchanged (the *assignment* of elements to
+    processors changes), and a pure re-encoding is not a bit
+    rearrangement of the address space, so the stage executes standalone
+    through :func:`repro.transpose.exchange.convert_layout`'s
+    block-routed path.
+    """
+
+    #: ``True`` converts every field to Gray, ``False`` back to binary.
+    to_gray: bool = True
+    fusible = False
+
+    @property
+    def token(self) -> str:  # type: ignore[override]
+        return "gray" if self.to_gray else "binary"
+
+    def address_map(self, p: int, q: int):
+        return lambda w: w
+
+    def reference(self, a: np.ndarray) -> np.ndarray:
+        return a.copy()
+
+    def out_layout(self, layout: Layout) -> Layout | None:
+        from dataclasses import replace as _replace
+
+        fields = tuple(
+            _replace(f, gray=self.to_gray) for f in layout.fields
+        )
+        if fields == layout.fields:
+            return None
+        return Layout(layout.p, layout.q, fields, layout.name)
+
+    def describe(self) -> str:
+        return self.token
+
+
+def _mirror_layout(layout: Layout, kind: str, n: int) -> Layout:
+    """The transpose target: the same partitioning kind on ``A^T``."""
+    from repro.layout import partition as pt
+
+    p, q = layout.q, layout.p
+    if kind == "2d":
+        return two_dim_cyclic(p, q, n // 2, n // 2)
+    if kind == "1d-rows":
+        return pt.row_consecutive(p, q, n)
+    if kind == "1d-cols":
+        return pt.column_cyclic(p, q, n)
+    raise ValueError(f"unknown layout {kind!r}")

@@ -1,0 +1,185 @@
+"""CLI coverage for ``--workload``: envelopes, recovery, exit codes."""
+
+import json
+
+import pytest
+
+from repro.__main__ import JSON_SCHEMA_VERSION, main
+
+
+def envelope(capsys):
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc) == {"schema_version", "command", "result"}
+    assert doc["schema_version"] == JSON_SCHEMA_VERSION
+    return doc
+
+
+class TestRunWorkload:
+    def test_clean_run_envelope(self, capsys):
+        assert (
+            main(
+                ["run", "--machine", "cm", "-n", "6",
+                 "--workload", "fft@64x64", "--json"]
+            )
+            == 0
+        )
+        result = envelope(capsys)["result"]
+        assert result["workload"] == (
+            "pipeline:dimperm:shuffle+bitrev+transpose@64x64"
+        )
+        assert result["verified"] is True
+        assert result["stages"] == ["dimperm:shuffle", "bitrev", "transpose"]
+        assert (result["rows"], result["cols"]) == (64, 64)
+        assert result["stats"]["phases"] > 0
+
+    def test_faulted_run_recovers_with_recovery_block(self, capsys):
+        assert (
+            main(
+                ["run", "--machine", "cm", "-n", "4",
+                 "--workload", "pipeline:bitrev+transpose@13x11",
+                 "--faults", "links=0-1,seed=3", "--json"]
+            )
+            == 0
+        )
+        result = envelope(capsys)["result"]
+        assert result["verified"] is True
+        assert result["resolved"].startswith("surgery")
+        assert result["recovery"]["recovered"] is True
+
+    def test_faulted_text_report_names_resolution(self, capsys):
+        assert (
+            main(
+                ["run", "--machine", "cm", "-n", "4",
+                 "--workload", "pipeline:bitrev+transpose@13x11",
+                 "--faults", "tlinks=0-1@1-3"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resolved:   resume" in out
+        assert "verified:   True" in out
+
+    def test_bad_spec_exits_two(self, capsys):
+        assert (
+            main(
+                ["run", "--machine", "cm", "-n", "4",
+                 "--workload", "pipeline:frobnicate"]
+            )
+            == 2
+        )
+        assert "unknown stage" in capsys.readouterr().err
+
+    def test_workload_is_cube_only(self, capsys):
+        assert (
+            main(
+                ["run", "--machine", "cm", "--workload", "fft@64x64",
+                 "--topology", "torus:4x4x4"]
+            )
+            == 2
+        )
+        assert "cube topology" in capsys.readouterr().err
+
+
+class TestPlanWorkload:
+    def test_plan_envelope_carries_key_and_ops(self, capsys):
+        assert (
+            main(
+                ["plan", "--machine", "cm", "-n", "4",
+                 "--workload", "pipeline:bitrev+transpose@13x11", "--json"]
+            )
+            == 0
+        )
+        result = envelope(capsys)["result"]
+        assert result["algorithm"] == "pipeline:bitrev+transpose"
+        assert result["key"]
+        assert result["ops"]
+
+    def test_planned_pipeline_replays_from_disk(self, tmp_path, capsys):
+        plan = tmp_path / "fft.json"
+        assert (
+            main(
+                ["plan", "--machine", "cm", "-n", "6",
+                 "--workload", "fft@64x64", "--out", str(plan)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["replay", str(plan), "--json"]) == 0
+        doc = envelope(capsys)
+        assert doc["command"] == "replay"
+        assert doc["result"]["algorithm"].startswith("pipeline:")
+
+    def test_planned_pipeline_recovers_on_replay(self, tmp_path, capsys):
+        plan = tmp_path / "rect.json"
+        assert (
+            main(
+                ["plan", "--machine", "cm", "-n", "4",
+                 "--workload", "pipeline:bitrev+transpose@13x11",
+                 "--out", str(plan)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                ["replay", str(plan), "--faults", "links=0-1,seed=3",
+                 "--recover", "every=2", "--json"]
+            )
+            == 0
+        )
+        result = envelope(capsys)["result"]
+        assert result["recovery"]["resolved"].startswith("surgery")
+
+    def test_bad_spec_exits_two(self, capsys):
+        assert (
+            main(
+                ["plan", "--machine", "cm", "-n", "4",
+                 "--workload", "transpose@0x4"]
+            )
+            == 2
+        )
+        assert "bad --workload spec" in capsys.readouterr().err
+
+
+class TestServeAndLoadgenWorkload:
+    def test_serve_accepts_workload_requests(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(
+            json.dumps(
+                [
+                    {"tenant": "a", "n": 6, "machine": "cm",
+                     "workload": "fft@64x64"},
+                    {"tenant": "b", "elements": 256, "n": 4},
+                ]
+            )
+        )
+        assert main(["serve", str(reqs), "--workers", "1", "--json"]) == 0
+        assert envelope(capsys)["result"]["slo"]["served"] == 2
+
+    def test_loadgen_workload_mix_envelope(self, capsys):
+        assert (
+            main(
+                ["loadgen", "--seed", "7", "--tenants", "2", "--requests",
+                 "8", "-n", "4", "--workload",
+                 "pipeline:bitrev+transpose@13x11", "--workload-every", "2",
+                 "--verify-sample", "2", "--json"]
+            )
+            == 0
+        )
+        result = envelope(capsys)["result"]
+        assert result["spec"]["workload"] == "pipeline:bitrev+transpose@13x11"
+        assert result["server"]["slo"]["served"] == 8
+        assert result["verification"]["violations"] == 0
+        assert result["ok"] is True
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["loadgen", "--requests", "4", "--workload", "pipeline:frob"],
+            ["loadgen", "--requests", "4", "--workload", "fft@64x64",
+             "--workload-every", "0"],
+        ],
+    )
+    def test_bad_loadgen_workload_exits_two(self, capsys, argv):
+        assert main(argv) == 2
+        assert capsys.readouterr().err

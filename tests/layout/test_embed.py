@@ -1,0 +1,76 @@
+"""Padded power-of-two embedding of arbitrary matrix shapes."""
+
+import numpy as np
+import pytest
+
+from repro.layout import partition as pt
+from repro.layout.embed import (
+    EmbeddedShape,
+    embed,
+    extract,
+    padding_overhead,
+)
+
+
+class TestEmbeddedShape:
+    def test_pads_to_next_power_of_two(self):
+        shape = EmbeddedShape.for_shape(13, 11)
+        assert (shape.p, shape.q) == (4, 4)
+        assert (shape.padded_rows, shape.padded_cols) == (16, 16)
+        assert not shape.exact
+
+    def test_exact_shapes_do_not_pad(self):
+        shape = EmbeddedShape.for_shape(16, 16)
+        assert (shape.padded_rows, shape.padded_cols) == (16, 16)
+        assert shape.exact
+
+    def test_large_rectangular(self):
+        shape = EmbeddedShape.for_shape(511, 134)
+        assert (shape.p, shape.q) == (9, 8)
+
+    def test_min_bit_floors(self):
+        shape = EmbeddedShape.for_shape(3, 3, min_p=4, min_q=2)
+        assert (shape.p, shape.q) == (4, 2)
+
+    def test_transposed_swaps_extents(self):
+        shape = EmbeddedShape.for_shape(13, 11).transposed()
+        assert (shape.rows, shape.cols) == (11, 13)
+        assert (shape.p, shape.q) == (4, 4)
+
+    def test_rejects_non_positive_extents(self):
+        with pytest.raises(ValueError):
+            EmbeddedShape.for_shape(0, 5)
+
+
+class TestEmbedExtract:
+    @pytest.mark.parametrize("rows,cols", [(13, 11), (16, 16), (5, 9)])
+    def test_round_trip(self, rows, cols):
+        shape = EmbeddedShape.for_shape(rows, cols, min_p=2, min_q=2)
+        layout = pt.two_dim_cyclic(shape.p, shape.q, 2, 2)
+        a = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+        dm = embed(a, shape, layout)
+        assert np.array_equal(extract(dm, shape), a)
+
+    def test_fill_value_lands_in_padding(self):
+        shape = EmbeddedShape.for_shape(3, 3, min_p=2, min_q=2)
+        layout = pt.two_dim_cyclic(shape.p, shape.q, 1, 1)
+        a = np.ones((3, 3))
+        dm = embed(a, shape, layout, fill=-7.0)
+        padded = dm.to_global()
+        assert padded[3, 3] == -7.0
+        assert np.array_equal(padded[:3, :3], a)
+
+    def test_shape_mismatch_rejected(self):
+        shape = EmbeddedShape.for_shape(4, 4, min_p=2, min_q=2)
+        layout = pt.two_dim_cyclic(shape.p, shape.q, 1, 1)
+        with pytest.raises(ValueError):
+            embed(np.ones((5, 4)), shape, layout)
+
+
+class TestPaddingOverhead:
+    def test_exact_shape_has_no_overhead(self):
+        assert padding_overhead(EmbeddedShape.for_shape(16, 16)) == 0.0
+
+    def test_rectangular_overhead(self):
+        shape = EmbeddedShape.for_shape(13, 11)
+        assert padding_overhead(shape) == (256 - 143) / 256

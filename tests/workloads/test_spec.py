@@ -1,0 +1,120 @@
+"""The ``pipeline:`` spec grammar: parsing, presets, typed errors."""
+
+import pytest
+
+from repro.workloads import (
+    PRESETS,
+    WorkloadSpecError,
+    build_pipeline,
+    parse_workload,
+)
+from repro.workloads.stages import (
+    BitReversalStage,
+    DimPermStage,
+    TransposeStage,
+)
+
+
+class TestParse:
+    def test_prefix_is_optional(self):
+        a = parse_workload("pipeline:bitrev+transpose@13x11")
+        b = parse_workload("bitrev+transpose@13x11")
+        assert a.canonical == b.canonical == "pipeline:bitrev+transpose@13x11"
+
+    def test_fft_preset_expands_in_place(self):
+        workload = parse_workload("fft@64x64")
+        assert tuple(s.token for s in workload.stages) == PRESETS["fft"]
+        assert (
+            workload.canonical
+            == "pipeline:dimperm:shuffle+bitrev+transpose@64x64"
+        )
+
+    def test_stage_types(self):
+        workload = parse_workload("dimperm:1,0+bitrev+transpose")
+        assert isinstance(workload.stages[0], DimPermStage)
+        assert isinstance(workload.stages[1], BitReversalStage)
+        assert isinstance(workload.stages[2], TransposeStage)
+        assert workload.rows is None and workload.cols is None
+
+    def test_shape_parses(self):
+        workload = parse_workload("transpose@511x134")
+        assert (workload.rows, workload.cols) == (511, 134)
+
+
+class TestTypedErrors:
+    def test_unknown_stage_names_token_and_position(self):
+        with pytest.raises(WorkloadSpecError) as exc:
+            parse_workload("pipeline:bitrev+frobnicate+transpose")
+        err = exc.value
+        assert err.token == "frobnicate"
+        assert err.position == 2
+        assert "unknown stage" in err.reason
+        assert isinstance(err, ValueError)
+
+    def test_empty_token(self):
+        with pytest.raises(WorkloadSpecError) as exc:
+            parse_workload("bitrev++transpose")
+        assert exc.value.position == 2
+
+    def test_empty_spec(self):
+        with pytest.raises(WorkloadSpecError):
+            parse_workload("   ")
+
+    @pytest.mark.parametrize(
+        "spec,fragment",
+        [
+            ("dimperm:", "needs an argument"),
+            ("dimperm:1,x", "not an integer"),
+            ("dimperm:0,0,1", "not a permutation"),
+        ],
+    )
+    def test_dimperm_argument_errors(self, spec, fragment):
+        with pytest.raises(WorkloadSpecError) as exc:
+            parse_workload(spec)
+        assert fragment in exc.value.reason
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["transpose@13", "transpose@axb", "transpose@0x4", "transpose@1x2x3"],
+    )
+    def test_shape_errors(self, spec):
+        with pytest.raises(WorkloadSpecError) as exc:
+            parse_workload(spec)
+        assert exc.value.position == "shape"
+
+
+class TestBuildPipeline:
+    def test_elements_supply_a_square_default(self):
+        pipeline = build_pipeline("fft", 6, elements=4096)
+        assert (pipeline.shape.rows, pipeline.shape.cols) == (64, 64)
+
+    def test_spec_shape_wins(self):
+        pipeline = build_pipeline("transpose@13x11", 4, elements=4096)
+        assert (pipeline.shape.rows, pipeline.shape.cols) == (13, 11)
+
+    def test_missing_shape_and_elements(self):
+        with pytest.raises(ValueError, match="no @RxC shape"):
+            build_pipeline("transpose", 4)
+
+    def test_non_power_of_two_elements(self):
+        with pytest.raises(ValueError, match="power of two"):
+            build_pipeline("transpose", 4, elements=100)
+
+    def test_transpose_floors_both_axes(self):
+        # 13x11 on a 4-cube 2d layout: both axes must fit the mirrored
+        # layout too, so p = q = 4.
+        pipeline = build_pipeline("transpose@13x11", 4)
+        assert (pipeline.shape.p, pipeline.shape.q) == (4, 4)
+
+    def test_unknown_layout(self):
+        with pytest.raises(ValueError, match="unknown layout"):
+            build_pipeline("transpose@8x8", 4, layout="diagonal")
+
+    def test_canonical_spec_carries_true_shape(self):
+        pipeline = build_pipeline("fft@64x64", 6)
+        assert pipeline.spec == (
+            "pipeline:dimperm:shuffle+bitrev+transpose@64x64"
+        )
+        assert pipeline.algorithm == (
+            "pipeline:dimperm:shuffle+bitrev+transpose"
+        )

@@ -1,0 +1,144 @@
+"""Stage IR: address maps, numpy references, and fusibility classes."""
+
+import numpy as np
+import pytest
+
+from repro.layout import partition as pt
+from repro.workloads.stages import (
+    BitReversalStage,
+    DimPermStage,
+    GrayConvertStage,
+    TransposeStage,
+    axis_permutation_order,
+)
+
+
+def assert_map_matches_reference(stage, p, q):
+    """The address map and the numpy reference must agree pointwise."""
+    a = np.arange(1 << (p + q), dtype=np.float64).reshape(1 << p, 1 << q)
+    out_p, out_q = stage.out_shape(p, q)
+    ref = stage.reference(a).reshape(-1)
+    remap = stage.address_map(p, q)
+    flat = a.reshape(-1)
+    for w in range(a.size):
+        assert ref[remap(w)] == flat[w]
+    assert (out_p + out_q) == (p + q)
+
+
+class TestTransposeStage:
+    @pytest.mark.parametrize("p,q", [(2, 2), (3, 2), (2, 4)])
+    def test_map_matches_reference(self, p, q):
+        assert_map_matches_reference(TransposeStage(), p, q)
+
+    def test_mirrors_extents(self):
+        assert TransposeStage().out_shape(3, 5) == (5, 3)
+
+    def test_is_an_involution(self):
+        remap = TransposeStage().address_map(3, 3)
+        for w in range(1 << 6):
+            assert remap(remap(w)) == w
+
+
+class TestBitReversalStage:
+    @pytest.mark.parametrize("p,q", [(2, 2), (3, 2)])
+    def test_map_matches_reference(self, p, q):
+        assert_map_matches_reference(BitReversalStage(), p, q)
+
+    def test_is_an_involution(self):
+        remap = BitReversalStage().address_map(2, 3)
+        for w in range(1 << 5):
+            assert remap(remap(w)) == w
+
+
+class TestDimPermStage:
+    def test_needs_exactly_one_spelling(self):
+        with pytest.raises(ValueError):
+            DimPermStage()
+        with pytest.raises(ValueError):
+            DimPermStage(order=(0, 1), named="shuffle")
+
+    def test_rejects_non_permutations(self):
+        with pytest.raises(ValueError):
+            DimPermStage(order=(0, 0, 1))
+        with pytest.raises(ValueError):
+            DimPermStage(named="rotate")
+
+    def test_shuffle_unshuffle_are_inverse(self):
+        shuffle = DimPermStage(named="shuffle").address_map(2, 2)
+        unshuffle = DimPermStage(named="unshuffle").address_map(2, 2)
+        for w in range(1 << 4):
+            assert unshuffle(shuffle(w)) == w
+
+    @pytest.mark.parametrize(
+        "stage",
+        [
+            DimPermStage(named="shuffle"),
+            DimPermStage(named="unshuffle"),
+            DimPermStage(order=(1, 0, 3, 2)),
+        ],
+    )
+    def test_map_matches_reference(self, stage):
+        assert_map_matches_reference(stage, 2, 2)
+
+    def test_order_length_must_cover_address_space(self):
+        stage = DimPermStage(order=(1, 0))
+        with pytest.raises(ValueError):
+            stage.address_map(2, 2)
+
+    def test_token_round_trips(self):
+        assert DimPermStage(named="shuffle").token == "dimperm:shuffle"
+        assert DimPermStage(order=(2, 0, 1)).token == "dimperm:2,0,1"
+
+
+class TestFromAxes:
+    @pytest.mark.parametrize(
+        "axis_bits,axes",
+        [
+            ((2, 2, 2), (1, 0, 2)),
+            ((2, 2, 2), (2, 1, 0)),
+            ((1, 2, 1, 2), (3, 1, 0, 2)),
+        ],
+    )
+    def test_matches_numpy_transpose(self, axis_bits, axes):
+        """The stage realizes ``np.transpose`` on the d-dim view."""
+        m = sum(axis_bits)
+        stage = DimPermStage.from_axes(axis_bits, axes)
+        a = np.arange(1 << m, dtype=np.float64)
+        view = a.reshape([1 << b for b in axis_bits])
+        expected = np.transpose(view, axes).reshape(-1)
+        remap = stage.address_map(m // 2, m - m // 2)
+        out = np.empty_like(a)
+        for w in range(a.size):
+            out[remap(w)] = a[w]
+        assert np.array_equal(out, expected)
+
+    def test_rejects_bad_axes(self):
+        with pytest.raises(ValueError):
+            axis_permutation_order((2, 2), (0, 0))
+        with pytest.raises(ValueError):
+            axis_permutation_order((2, -1), (1, 0))
+
+
+class TestGrayConvertStage:
+    def test_is_a_fusion_barrier(self):
+        assert GrayConvertStage().fusible is False
+        assert TransposeStage().fusible is True
+
+    def test_identity_on_the_global_matrix(self):
+        a = np.arange(16.0).reshape(4, 4)
+        assert np.array_equal(GrayConvertStage().reference(a), a)
+        remap = GrayConvertStage().address_map(2, 2)
+        assert [remap(w) for w in range(16)] == list(range(16))
+
+    def test_out_layout_flips_encoding_flags(self):
+        layout = pt.two_dim_cyclic(2, 2, 1, 1)
+        gray = GrayConvertStage(to_gray=True).out_layout(layout)
+        assert gray is not None and gray.is_gray
+        back = GrayConvertStage(to_gray=False).out_layout(gray)
+        assert back is not None and not back.is_gray
+        # Already-binary layout: nothing to change.
+        assert GrayConvertStage(to_gray=False).out_layout(layout) is None
+
+    def test_tokens(self):
+        assert GrayConvertStage(to_gray=True).token == "gray"
+        assert GrayConvertStage(to_gray=False).token == "binary"
